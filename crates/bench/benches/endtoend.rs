@@ -1,0 +1,25 @@
+//! End-to-end simulator throughput: how fast one full invocation (submit →
+//! route → E/T/L → finish) executes through each configuration. This is the
+//! harness's own cost, demonstrating that 30-minute macro windows simulate
+//! in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofc_bench::cachex::{single_stage, Scenario};
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend");
+    group.sample_size(20);
+    for scenario in [Scenario::Swift, Scenario::Redis, Scenario::LocalHit] {
+        group.bench_with_input(
+            BenchmarkId::new("single_invocation", scenario.label()),
+            &scenario,
+            |b, &scenario| {
+                b.iter(|| single_stage("wand_sepia", 64 << 10, scenario, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Migration-by-promotion mechanism cost (the data-structure work behind
+//! the §7.2.1 sweep; the modelled latency is reported by `--bin migration`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofc_rcstore::cluster::Cluster;
+use ofc_rcstore::{ClusterConfig, Key, Value};
+use ofc_simtime::SimTime;
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+    group.sample_size(30);
+    for size_mb in [1u64, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("promote", format!("{size_mb}MB")),
+            &size_mb,
+            |b, &size_mb| {
+                b.iter_batched(
+                    || {
+                        let mut cl = Cluster::new(ClusterConfig {
+                            nodes: 4,
+                            replication_factor: 2,
+                            node_pool_bytes: 1 << 30,
+                            max_object_bytes: 10 << 20,
+                            segment_bytes: 16 << 20,
+                            ..ClusterConfig::default()
+                        });
+                        let key = Key::from("m");
+                        cl.write_with_dirty(
+                            0,
+                            &key,
+                            Value::synthetic(size_mb << 20),
+                            SimTime::ZERO,
+                            false,
+                        )
+                        .result
+                        .unwrap();
+                        (cl, key)
+                    },
+                    |(mut cl, key)| cl.migrate_by_promotion(&key, SimTime::ZERO).result.unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

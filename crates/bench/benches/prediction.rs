@@ -1,0 +1,43 @@
+//! Criterion companion to Figure 6: J48 vs RandomForest classification
+//! latency on the memory-interval models (§7.1.2 reports 3.19 µs vs
+//! 106.29 µs medians on the paper's testbed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofc_dtree::c45::C45;
+use ofc_dtree::forest::{Forest, ForestParams};
+use ofc_dtree::Classifier;
+use ofc_workloads::datasets::memory_dataset;
+use ofc_workloads::multimedia::profile;
+
+fn bench_prediction(c: &mut Criterion) {
+    let p = profile("wand_blur").expect("known profile");
+    let mut group = c.benchmark_group("prediction");
+    for interval_mb in [32u64, 16, 8] {
+        let ds = memory_dataset(p, 400, interval_mb << 20, 7);
+        let tree = C45::train(&ds, &Default::default());
+        let instance = ds.rows()[0].values.clone();
+        group.bench_with_input(
+            BenchmarkId::new("j48", format!("{interval_mb}MB")),
+            &instance,
+            |b, inst| b.iter(|| tree.predict(std::hint::black_box(inst))),
+        );
+    }
+    let ds = memory_dataset(p, 400, 16 << 20, 7);
+    let forest = Forest::train(
+        &ds,
+        &ForestParams {
+            n_trees: 50,
+            ..ForestParams::default()
+        },
+    );
+    let instance = ds.rows()[0].values.clone();
+    group.bench_with_input(
+        BenchmarkId::new("random_forest_50", "16MB"),
+        &instance,
+        |b, inst| b.iter(|| forest.predict(std::hint::black_box(inst))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Cache-agent reclamation paths (the mechanism work behind Figure 8):
+//! plain rescale (Sc1) vs eviction rescale (Sc3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofc_core::agent::{AgentConfig, CacheAgent};
+use ofc_faas::MemoryBroker;
+use ofc_objstore::store::ObjectStore;
+use ofc_rcstore::cluster::Cluster;
+use ofc_rcstore::{ClusterConfig, Key, Value};
+use ofc_simtime::{Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const MB: u64 = 1 << 20;
+
+fn setup(filled: bool) -> (ofc_core::agent::AgentHandle, Sim) {
+    let cluster = Rc::new(RefCell::new(Cluster::new(ClusterConfig {
+        nodes: 4,
+        replication_factor: 1,
+        node_pool_bytes: 1024 * MB,
+        max_object_bytes: 10 * MB,
+        segment_bytes: 16 * MB,
+        ..ClusterConfig::default()
+    })));
+    if filled {
+        let mut cl = cluster.borrow_mut();
+        for i in 0..60 {
+            cl.write_with_dirty(
+                0,
+                &Key::from(format!("f{i}")),
+                Value::synthetic(10 * MB),
+                SimTime::ZERO,
+                false,
+            )
+            .result
+            .unwrap();
+        }
+    }
+    let store = Rc::new(RefCell::new(ObjectStore::swift()));
+    let agent = CacheAgent::new(AgentConfig::default(), cluster, store);
+    (agent, Sim::new(0))
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(30);
+
+    group.bench_function("reserve_plain_sc1", |b| {
+        b.iter_batched(
+            || setup(false),
+            |(agent, mut sim)| {
+                let mut broker = agent;
+                broker
+                    .reserve(&mut sim, 0, 0, 1536 * MB, 2048 * MB)
+                    .expect("succeeds")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("reserve_evicting_sc3", |b| {
+        b.iter_batched(
+            || setup(true),
+            |(agent, mut sim)| {
+                let mut broker = agent;
+                broker
+                    .reserve(&mut sim, 0, 0, 1536 * MB, 2048 * MB)
+                    .expect("succeeds")
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Cache-store data-structure costs: write, local read, overwrite, and the
+//! log-structured memory under churn (real work, not modelled latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofc_rcstore::cluster::Cluster;
+use ofc_rcstore::{ClusterConfig, Key, Value};
+use ofc_simtime::SimTime;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes: 4,
+        replication_factor: 2,
+        node_pool_bytes: 1 << 30,
+        max_object_bytes: 10 << 20,
+        segment_bytes: 16 << 20,
+        ..ClusterConfig::default()
+    })
+}
+
+fn bench_store_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ops");
+
+    group.bench_function("write_64kb_replicated", |b| {
+        let mut cl = cluster();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = Key::from(format!("k{}", i % 4096));
+            i += 1;
+            cl.write(0, &key, Value::synthetic(64 << 10), SimTime::ZERO)
+                .result
+                .unwrap();
+        });
+    });
+
+    group.bench_function("read_local_hit", |b| {
+        let mut cl = cluster();
+        let key = Key::from("hot");
+        cl.write(0, &key, Value::synthetic(64 << 10), SimTime::ZERO)
+            .result
+            .unwrap();
+        b.iter(|| {
+            cl.read(0, &key, SimTime::ZERO)
+                .result
+                .as_ref()
+                .unwrap()
+                .0
+                .size()
+        });
+    });
+
+    group.bench_function("log_churn_with_cleaning", |b| {
+        let mut cl = cluster();
+        let mut i = 0u64;
+        b.iter(|| {
+            // Overwrite a rotating small key set: exercises dead-space
+            // accounting and the cleaner.
+            let key = Key::from(format!("churn{}", i % 32));
+            i += 1;
+            cl.write(0, &key, Value::synthetic(1 << 20), SimTime::ZERO)
+                .result
+                .unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_ops);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! ModelTrainer retraining cost: full J48 training time vs retained
+//! training-set size (§5.3.3 keeps the set "small but valuable" so this
+//! stays off the critical path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofc_dtree::c45::{C45Params, C45};
+use ofc_workloads::datasets::memory_dataset;
+use ofc_workloads::multimedia::profile;
+
+fn bench_training(c: &mut Criterion) {
+    let p = profile("wand_resize").expect("known profile");
+    let mut group = c.benchmark_group("training");
+    group.sample_size(20);
+    for n in [100usize, 400, 1000, 2000] {
+        let ds = memory_dataset(p, n, 16 << 20, 5);
+        group.bench_with_input(BenchmarkId::new("j48_full_retrain", n), &ds, |b, ds| {
+            b.iter(|| C45::train(std::hint::black_box(ds), &C45Params::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! Ablation study of the design choices DESIGN.md §6 calls out:
+//!
+//! 1. next-greater-interval safety margin (on/off),
+//! 2. migration-by-promotion vs plain eviction during reclamation,
+//! 3. the cache-benefit gate (on/off),
+//! 4. locality-aware routing (on/off),
+//! 5. write-back shadows vs write-through vs lazy persistence.
+//!
+//! Set `OFC_MACRO_MINS` to shorten the macro-based ablations (default 10).
+
+use ofc_bench::cachex::{pin, run_macro_with, stage_input, Scenario};
+use ofc_bench::report;
+use ofc_bench::scenario::{register_single, testbed_with, PlaneKind, WORKER_NODES};
+use ofc_core::cache::WritePolicy;
+use ofc_core::ofc::OfcConfig;
+use ofc_workloads::catalog::gen_image_with_bytes;
+use ofc_workloads::faasload::TenantProfile;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct AblationOut {
+    margin: Vec<(String, u64, u64, u64)>,
+    reclamation: Vec<(String, f64, u64, u64)>,
+    benefit_gate: Vec<(String, f64, u64)>,
+    locality: Vec<(String, u64, u64)>,
+    write_policy: Vec<(String, f64)>,
+}
+
+fn macro_mins() -> u64 {
+    std::env::var("OFC_MACRO_MINS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+fn main() {
+    let dur = Duration::from_secs(60 * macro_mins());
+    let run = |cfg: OfcConfig, seed: u64| {
+        run_macro_with(PlaneKind::Ofc, TenantProfile::Normal, 1, dur, seed, cfg)
+    };
+    let mut out = AblationOut {
+        margin: vec![],
+        reclamation: vec![],
+        benefit_gate: vec![],
+        locality: vec![],
+        write_policy: vec![],
+    };
+
+    // 1. Safety margin: without the next-greater interval, raw
+    // underpredictions hit the OOM killer instead of being absorbed.
+    println!("== 1. next-greater-interval safety margin ==");
+    for (label, margin) in [("with margin", 1u64), ("no margin", 0)] {
+        let mut cfg = OfcConfig::default();
+        cfg.ml.safety_margin_intervals = margin;
+        let r = run(cfg, 31);
+        println!(
+            "  {label:12} bad predictions {:4}  good {:5}  failed {}",
+            r.table2.bad_predictions, r.table2.good_predictions, r.table2.failed_invocations
+        );
+        out.margin.push((
+            label.into(),
+            r.table2.bad_predictions,
+            r.table2.good_predictions,
+            r.table2.failed_invocations,
+        ));
+    }
+
+    // 2. Reclamation: migration keeps hot objects cached (reads still hit
+    // after the cache shrinks); pure eviction loses them.
+    println!("\n== 2. migration-by-promotion vs eviction-only reclamation ==");
+    for (label, hot_threshold) in [("migrate hot", 5u64), ("evict all", u64::MAX)] {
+        use ofc_faas::MemoryBroker;
+        let mut cfg = OfcConfig::default();
+        cfg.agent.hot_access_threshold = hot_threshold;
+        let tb = testbed_with(PlaneKind::Ofc, WORKER_NODES, 32, cfg);
+        let ofc = tb.ofc.as_ref().expect("ofc");
+        let mut sim = ofc_simtime::Sim::new(32);
+        // Fill node 0 with hot 8 MB objects, then shrink its pool hard.
+        let n_objects = 64u64;
+        {
+            let mut cluster = ofc.cluster.borrow_mut();
+            for i in 0..n_objects {
+                let key = ofc_rcstore::Key::from(format!("hot{i}"));
+                cluster
+                    .write_with_dirty(
+                        0,
+                        &key,
+                        ofc_rcstore::Value::synthetic(8 << 20),
+                        ofc_simtime::SimTime::ZERO,
+                        false,
+                    )
+                    .result
+                    .expect("fits");
+                for _ in 0..6 {
+                    cluster
+                        .read(0, &key, ofc_simtime::SimTime::ZERO)
+                        .result
+                        .ok();
+                }
+            }
+        }
+        let total = 16u64 << 30;
+        let mut broker = ofc.agent.clone();
+        broker
+            .reserve(&mut sim, 0, 0, total - (300 << 20), total)
+            .expect("reserve succeeds");
+        let mut survivors = 0u64;
+        {
+            let mut cluster = ofc.cluster.borrow_mut();
+            for i in 0..n_objects {
+                let key = ofc_rcstore::Key::from(format!("hot{i}"));
+                if cluster
+                    .read(0, &key, ofc_simtime::SimTime::ZERO)
+                    .result
+                    .is_ok()
+                {
+                    survivors += 1;
+                }
+            }
+        }
+        let t = ofc.agent_telemetry();
+        println!(
+            "  {label:12} surviving hot objects {survivors:2}/{n_objects}  migrations {:3}  evictions {:3}",
+            t.scale_downs_migration, t.scale_downs_eviction
+        );
+        out.reclamation.push((
+            label.into(),
+            survivors as f64 / n_objects as f64,
+            t.scale_downs_migration,
+            t.scale_downs_eviction,
+        ));
+    }
+
+    // 3. Benefit gate: caching everything wastes agent work on
+    // compute-bound invocations without improving their latency.
+    println!("\n== 3. cache-benefit gate ==");
+    for (label, disable) in [("gated", false), ("cache all", true)] {
+        let cfg = OfcConfig {
+            disable_benefit_gate: disable,
+            ..OfcConfig::default()
+        };
+        let r = run(cfg, 33);
+        let total: f64 = r.per_function_total_s.values().sum();
+        println!(
+            "  {label:12} total exec {:7.1}s  hit ratio {:5.1}%",
+            total, r.table2.hit_ratio_pct
+        );
+        out.benefit_gate
+            .push((label.into(), total, r.table2.hit_ratio_pct as u64));
+    }
+
+    // 4. Locality routing: a second function reading the same cached input
+    // is routed to the master's node only when locality routing is on.
+    println!("\n== 4. locality-aware routing ==");
+    for (label, disable) in [("locality", false), ("hash only", true)] {
+        let cfg = OfcConfig {
+            disable_locality_routing: disable,
+            ..OfcConfig::default()
+        };
+        let mut tb = testbed_with(PlaneKind::Ofc, WORKER_NODES, 34, cfg);
+        let tenant = ofc_faas::TenantId::from("abl");
+        for name in ["wand_edge", "wand_sepia", "wand_rotate", "wand_crop"] {
+            let p = ofc_workloads::multimedia::profile(name).expect("known");
+            register_single(&tb, &tenant, p, 512 << 20);
+        }
+        // Seed the cache: the input's master lands on node 0.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(34);
+        let meta = gen_image_with_bytes(64 << 10, &mut rng);
+        let input = stage_input(&mut tb, Scenario::LocalHit, meta, "shared");
+        // Four different functions (distinct home nodes) read it cold.
+        for (i, name) in ["wand_edge", "wand_sepia", "wand_rotate", "wand_crop"]
+            .into_iter()
+            .enumerate()
+        {
+            let p = ofc_workloads::multimedia::profile(name).expect("known");
+            let mut args = ofc_faas::Args::new();
+            args.insert("input".into(), ofc_faas::ArgValue::Obj(input.id.clone()));
+            if let Some(spec) = p.arg {
+                args.insert(
+                    spec.name.into(),
+                    ofc_faas::ArgValue::Num((spec.lo + spec.hi) / 2.0),
+                );
+            }
+            let platform = tb.platform.clone();
+            let tenant = tenant.clone();
+            tb.sim
+                .schedule_at(ofc_simtime::SimTime::from_secs(i as u64 * 10), move |sim| {
+                    platform.submit(
+                        sim,
+                        ofc_faas::InvocationRequest {
+                            function: ofc_faas::FunctionId::from(name),
+                            tenant,
+                            args,
+                            seed: i as u64,
+                            pipeline: None,
+                        },
+                    );
+                });
+        }
+        tb.sim.run_until(ofc_simtime::SimTime::from_secs(300));
+        let t = tb.ofc.as_ref().expect("ofc").plane_snapshot();
+        println!(
+            "  {label:12} local hits {:3}  remote hits {:3}",
+            t.local_hits, t.remote_hits
+        );
+        out.locality
+            .push((label.into(), t.local_hits, t.remote_hits));
+    }
+
+    // 5. Write policy: L-phase latency of a cached final output.
+    println!("\n== 5. write policy (wand_edge @64 kB, local hit) ==");
+    for (label, policy) in [
+        ("write-back shadow", WritePolicy::WriteBackShadow),
+        ("write-through", WritePolicy::WriteThrough),
+        ("lazy", WritePolicy::Lazy),
+    ] {
+        let mut cfg = OfcConfig::default();
+        cfg.plane.write_policy = policy;
+        let mut tb = testbed_with(PlaneKind::Ofc, WORKER_NODES, 35, cfg);
+        let tenant = ofc_faas::TenantId::from("abl");
+        let p = ofc_workloads::multimedia::profile("wand_edge").expect("known");
+        register_single(&tb, &tenant, p, 512 << 20);
+        pin(&tb, 512 << 20);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(35);
+        let meta = gen_image_with_bytes(64 << 10, &mut rng);
+        let input = stage_input(&mut tb, Scenario::LocalHit, meta, "in");
+        let mut args = ofc_faas::Args::new();
+        args.insert("input".into(), ofc_faas::ArgValue::Obj(input.id));
+        args.insert("radius".into(), ofc_faas::ArgValue::Num(3.0));
+        tb.platform.submit(
+            &mut tb.sim,
+            ofc_faas::InvocationRequest {
+                function: ofc_faas::FunctionId::from("wand_edge"),
+                tenant,
+                args,
+                seed: 1,
+                pipeline: None,
+            },
+        );
+        tb.sim.run_until(ofc_simtime::SimTime::from_secs(60));
+        let recs = tb.platform.drain_records();
+        let l_ms = recs[0].l_time.as_secs_f64() * 1e3;
+        println!("  {label:18} L-phase {l_ms:7.2} ms");
+        out.write_policy.push((label.into(), l_ms));
+    }
+
+    report::save_json("ablation", &out);
+}

@@ -1,0 +1,58 @@
+//! Figure 2: memory usage of `wand_blur` vs input byte size (top) and vs
+//! the blurring sigma (bottom) — the motivation scatter showing neither
+//! observable predicts memory alone (§2.2.2).
+
+use ofc_bench::mlx::fig2;
+use ofc_bench::report;
+
+fn main() {
+    let points = fig2(600, 42);
+    println!(
+        "Figure 2 — wand_blur memory usage ({} invocations)\n",
+        points.len()
+    );
+
+    // Coarse ASCII rendition of the two scatters.
+    let max_mem = points.iter().map(|p| p.mem_mb).fold(0.0, f64::max);
+    println!("memory vs input size (MB):");
+    for decade in [0.01, 0.1, 1.0, 8.0] {
+        let bucket: Vec<f64> = points
+            .iter()
+            .filter(|p| p.input_mb >= decade && p.input_mb < decade * 10.0)
+            .map(|p| p.mem_mb)
+            .collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let lo = bucket.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = bucket.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  input {decade:>5.2}–{:<6.1} MB -> mem {lo:>6.0}–{hi:<6.0} MB  (n={})",
+            decade * 10.0,
+            bucket.len()
+        );
+    }
+    println!("\nmemory vs sigma:");
+    for s in 0..6 {
+        let bucket: Vec<f64> = points
+            .iter()
+            .filter(|p| p.sigma >= s as f64 && p.sigma < (s + 1) as f64)
+            .map(|p| p.mem_mb)
+            .collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let lo = bucket.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = bucket.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  sigma {s}–{} -> mem {lo:>6.0}–{hi:<6.0} MB  (n={})",
+            s + 1,
+            bucket.len()
+        );
+    }
+    println!(
+        "\nmax memory {max_mem:.0} MB (paper's Figure 2 peaks near 896 MB); wide vertical\n\
+         spread at every x confirms no single observable predicts memory."
+    );
+    report::save_json("fig2", &points);
+}

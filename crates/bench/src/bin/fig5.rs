@@ -1,0 +1,28 @@
+//! Figure 5: distribution of raw J48 memory-prediction errors (16 MB
+//! intervals, all functions combined) — §7.1.1's overprediction analysis.
+
+use ofc_bench::mlx::{fig5, MlxParams};
+use ofc_bench::report;
+
+fn main() {
+    let r = fig5(&MlxParams::default());
+    println!("Figure 5 — J48 prediction-error distribution (16 MB intervals)\n");
+    let max = r.counts.iter().copied().max().unwrap_or(1).max(1);
+    for (edge, count) in r.bucket_edges_mb.iter().zip(&r.counts) {
+        let bar = "#".repeat((count * 48 / max) as usize);
+        println!("{edge:>6.0} MB | {bar} {count}");
+    }
+    println!(
+        "\nexact {:.1}%  over {:.1}%  under {:.1}%",
+        r.exact_pct, r.over_pct, r.under_pct
+    );
+    println!(
+        "overpredictions within 3 intervals: {:.1}%  (paper: 90%)",
+        r.over_within_3_pct
+    );
+    println!(
+        "mean overprediction waste: {:.1} MB    (paper: 26.8 MB)",
+        r.mean_over_waste_mb
+    );
+    report::save_json("fig5", &r);
+}

@@ -1,0 +1,52 @@
+//! Figure 6: real wall-clock J48 prediction latency per interval size, plus
+//! the RandomForest contrast of §7.1.2 — measured on this machine.
+
+use ofc_bench::mlx::{fig6, fig6_forest, MlxParams};
+use ofc_bench::report;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6Out {
+    j48: Vec<ofc_bench::mlx::Fig6Row>,
+    random_forest_16mb: ofc_bench::mlx::Fig6Row,
+}
+
+fn main() {
+    let params = MlxParams::default();
+    let rows = fig6(&params);
+    println!("Figure 6 — J48 prediction time (measured wall clock)\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} MB", r.interval_mb),
+                format!("{:.2}", r.median_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.2}", r.mean_us),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["Interval", "median (µs)", "p99 (µs)", "mean (µs)"],
+            &table_rows
+        )
+    );
+    let forest = fig6_forest(&params);
+    println!(
+        "RandomForest @16 MB: median {:.2} µs, p99 {:.2} µs",
+        forest.median_us, forest.p99_us
+    );
+    println!(
+        "\nPaper reference: J48 @16 MB median 3.19 µs / p99 12.54 µs;\n\
+         RandomForest median 106.29 µs / p99 173.05 µs."
+    );
+    report::save_json(
+        "fig6",
+        &Fig6Out {
+            j48: rows,
+            random_forest_16mb: forest,
+        },
+    );
+}

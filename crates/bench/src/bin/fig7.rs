@@ -1,0 +1,115 @@
+//! Figure 7: ETL phase durations for six image functions and the four
+//! multi-stage applications under OWK-Swift, OWK-Redis, and OFC's LH/M/RH
+//! scenarios (§7.2.1).
+
+use ofc_bench::cachex::{pipeline, single_stage, App, Scenario};
+use ofc_bench::report;
+use ofc_bench::{KB, MB};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    input: String,
+    scenario: String,
+    e_s: f64,
+    t_s: f64,
+    l_s: f64,
+    total_s: f64,
+}
+
+const SINGLES: [&str; 6] = [
+    "wand_blur",
+    "wand_resize",
+    "wand_sepia",
+    "wand_rotate",
+    "wand_denoise",
+    "wand_edge",
+];
+
+fn main() {
+    let mut rows = Vec::new();
+    for name in SINGLES {
+        for kb in [1u64, 16, 32, 64, 128] {
+            for scenario in Scenario::ALL {
+                let p = single_stage(name, kb * KB, scenario, 9);
+                rows.push(Row {
+                    workload: name.into(),
+                    input: format!("{kb}KB"),
+                    scenario: scenario.label().into(),
+                    e_s: p.e,
+                    t_s: p.t,
+                    l_s: p.l,
+                    total_s: p.total(),
+                });
+            }
+        }
+    }
+    // Fan-outs keep every intermediate chunk under the 10 MB cache limit
+    // (the paper's large data sets are "split into many small objects", §3).
+    let pipelines: [(App, u64, usize); 4] = [
+        (App::MapReduce, 30 * MB, 8),
+        (App::This, 125 * MB, 36),
+        (App::Imad, 10 * MB, 1),
+        (App::ImageProcessing, 1 * MB, 1),
+    ];
+    for (app, bytes, fanout) in pipelines {
+        for scenario in Scenario::ALL {
+            let r = pipeline(app, bytes, fanout, scenario, 9);
+            rows.push(Row {
+                workload: app.label().into(),
+                input: format!("{}MB", bytes / MB),
+                scenario: scenario.label().into(),
+                e_s: r.phases.e,
+                t_s: r.phases.t,
+                l_s: r.phases.l,
+                total_s: r.wall,
+            });
+        }
+    }
+
+    println!("Figure 7 — ETL durations across scenarios\n");
+    // Print the headline slice (full data goes to JSON).
+    let headline: Vec<Vec<String>> = rows
+        .iter()
+        .filter(|r| r.input == "16KB" || !SINGLES.contains(&r.workload.as_str()))
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.input.clone(),
+                r.scenario.clone(),
+                report::fmt_secs(r.e_s),
+                report::fmt_secs(r.t_s),
+                report::fmt_secs(r.l_s),
+                report::fmt_secs(r.total_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["workload", "input", "scenario", "E", "T", "L", "total"],
+            &headline,
+        )
+    );
+    // Headline gains.
+    let total = |w: &str, s: &str| {
+        rows.iter()
+            .find(|r| {
+                r.workload == w && r.scenario == s && (r.input == "16KB" || r.input == "125MB")
+            })
+            .map(|r| r.total_s)
+            .unwrap_or(f64::NAN)
+    };
+    let edge_gain = 1.0 - total("wand_edge", "LH") / total("wand_edge", "Swift");
+    let this_gain = 1.0 - total("THIS", "LH") / total("THIS", "Swift");
+    println!(
+        "wand_edge @16 kB: LH improves on Swift by {:.0}%   (paper: ~82%, 180 ms -> 32 ms)",
+        edge_gain * 100.0
+    );
+    println!(
+        "THIS @125 MB:     LH improves on Swift by {:.0}%   (paper: ~60-66%, 105 s -> 35.8 s)",
+        this_gain * 100.0
+    );
+    report::save_json("fig7", &rows);
+}

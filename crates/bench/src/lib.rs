@@ -1,0 +1,17 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§7). See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! Each `src/bin/<id>.rs` binary runs one experiment and prints the same
+//! rows/series the paper reports; [`report`] also serializes the results as
+//! JSON under `results/` so `EXPERIMENTS.md` can be regenerated.
+
+pub mod cachex;
+pub mod mlx;
+pub mod report;
+pub mod scenario;
+
+/// Bytes per mebibyte.
+pub const MB: u64 = 1 << 20;
+/// Bytes per kibibyte.
+pub const KB: u64 = 1 << 10;

@@ -1,0 +1,93 @@
+//! Experiment output: aligned text tables on stdout plus JSON files under
+//! `results/` for `EXPERIMENTS.md`.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Renders rows of equal-length cells as an aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Directory where experiment JSON lands (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("OFC_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("creating the results directory");
+    path
+}
+
+/// Serializes one experiment's result as `results/<id>.json`.
+pub fn save_json<T: Serialize>(id: &str, value: &T) {
+    let path = results_dir().join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 10.0 {
+        format!("{s:.1}s")
+    } else if s >= 0.1 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+        // The value column starts at the same offset in every row.
+        let col = lines[3].find("22").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn fmt_secs_scales() {
+        assert_eq!(fmt_secs(12.34), "12.3s");
+        assert_eq!(fmt_secs(0.5), "0.50s");
+        assert_eq!(fmt_secs(0.032), "32.0ms");
+    }
+}

@@ -1,0 +1,652 @@
+//! The CacheAgent (§6.4): vertical autoscaling of the per-node cache pool,
+//! the slack pool, fast reclamation (Figure 8's Sc1–Sc3), and the periodic
+//! eviction policy (§6.3).
+//!
+//! The agent is the [`MemoryBroker`] between sandboxes and the co-located
+//! cache node: every byte a sandbox gains is a byte the cache gives up, and
+//! vice versa. Reclamation follows the paper's order — first drop objects
+//! already persisted to the RSDS (clean, cold), migrate hot objects to
+//! another node by backup promotion, and write back dirty outputs in
+//! parallel — so a sandbox never waits on a full data transfer.
+
+use crate::ml::FnKey;
+use ofc_faas::{MemoryBroker, NodeId};
+use ofc_objstore::store::ObjectStore;
+use ofc_rcstore::cluster::Cluster;
+use ofc_rcstore::Key;
+use ofc_simtime::stats::TimeSeries;
+use ofc_simtime::{Sim, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Agent tunables (paper defaults, §6.3–6.4).
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Initial per-node slack pool (100 MB).
+    pub slack_initial: u64,
+    /// Lower bound of the adapted slack pool.
+    pub slack_min: u64,
+    /// Upper bound of the adapted slack pool.
+    pub slack_max: u64,
+    /// Slack adjustment period (120 s).
+    pub slack_adjust_every: Duration,
+    /// Memory-churn sampling period (60 s).
+    pub churn_sample_every: Duration,
+    /// Sliding-window length of churn samples.
+    pub churn_window: usize,
+    /// Safety factor over mean churn.
+    pub slack_factor: f64,
+    /// Periodic eviction period (300 s).
+    pub evict_every: Duration,
+    /// Eviction criterion: fewer reads than this (`n_access < 5`).
+    pub evict_min_access: u64,
+    /// Eviction criterion: idle longer than this (30 min).
+    pub evict_idle: Duration,
+    /// Grace period before the `n_access` rule applies to young objects.
+    pub evict_grace: Duration,
+    /// Objects at or above this access count are migrated (promotion)
+    /// rather than dropped during reclamation.
+    pub hot_access_threshold: u64,
+    /// Cadence of the cache-size telemetry series (Figure 10).
+    pub telemetry_every: Duration,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            slack_initial: 100 << 20,
+            slack_min: 64 << 20,
+            slack_max: 512 << 20,
+            slack_adjust_every: Duration::from_secs(120),
+            churn_sample_every: Duration::from_secs(60),
+            churn_window: 5,
+            slack_factor: 1.5,
+            evict_every: Duration::from_secs(300),
+            evict_min_access: 5,
+            evict_idle: Duration::from_secs(30 * 60),
+            evict_grace: Duration::from_secs(300),
+            hot_access_threshold: 5,
+            telemetry_every: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Agent telemetry (feeds Table 2 and Figure 10).
+#[derive(Debug, Clone, Default)]
+pub struct AgentTelemetry {
+    /// Cache scale-up operations.
+    pub scale_ups: u64,
+    /// Total time spent scaling up.
+    pub scale_up_time: Duration,
+    /// Scale-downs without any data movement (Sc1).
+    pub scale_downs_plain: u64,
+    /// Scale-downs that migrated hot objects (Sc2).
+    pub scale_downs_migration: u64,
+    /// Scale-downs that evicted objects (Sc3).
+    pub scale_downs_eviction: u64,
+    /// Total time spent scaling down.
+    pub scale_down_time: Duration,
+    /// Objects dropped by the periodic eviction pass.
+    pub periodic_evictions: u64,
+    /// Dirty objects written back during reclamation.
+    pub writebacks: u64,
+    /// Cluster-wide cache pool size over time (Figure 10).
+    pub cache_size: TimeSeries,
+}
+
+/// The cache agent. Wrap in [`AgentHandle`] for the broker seam.
+pub struct CacheAgent {
+    cfg: AgentConfig,
+    cluster: Rc<RefCell<Cluster>>,
+    store: Rc<RefCell<ObjectStore>>,
+    /// Per-node slack pool size.
+    slack: Vec<u64>,
+    /// Per-node last-known sandbox commitment.
+    committed: Vec<u64>,
+    /// Per-node total node memory (learned from broker calls).
+    totals: Vec<u64>,
+    /// Per-node churn samples.
+    churn: Vec<VecDeque<u64>>,
+    /// Per-node committed value at the previous churn sample.
+    churn_prev: Vec<u64>,
+    telemetry: AgentTelemetry,
+    /// Callback invoked when a dirty object must be written back during
+    /// reclamation (installed by the data plane; performs the shadow
+    /// fulfillment so the store sees the payload).
+    writeback: Option<Box<dyn FnMut(&Key)>>,
+}
+
+/// Shared handle to the agent.
+#[derive(Clone)]
+pub struct AgentHandle(pub Rc<RefCell<CacheAgent>>);
+
+impl CacheAgent {
+    /// Creates an agent over a cache cluster and the RSDS.
+    pub fn new(
+        cfg: AgentConfig,
+        cluster: Rc<RefCell<Cluster>>,
+        store: Rc<RefCell<ObjectStore>>,
+    ) -> AgentHandle {
+        let n = cluster.borrow().n_nodes();
+        AgentHandle(Rc::new(RefCell::new(CacheAgent {
+            slack: vec![cfg.slack_initial; n],
+            committed: vec![0; n],
+            totals: vec![0; n],
+            churn: vec![VecDeque::new(); n],
+            churn_prev: vec![0; n],
+            cfg,
+            cluster,
+            store,
+            telemetry: AgentTelemetry::default(),
+            writeback: None,
+        })))
+    }
+
+    /// Installs the dirty-object write-back callback (wired by the data
+    /// plane, which owns the shadow-version bookkeeping).
+    pub fn set_writeback(&mut self, f: Box<dyn FnMut(&Key)>) {
+        self.writeback = Some(f);
+    }
+
+    /// Telemetry snapshot.
+    pub fn telemetry(&self) -> &AgentTelemetry {
+        &self.telemetry
+    }
+
+    /// Current slack pool of `node`.
+    pub fn slack(&self, node: NodeId) -> u64 {
+        self.slack[node]
+    }
+
+    fn record_size(&mut self, now: SimTime) {
+        let size = self.cluster.borrow().pool_bytes();
+        self.telemetry.cache_size.push(now, size as f64);
+    }
+
+    /// Frees node memory so sandboxes can commit `committed_after` bytes:
+    /// shrinks the cache pool following §6.4's reclamation order. Returns
+    /// the critical-path delay.
+    fn reserve_impl(
+        &mut self,
+        sim: &mut Sim,
+        node: NodeId,
+        committed_after: u64,
+        total: u64,
+    ) -> Option<Duration> {
+        self.note_committed(node, committed_after, total);
+        if committed_after > total {
+            return None;
+        }
+        let pool = self.cluster.borrow().node(node).pool_bytes();
+        if committed_after + pool + self.slack[node] <= total {
+            // The request fits beside the cache (absorbed by free + slack).
+            return Some(Duration::ZERO);
+        }
+        // Deficit comes out of the cache pool.
+        let target_pool = total.saturating_sub(committed_after + self.slack[node]);
+        let mut delay = Duration::ZERO;
+        let used = self.cluster.borrow().node(node).used_bytes();
+        let mut migrated = false;
+        let mut evicted = false;
+
+        if used > target_pool {
+            // Free live objects: §6.4 order — persisted outputs and cold
+            // inputs are dropped, hot inputs migrate by promotion, dirty
+            // outputs are written back in parallel and dropped.
+            let mut need = used - target_pool;
+            let lru = self.cluster.borrow().node(node).lru_masters();
+            for key in lru {
+                if need == 0 {
+                    break;
+                }
+                let (size, n_access, dirty) = {
+                    let c = self.cluster.borrow();
+                    let Some(obj) = c.node(node).peek_master(&key) else {
+                        continue;
+                    };
+                    (obj.value.size(), obj.stats.n_access, obj.dirty)
+                };
+                if dirty {
+                    // Parallel write-back (does not block the reclamation);
+                    // afterwards the object is clean and evictable.
+                    if let Some(wb) = self.writeback.as_mut() {
+                        wb(&key);
+                    }
+                    self.cluster.borrow_mut().mark_clean(&key).ok();
+                    self.telemetry.writebacks += 1;
+                }
+                if n_access >= self.cfg.hot_access_threshold {
+                    let t = self
+                        .cluster
+                        .borrow_mut()
+                        .migrate_by_promotion(&key, sim.now());
+                    if t.result.is_ok() {
+                        delay += t.latency;
+                        migrated = true;
+                        need = need.saturating_sub(size);
+                        continue;
+                    }
+                }
+                let t = self.cluster.borrow_mut().evict(&key);
+                if t.result.is_ok() {
+                    evicted = true;
+                    need = need.saturating_sub(size);
+                }
+            }
+            if need > 0 {
+                // Could not free enough (e.g. everything is busy/dirty).
+                return None;
+            }
+        }
+        let t = self.cluster.borrow_mut().resize_pool(node, target_pool);
+        if t.result.is_err() {
+            return None;
+        }
+        delay += t.latency;
+        if evicted {
+            delay += Duration::from_micros(84); // Sc3 − Sc1 residual (§7.2.1)
+        }
+
+        if migrated {
+            self.telemetry.scale_downs_migration += 1;
+        } else if evicted {
+            self.telemetry.scale_downs_eviction += 1;
+        } else {
+            self.telemetry.scale_downs_plain += 1;
+        }
+        self.telemetry.scale_down_time += delay;
+        self.record_size(sim.now());
+        Some(delay)
+    }
+
+    /// Returns memory to the cache after sandboxes released it.
+    fn release_impl(&mut self, sim: &mut Sim, node: NodeId, committed_after: u64, total: u64) {
+        self.note_committed(node, committed_after, total);
+        let target_pool = total.saturating_sub(committed_after + self.slack[node]);
+        let pool = self.cluster.borrow().node(node).pool_bytes();
+        if target_pool > pool {
+            let t = self.cluster.borrow_mut().resize_pool(node, target_pool);
+            if t.result.is_ok() {
+                self.telemetry.scale_ups += 1;
+                self.telemetry.scale_up_time += t.latency;
+                self.record_size(sim.now());
+            }
+        }
+    }
+
+    fn note_committed(&mut self, node: NodeId, committed: u64, total: u64) {
+        if node < self.committed.len() {
+            self.committed[node] = committed;
+            self.totals[node] = total;
+        }
+    }
+
+    /// One churn sample: records `|Δ committed|` per node (§6.4).
+    fn sample_churn(&mut self) {
+        for node in 0..self.committed.len() {
+            let delta = self.committed[node].abs_diff(self.churn_prev[node]);
+            self.churn_prev[node] = self.committed[node];
+            let w = self.churn[node].len();
+            if w >= self.cfg.churn_window {
+                self.churn[node].pop_front();
+            }
+            self.churn[node].push_back(delta);
+        }
+    }
+
+    /// Slack adjustment from the churn window (§6.4, every 120 s).
+    fn adjust_slack(&mut self) {
+        for node in 0..self.slack.len() {
+            if self.churn[node].is_empty() {
+                continue;
+            }
+            let mean = self.churn[node].iter().sum::<u64>() as f64 / self.churn[node].len() as f64;
+            let target = (mean * self.cfg.slack_factor) as u64;
+            self.slack[node] = target.clamp(self.cfg.slack_min, self.cfg.slack_max);
+        }
+    }
+
+    /// Periodic eviction pass (§6.3): drop objects with `n_access <
+    /// evict_min_access` (after a grace period) or idle for `evict_idle`.
+    fn periodic_evict(&mut self, now: SimTime) {
+        let keys: Vec<(Key, bool)> = {
+            let c = self.cluster.borrow();
+            let mut victims = Vec::new();
+            for node in 0..c.n_nodes() {
+                for (key, obj) in c.node(node).masters() {
+                    let idle = now.saturating_since(obj.stats.t_access);
+                    let age = now.saturating_since(obj.stats.created);
+                    let cold = obj.stats.n_access < self.cfg.evict_min_access
+                        && age >= self.cfg.evict_grace;
+                    let stale = idle >= self.cfg.evict_idle;
+                    if cold || stale {
+                        victims.push((key.clone(), obj.dirty));
+                    }
+                }
+            }
+            victims
+        };
+        for (key, dirty) in keys {
+            if dirty {
+                if let Some(wb) = self.writeback.as_mut() {
+                    wb(&key);
+                }
+                self.cluster.borrow_mut().mark_clean(&key).ok();
+                self.telemetry.writebacks += 1;
+            }
+            if self.cluster.borrow_mut().evict(&key).result.is_ok() {
+                self.telemetry.periodic_evictions += 1;
+            }
+        }
+        let _ = &self.store; // Store participates via the writeback hook.
+    }
+}
+
+impl AgentHandle {
+    /// Starts the agent's recurring activities on the simulator: churn
+    /// sampling, slack adjustment, periodic eviction, telemetry.
+    pub fn start(&self, sim: &mut Sim) {
+        fn every(
+            sim: &mut Sim,
+            period: Duration,
+            agent: AgentHandle,
+            f: Rc<dyn Fn(&mut CacheAgent, SimTime)>,
+        ) {
+            sim.schedule_in(period, move |sim| {
+                f(&mut agent.0.borrow_mut(), sim.now());
+                every(sim, period, agent, f);
+            });
+        }
+        let cfg = self.0.borrow().cfg.clone();
+        every(
+            sim,
+            cfg.churn_sample_every,
+            self.clone(),
+            Rc::new(|a, _| a.sample_churn()),
+        );
+        every(
+            sim,
+            cfg.slack_adjust_every,
+            self.clone(),
+            Rc::new(|a, _| a.adjust_slack()),
+        );
+        every(
+            sim,
+            cfg.evict_every,
+            self.clone(),
+            Rc::new(|a, now| a.periodic_evict(now)),
+        );
+        every(
+            sim,
+            cfg.telemetry_every,
+            self.clone(),
+            Rc::new(|a, now| a.record_size(now)),
+        );
+    }
+
+    /// Telemetry snapshot (cloned).
+    pub fn telemetry(&self) -> AgentTelemetry {
+        self.0.borrow().telemetry().clone()
+    }
+}
+
+impl MemoryBroker for AgentHandle {
+    fn reserve(
+        &mut self,
+        sim: &mut Sim,
+        node: NodeId,
+        _bytes: u64,
+        committed_after: u64,
+        total: u64,
+    ) -> Option<Duration> {
+        self.0
+            .borrow_mut()
+            .reserve_impl(sim, node, committed_after, total)
+    }
+
+    fn release(
+        &mut self,
+        sim: &mut Sim,
+        node: NodeId,
+        _bytes: u64,
+        committed_after: u64,
+        total: u64,
+    ) {
+        self.0
+            .borrow_mut()
+            .release_impl(sim, node, committed_after, total)
+    }
+}
+
+/// Dummy key type re-export check (keeps `FnKey` linked into docs).
+#[doc(hidden)]
+pub type _FnKeyAlias = FnKey;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofc_rcstore::{ClusterConfig, Value};
+
+    const MB: u64 = 1 << 20;
+
+    fn setup(pool_mb: u64) -> (AgentHandle, Rc<RefCell<Cluster>>, Sim) {
+        let cluster = Rc::new(RefCell::new(Cluster::new(ClusterConfig {
+            nodes: 3,
+            replication_factor: 1,
+            node_pool_bytes: pool_mb * MB,
+            max_object_bytes: 10 * MB,
+            segment_bytes: 16 * MB,
+            ..ClusterConfig::default()
+        })));
+        let store = Rc::new(RefCell::new(ObjectStore::swift()));
+        let agent = CacheAgent::new(AgentConfig::default(), Rc::clone(&cluster), store);
+        (agent, cluster, Sim::new(0))
+    }
+
+    #[test]
+    fn reserve_within_free_memory_is_instant() {
+        let (mut agent, _cluster, mut sim) = setup(256);
+        // Node total 4 GB, pool 256 MB, slack 100 MB: a 1 GB commit fits.
+        let d = agent.reserve(&mut sim, 0, 1 << 30, 1 << 30, 4 << 30);
+        assert_eq!(d, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn reserve_shrinks_empty_cache_plain() {
+        let (mut agent, cluster, mut sim) = setup(1024);
+        // total 2 GB: commit 1.5 GB forces the 1 GB pool down (Sc1).
+        let d = agent
+            .reserve(&mut sim, 0, 1536 * MB, 1536 * MB, 2048 * MB)
+            .expect("reserve must succeed");
+        assert_eq!(d, Duration::from_micros(289));
+        assert!(cluster.borrow().node(0).pool_bytes() <= 512 * MB);
+        let t = agent.telemetry();
+        assert_eq!(t.scale_downs_plain, 1);
+        assert_eq!(t.scale_downs_eviction, 0);
+    }
+
+    #[test]
+    fn reserve_evicts_cold_objects() {
+        let (mut agent, cluster, mut sim) = setup(1024);
+        // Fill node 0 with 60 cold clean objects of 10 MB.
+        for i in 0..60 {
+            cluster
+                .borrow_mut()
+                .write_with_dirty(
+                    0,
+                    &Key::from(format!("k{i}")),
+                    Value::synthetic(10 * MB),
+                    SimTime::ZERO,
+                    false,
+                )
+                .result
+                .unwrap();
+        }
+        let used = cluster.borrow().node(0).used_bytes();
+        assert!(used >= 500 * MB);
+        let d = agent
+            .reserve(&mut sim, 0, 1536 * MB, 1536 * MB, 2048 * MB)
+            .expect("reserve must succeed");
+        // Sc3: eviction happened; scaling time reflects it.
+        assert!(d >= Duration::from_micros(373), "got {d:?}");
+        let t = agent.telemetry();
+        assert_eq!(t.scale_downs_eviction, 1);
+        assert!(cluster.borrow().node(0).used_bytes() < used);
+    }
+
+    #[test]
+    fn reserve_migrates_hot_objects() {
+        let (mut agent, cluster, mut sim) = setup(1024);
+        for i in 0..60 {
+            let key = Key::from(format!("k{i}"));
+            cluster
+                .borrow_mut()
+                .write_with_dirty(0, &key, Value::synthetic(10 * MB), SimTime::ZERO, false)
+                .result
+                .unwrap();
+            // Make every object hot (n_access >= 5).
+            for _ in 0..5 {
+                cluster
+                    .borrow_mut()
+                    .read(0, &key, SimTime::ZERO)
+                    .result
+                    .unwrap();
+            }
+        }
+        agent
+            .reserve(&mut sim, 0, 1536 * MB, 1536 * MB, 2048 * MB)
+            .expect("reserve must succeed");
+        let t = agent.telemetry();
+        assert_eq!(t.scale_downs_migration, 1, "hot objects must migrate");
+        // The objects stay cached, just mastered elsewhere.
+        let c = cluster.borrow();
+        assert!(c.len() == 60, "migration must not lose objects");
+    }
+
+    #[test]
+    fn reserve_writes_back_dirty_objects_via_hook() {
+        let (agent, cluster, mut sim) = setup(1024);
+        for i in 0..60 {
+            cluster
+                .borrow_mut()
+                .write(
+                    0,
+                    &Key::from(format!("k{i}")),
+                    Value::synthetic(10 * MB),
+                    SimTime::ZERO,
+                )
+                .result
+                .unwrap();
+        }
+        let written: Rc<RefCell<Vec<String>>> = Rc::default();
+        {
+            let sink = Rc::clone(&written);
+            agent.0.borrow_mut().set_writeback(Box::new(move |k| {
+                sink.borrow_mut().push(k.to_string());
+            }));
+        }
+        let mut broker = agent.clone();
+        broker
+            .reserve(&mut sim, 0, 1536 * MB, 1536 * MB, 2048 * MB)
+            .expect("reserve must succeed");
+        assert!(
+            !written.borrow().is_empty(),
+            "dirty objects must write back"
+        );
+        assert!(agent.telemetry().writebacks > 0);
+    }
+
+    #[test]
+    fn infeasible_reserve_refused() {
+        let (mut agent, _cluster, mut sim) = setup(256);
+        assert!(agent
+            .reserve(&mut sim, 0, 5 << 30, 5 << 30, 4 << 30)
+            .is_none());
+    }
+
+    #[test]
+    fn release_regrows_cache() {
+        let (mut agent, cluster, mut sim) = setup(1024);
+        agent
+            .reserve(&mut sim, 0, 1536 * MB, 1536 * MB, 2048 * MB)
+            .unwrap();
+        let shrunk = cluster.borrow().node(0).pool_bytes();
+        agent.release(&mut sim, 0, 1024 * MB, 512 * MB, 2048 * MB);
+        let regrown = cluster.borrow().node(0).pool_bytes();
+        assert!(regrown > shrunk, "{regrown} !> {shrunk}");
+        assert_eq!(agent.telemetry().scale_ups, 1);
+    }
+
+    #[test]
+    fn periodic_eviction_drops_cold_keeps_hot() {
+        let (agent, cluster, mut sim) = setup(1024);
+        let hot = Key::from("hot");
+        let cold = Key::from("cold");
+        cluster
+            .borrow_mut()
+            .write_with_dirty(0, &hot, Value::synthetic(MB), SimTime::ZERO, false)
+            .result
+            .unwrap();
+        cluster
+            .borrow_mut()
+            .write_with_dirty(0, &cold, Value::synthetic(MB), SimTime::ZERO, false)
+            .result
+            .unwrap();
+        agent.start(&mut sim);
+        // Keep `hot` warm: it crosses the access threshold (5 reads)
+        // before the first eviction pass at t = 300 s.
+        for i in 1..=20u64 {
+            let cluster = Rc::clone(&cluster);
+            let hot = hot.clone();
+            sim.schedule_at(SimTime::from_secs(i * 30), move |sim| {
+                cluster
+                    .borrow_mut()
+                    .read(0, &hot, sim.now())
+                    .result
+                    .unwrap();
+            });
+        }
+        sim.run_until(SimTime::from_secs(10 * 60));
+        let c = cluster.borrow();
+        assert!(c.contains(&hot), "hot object evicted");
+        assert!(!c.contains(&cold), "cold object survived periodic eviction");
+        drop(c);
+        assert!(agent.telemetry().periodic_evictions >= 1);
+    }
+
+    #[test]
+    fn slack_adapts_to_churn() {
+        let (agent, _cluster, mut sim) = setup(1024);
+        agent.start(&mut sim);
+        // Violent committed-memory swings on node 0, phase-shifted so each
+        // 60 s churn sample observes an alternating value.
+        for i in 0..20u64 {
+            let a = agent.clone();
+            sim.schedule_at(SimTime::from_secs(45 + i * 60), move |sim| {
+                let committed = if i % 2 == 0 { 1 << 30 } else { 256 << 20 };
+                let mut broker = a;
+                broker.reserve(sim, 0, 0, committed, 4 << 30);
+            });
+        }
+        sim.run_until(SimTime::from_secs(11 * 60));
+        let slack = agent.0.borrow().slack(0);
+        assert!(
+            slack > AgentConfig::default().slack_initial,
+            "slack should grow under churn: {slack}"
+        );
+        // Node 1 saw no churn: slack shrinks to the floor.
+        let slack1 = agent.0.borrow().slack(1);
+        assert_eq!(slack1, AgentConfig::default().slack_min);
+    }
+
+    #[test]
+    fn telemetry_series_records_cache_size() {
+        let (agent, _cluster, mut sim) = setup(512);
+        agent.start(&mut sim);
+        sim.run_until(SimTime::from_secs(120));
+        let t = agent.telemetry();
+        assert!(t.cache_size.len() >= 3);
+    }
+}

@@ -1,0 +1,882 @@
+//! The Proxy + rclib data plane (§4, §6.2): transparent interposition of
+//! function reads/writes, write-back with shadow objects, asynchronous
+//! persistor functions, pipeline intermediate-data lifecycle, and the
+//! webhook paths for external clients.
+
+use ofc_faas::{
+    DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served, WriteOutcome,
+};
+use ofc_objstore::store::ObjectStore;
+use ofc_objstore::{ObjectId, Payload, StoreError};
+use ofc_rcstore::cluster::Cluster;
+use ofc_rcstore::{Key, ReadLocality, Value};
+use ofc_simtime::Sim;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Converts an object id into a cache key.
+pub fn rc_key(id: &ObjectId) -> Key {
+    Key::from(format!("{id}"))
+}
+
+/// How cached writes reach the RSDS (§6.2; the non-default modes feed the
+/// write-policy ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// OFC's default: synchronous shadow object + asynchronous persistor.
+    WriteBackShadow,
+    /// Synchronous full write to the RSDS on the critical path.
+    WriteThrough,
+    /// The relaxed mode tenants may opt into: writes reach the RSDS only
+    /// on eviction; durability relies on the cache's disk replication.
+    Lazy,
+}
+
+/// Plane configuration (§6.2–6.3 defaults).
+#[derive(Debug, Clone)]
+pub struct PlaneConfig {
+    /// Maximum cached object size (10 MB).
+    pub max_cached_object: u64,
+    /// Scheduling overhead of injecting a persistor function.
+    pub persistor_overhead: Duration,
+    /// Write policy for cached final outputs.
+    pub write_policy: WritePolicy,
+    /// Extension beyond the paper (its stated future work, §6.1): objects
+    /// larger than `max_cached_object` are striped into chunks spread over
+    /// the cluster instead of bypassing the cache.
+    pub chunk_large_objects: bool,
+}
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        PlaneConfig {
+            max_cached_object: 10 << 20,
+            persistor_overhead: Duration::from_millis(10),
+            write_policy: WritePolicy::WriteBackShadow,
+            chunk_large_objects: false,
+        }
+    }
+}
+
+/// Plane telemetry (feeds Figure 7's scenario split and Table 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaneTelemetry {
+    /// Reads served from the local cache node.
+    pub local_hits: u64,
+    /// Reads served from a remote cache node.
+    pub remote_hits: u64,
+    /// Reads that fell through to the RSDS.
+    pub misses: u64,
+    /// Reads that bypassed the cache (not beneficial / too large).
+    pub bypasses: u64,
+    /// Objects inserted into the cache on miss.
+    pub fills: u64,
+    /// Shadow objects created.
+    pub shadows: u64,
+    /// Persistor completions.
+    pub persists: u64,
+    /// Cached copies invalidated by external writes.
+    pub invalidations: u64,
+    /// Pipeline intermediates deleted at pipeline end.
+    pub intermediates_dropped: u64,
+    /// Bytes of ephemeral (intermediate) data that never hit the RSDS.
+    pub ephemeral_bytes: u64,
+    /// Large objects cached as chunk stripes (extension).
+    pub chunked_objects: u64,
+    /// Reads reassembled from chunk stripes (extension).
+    pub chunked_hits: u64,
+}
+
+/// Hit ratio over all cache-eligible reads.
+impl PlaneTelemetry {
+    /// Cache hit ratio (hits over hits+misses).
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.local_hits + self.remote_hits;
+        let total = hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared persistence state: versions pending write-back.
+pub struct Persistence {
+    store: Rc<RefCell<ObjectStore>>,
+    cluster: Rc<RefCell<Cluster>>,
+    /// Pending shadow fulfillments: key → (object id, version, size,
+    /// drop-from-cache-after-persist).
+    pending: HashMap<Key, (ObjectId, u64, u64, bool)>,
+    telemetry: Rc<RefCell<PlaneTelemetry>>,
+}
+
+impl Persistence {
+    /// Completes the write-back of `key` immediately (used by the persistor
+    /// event, by reclamation, and by the external-read boost path).
+    ///
+    /// Returns `true` if a pending fulfillment existed.
+    pub fn persist_now(&mut self, key: &Key) -> bool {
+        let Some((id, version, size, drop_after)) = self.pending.remove(key) else {
+            return false;
+        };
+        let (res, _latency) =
+            self.store
+                .borrow_mut()
+                .fulfill_shadow(&id, version, Payload::Synthetic(size));
+        if res.is_ok() {
+            self.telemetry.borrow_mut().persists += 1;
+        }
+        let mut cluster = self.cluster.borrow_mut();
+        cluster.mark_clean(key).ok();
+        if drop_after {
+            // Final outputs leave the cache once safely in the RSDS (§6.3).
+            cluster.evict(key).result.ok();
+        }
+        true
+    }
+
+    /// Whether `key` still has an unpersisted version.
+    pub fn is_pending(&self, key: &Key) -> bool {
+        self.pending.contains_key(key)
+    }
+
+    /// Number of pending write-backs.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The OFC data plane.
+pub struct OfcPlane {
+    cfg: PlaneConfig,
+    cluster: Rc<RefCell<Cluster>>,
+    store: Rc<RefCell<ObjectStore>>,
+    persistence: Rc<RefCell<Persistence>>,
+    telemetry: Rc<RefCell<PlaneTelemetry>>,
+    /// Chunk manifests of striped large objects: key → chunk count
+    /// (extension; see [`PlaneConfig::chunk_large_objects`]).
+    chunks: HashMap<Key, u32>,
+}
+
+impl OfcPlane {
+    /// Builds the plane over the cache cluster and the RSDS.
+    pub fn new(
+        cfg: PlaneConfig,
+        cluster: Rc<RefCell<Cluster>>,
+        store: Rc<RefCell<ObjectStore>>,
+    ) -> OfcPlane {
+        let telemetry = Rc::new(RefCell::new(PlaneTelemetry::default()));
+        let persistence = Rc::new(RefCell::new(Persistence {
+            store: Rc::clone(&store),
+            cluster: Rc::clone(&cluster),
+            pending: HashMap::new(),
+            telemetry: Rc::clone(&telemetry),
+        }));
+        // Webhook interposition (§6.2): a write by an external client
+        // synchronously invalidates the cached copy.
+        {
+            let cluster = Rc::clone(&cluster);
+            let persistence = Rc::clone(&persistence);
+            let telemetry = Rc::clone(&telemetry);
+            store
+                .borrow_mut()
+                .add_write_observer(Box::new(move |id, _version, external| {
+                    if !external {
+                        return;
+                    }
+                    let key = rc_key(id);
+                    persistence.borrow_mut().pending.remove(&key);
+                    if cluster.borrow_mut().delete(&key).result.is_ok() {
+                        telemetry.borrow_mut().invalidations += 1;
+                    }
+                }));
+        }
+        OfcPlane {
+            cfg,
+            cluster,
+            store,
+            persistence,
+            telemetry,
+            chunks: HashMap::new(),
+        }
+    }
+
+    fn chunk_key(key: &Key, i: u32) -> Key {
+        Key::from(format!("{key}#chunk{i}"))
+    }
+
+    /// Stripes a large object into `<= max_cached_object` chunks spread over
+    /// the cluster; returns the cache-side latency, or `None` when any chunk
+    /// fails to fit (partial stripes are rolled back).
+    fn write_chunked(
+        &mut self,
+        node: usize,
+        key: &Key,
+        size: u64,
+        now: ofc_simtime::SimTime,
+    ) -> Option<Duration> {
+        let chunk = self.cfg.max_cached_object;
+        let n = size.div_ceil(chunk) as u32;
+        let mut latency = Duration::ZERO;
+        let mut cluster = self.cluster.borrow_mut();
+        let nodes = cluster.n_nodes();
+        for i in 0..n {
+            let this = (chunk.min(size - u64::from(i) * chunk)).max(1);
+            // Round-robin homes so the stripe spreads bandwidth.
+            let home = (node + i as usize) % nodes;
+            let t = cluster.write_with_dirty(
+                home,
+                &Self::chunk_key(key, i),
+                Value::synthetic(this),
+                now,
+                false, // The RSDS path persists the whole object separately.
+            );
+            match t.result {
+                Ok(_) => latency += t.latency,
+                Err(_) => {
+                    for j in 0..=i {
+                        cluster.delete(&Self::chunk_key(key, j)).result.ok();
+                    }
+                    return None;
+                }
+            }
+        }
+        drop(cluster);
+        self.chunks.insert(key.clone(), n);
+        self.telemetry.borrow_mut().chunked_objects += 1;
+        Some(latency)
+    }
+
+    /// Reassembles a striped object; `None` when any chunk is gone (the
+    /// stripe is then dismantled and the read falls back to the RSDS).
+    fn read_chunked(
+        &mut self,
+        node: usize,
+        key: &Key,
+        now: ofc_simtime::SimTime,
+    ) -> Option<Duration> {
+        let n = *self.chunks.get(key)?;
+        // Chunks on distinct nodes stream in parallel: the read costs the
+        // slowest chunk plus a small per-chunk coordination overhead.
+        let mut slowest = Duration::ZERO;
+        {
+            let mut cluster = self.cluster.borrow_mut();
+            for i in 0..n {
+                let t = cluster.read(node, &Self::chunk_key(key, i), now);
+                if t.result.is_err() {
+                    drop(cluster);
+                    self.drop_chunks(key);
+                    return None;
+                }
+                slowest = slowest.max(t.latency);
+            }
+        }
+        self.telemetry.borrow_mut().chunked_hits += 1;
+        Some(slowest + Duration::from_micros(50) * n)
+    }
+
+    fn drop_chunks(&mut self, key: &Key) {
+        if let Some(n) = self.chunks.remove(key) {
+            let mut cluster = self.cluster.borrow_mut();
+            for i in 0..n {
+                cluster.delete(&Self::chunk_key(key, i)).result.ok();
+            }
+        }
+    }
+
+    /// The shared persistence state (for the agent's write-back hook and
+    /// the webhook paths).
+    pub fn persistence(&self) -> Rc<RefCell<Persistence>> {
+        Rc::clone(&self.persistence)
+    }
+
+    /// Telemetry handle.
+    pub fn telemetry(&self) -> Rc<RefCell<PlaneTelemetry>> {
+        Rc::clone(&self.telemetry)
+    }
+
+    /// The webhook read path for external (non-FaaS) clients (§6.2): if the
+    /// latest version is still a shadow, the persistor is boosted and the
+    /// read only completes once the payload is in the RSDS.
+    pub fn external_read(&mut self, id: &ObjectId) -> (Result<Payload, StoreError>, Duration) {
+        let key = rc_key(id);
+        let mut extra = Duration::ZERO;
+        let pending_size = {
+            let p = self.persistence.borrow();
+            p.pending.get(&key).map(|&(_, _, size, _)| size)
+        };
+        if let Some(size) = pending_size {
+            // Boost: the webhook blocks until the persistor completes; the
+            // reader pays the remaining upload time.
+            self.persistence.borrow_mut().persist_now(&key);
+            extra = self.store.borrow().latency().write(size.max(1));
+        }
+        let (res, latency) = self.store.borrow_mut().get(id);
+        (res.map(|(_, p)| p), latency + extra)
+    }
+
+    /// The webhook write path for external clients (§6.2): the registered
+    /// write observer synchronously invalidates the cached copy before the
+    /// RSDS write completes.
+    pub fn external_write(&mut self, id: &ObjectId, payload: Payload) -> Duration {
+        let invalidating = self.cluster.borrow().contains(&rc_key(id));
+        let (_, latency) = self
+            .store
+            .borrow_mut()
+            .put(id, payload, HashMap::new(), true);
+        // The invalidation RTT is on the writer's critical path.
+        latency
+            + if invalidating {
+                Duration::from_micros(200)
+            } else {
+                Duration::ZERO
+            }
+    }
+}
+
+impl DataPlane for OfcPlane {
+    fn read(
+        &mut self,
+        _sim: &mut Sim,
+        node: NodeId,
+        obj: &ObjectRef,
+        should_cache: bool,
+    ) -> ReadOutcome {
+        let key = rc_key(&obj.id);
+        let now = _sim.now();
+        // Try the cache first — transparently (§4).
+        let hit = self.cluster.borrow_mut().read(node, &key, now);
+        if let Ok((value, locality)) = hit.result {
+            let mut t = self.telemetry.borrow_mut();
+            let served = match locality {
+                ReadLocality::LocalHit => {
+                    t.local_hits += 1;
+                    Served::LocalHit
+                }
+                ReadLocality::RemoteHit => {
+                    t.remote_hits += 1;
+                    Served::RemoteHit
+                }
+            };
+            let _ = value;
+            return ReadOutcome {
+                latency: hit.latency,
+                served,
+            };
+        }
+        // Striped large object (extension)?
+        if should_cache && self.cfg.chunk_large_objects && obj.size > self.cfg.max_cached_object {
+            if let Some(latency) = self.read_chunked(node, &key, now) {
+                self.telemetry.borrow_mut().local_hits += 1;
+                return ReadOutcome {
+                    latency,
+                    served: Served::LocalHit,
+                };
+            }
+            // Stripe broken: refetch from the RSDS and re-stripe.
+            let (_, store_latency) = self.store.borrow_mut().get(&obj.id);
+            self.telemetry.borrow_mut().misses += 1;
+            self.write_chunked(node, &key, obj.size, now);
+            return ReadOutcome {
+                latency: store_latency,
+                served: Served::Miss,
+            };
+        }
+
+        // Miss: fetch from the RSDS.
+        let (res, store_latency) = self.store.borrow_mut().get(&obj.id);
+        let mut latency = store_latency;
+        let cacheable = should_cache && obj.size <= self.cfg.max_cached_object;
+        if cacheable {
+            self.telemetry.borrow_mut().misses += 1;
+            if res.is_ok() {
+                let t = self.cluster.borrow_mut().write_with_dirty(
+                    node,
+                    &key,
+                    Value::synthetic(obj.size),
+                    now,
+                    false, // identical to the RSDS copy: clean
+                );
+                if t.result.is_ok() {
+                    self.telemetry.borrow_mut().fills += 1;
+                    latency += t.latency;
+                }
+            }
+        } else {
+            self.telemetry.borrow_mut().bypasses += 1;
+        }
+        ReadOutcome {
+            latency,
+            served: if cacheable {
+                Served::Miss
+            } else {
+                Served::Direct
+            },
+        }
+    }
+
+    fn write(
+        &mut self,
+        sim: &mut Sim,
+        node: NodeId,
+        obj: &ObjectWrite,
+        should_cache: bool,
+        pipeline: Option<PipelineId>,
+    ) -> WriteOutcome {
+        let key = rc_key(&obj.id);
+        let now = sim.now();
+        let cacheable = should_cache && obj.size <= self.cfg.max_cached_object;
+        if !cacheable {
+            // Striped large output (extension): cache the stripe, then keep
+            // the normal shadow/persistor path for the whole object.
+            if should_cache && self.cfg.chunk_large_objects {
+                if let Some(mut latency) = self.write_chunked(node, &key, obj.size, now) {
+                    let (version, shadow_latency) =
+                        self.store.borrow_mut().put_shadow(&obj.id, obj.size);
+                    latency += shadow_latency;
+                    self.telemetry.borrow_mut().shadows += 1;
+                    self.persistence
+                        .borrow_mut()
+                        .pending
+                        .insert(key.clone(), (obj.id.clone(), version, obj.size, false));
+                    let upload = self.store.borrow().latency().write(obj.size.max(1));
+                    let delay = self.cfg.persistor_overhead + upload;
+                    let persistence = Rc::clone(&self.persistence);
+                    let pkey = key.clone();
+                    sim.schedule_in(delay, move |_| {
+                        persistence.borrow_mut().persist_now(&pkey);
+                    });
+                    return WriteOutcome { latency };
+                }
+            }
+            // Straight to the RSDS, as without OFC.
+            let (_, latency) = self.store.borrow_mut().put(
+                &obj.id,
+                Payload::Synthetic(obj.size),
+                HashMap::new(),
+                false,
+            );
+            return WriteOutcome { latency };
+        }
+
+        // Cache write (dirty until persisted).
+        let t = self
+            .cluster
+            .borrow_mut()
+            .write(node, &key, Value::synthetic(obj.size), now);
+        let mut latency = t.latency;
+        if t.result.is_err() {
+            // Cache full: fall back to the RSDS path.
+            let (_, l) = self.store.borrow_mut().put(
+                &obj.id,
+                Payload::Synthetic(obj.size),
+                HashMap::new(),
+                false,
+            );
+            return WriteOutcome { latency: l };
+        }
+
+        let intermediate = pipeline.is_some() && !obj.is_final;
+        if intermediate {
+            // Pipeline intermediates never reach the RSDS (§6.3): they are
+            // deleted from the cache when the pipeline completes.
+            self.telemetry.borrow_mut().ephemeral_bytes += obj.size;
+            return WriteOutcome { latency };
+        }
+
+        match self.cfg.write_policy {
+            WritePolicy::WriteBackShadow => {
+                // Synchronous shadow creation keeps the RSDS aware of the
+                // new version (§6.2); the payload follows via a persistor.
+                let (version, shadow_latency) =
+                    self.store.borrow_mut().put_shadow(&obj.id, obj.size);
+                latency += shadow_latency;
+                self.telemetry.borrow_mut().shadows += 1;
+                self.persistence
+                    .borrow_mut()
+                    .pending
+                    .insert(key.clone(), (obj.id.clone(), version, obj.size, true));
+                // Inject the persistor: it uploads the payload asynchronously.
+                let upload = self.store.borrow().latency().write(obj.size.max(1));
+                let delay = self.cfg.persistor_overhead + upload;
+                let persistence = Rc::clone(&self.persistence);
+                sim.schedule_in(delay, move |_| {
+                    persistence.borrow_mut().persist_now(&key);
+                });
+            }
+            WritePolicy::WriteThrough => {
+                // The full payload hits the RSDS on the critical path; the
+                // cached copy is immediately clean and (being final) is
+                // dropped, as after a persistor run.
+                let (_, store_latency) = self.store.borrow_mut().put(
+                    &obj.id,
+                    Payload::Synthetic(obj.size),
+                    HashMap::new(),
+                    false,
+                );
+                latency += store_latency;
+                self.cluster.borrow_mut().mark_clean(&key).ok();
+                self.cluster.borrow_mut().evict(&key).result.ok();
+            }
+            WritePolicy::Lazy => {
+                // Relaxed mode: persistence deferred to eviction;
+                // durability relies on the cache's disk replication (§6.2).
+                self.persistence
+                    .borrow_mut()
+                    .pending
+                    .insert(key.clone(), (obj.id.clone(), 0, obj.size, false));
+            }
+        }
+        WriteOutcome { latency }
+    }
+
+    fn pipeline_ended(
+        &mut self,
+        _sim: &mut Sim,
+        _pipeline: PipelineId,
+        intermediates: &[ObjectId],
+    ) {
+        let mut cluster = self.cluster.borrow_mut();
+        let mut t = self.telemetry.borrow_mut();
+        for id in intermediates {
+            let key = rc_key(id);
+            if cluster.delete(&key).result.is_ok() {
+                t.intermediates_dropped += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofc_objstore::latency::LatencyModel;
+    use ofc_rcstore::ClusterConfig;
+
+    const MB: u64 = 1 << 20;
+
+    fn setup() -> (OfcPlane, Rc<RefCell<Cluster>>, Rc<RefCell<ObjectStore>>) {
+        let cluster = Rc::new(RefCell::new(Cluster::new(ClusterConfig {
+            nodes: 3,
+            replication_factor: 1,
+            node_pool_bytes: 256 * MB,
+            max_object_bytes: 10 * MB,
+            segment_bytes: 16 * MB,
+            ..ClusterConfig::default()
+        })));
+        let store = Rc::new(RefCell::new(ObjectStore::new(LatencyModel::swift())));
+        let plane = OfcPlane::new(
+            PlaneConfig::default(),
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+        );
+        (plane, cluster, store)
+    }
+
+    fn put_input(store: &Rc<RefCell<ObjectStore>>, key: &str, size: u64) -> ObjectRef {
+        let id = ObjectId::new("in", key);
+        store
+            .borrow_mut()
+            .put(&id, Payload::Synthetic(size), HashMap::new(), false);
+        ObjectRef { id, size }
+    }
+
+    #[test]
+    fn miss_fills_cache_then_local_hit() {
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let obj = put_input(&store, "a", 64 * 1024);
+        let miss = plane.read(&mut sim, 1, &obj, true);
+        assert_eq!(miss.served, Served::Miss);
+        assert!(
+            miss.latency >= Duration::from_millis(42),
+            "paid the RSDS read"
+        );
+        assert!(cluster.borrow().contains(&rc_key(&obj.id)));
+        let hit = plane.read(&mut sim, 1, &obj, true);
+        assert_eq!(hit.served, Served::LocalHit);
+        assert!(hit.latency < Duration::from_millis(2));
+        // From another node: remote hit, ~2 ms dearer.
+        let remote = plane.read(&mut sim, 0, &obj, true);
+        assert_eq!(remote.served, Served::RemoteHit);
+        assert!(remote.latency > hit.latency);
+        assert!((plane.telemetry.borrow().hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_beneficial_reads_bypass_cache() {
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let obj = put_input(&store, "a", 64 * 1024);
+        let out = plane.read(&mut sim, 0, &obj, false);
+        assert_eq!(out.served, Served::Direct);
+        assert!(!cluster.borrow().contains(&rc_key(&obj.id)));
+        assert_eq!(plane.telemetry.borrow().bypasses, 1);
+    }
+
+    #[test]
+    fn oversized_objects_never_cached() {
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let obj = put_input(&store, "big", 11 * MB);
+        let out = plane.read(&mut sim, 0, &obj, true);
+        assert_eq!(out.served, Served::Direct);
+        assert!(!cluster.borrow().contains(&rc_key(&obj.id)));
+    }
+
+    #[test]
+    fn write_goes_through_cache_with_shadow() {
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "o1"),
+            size: 256 * 1024,
+            is_final: true,
+        };
+        let out = plane.write(&mut sim, 0, &w, true, None);
+        // Critical path: cache write + 11 ms shadow, far below a ~110 ms
+        // full Swift PUT.
+        assert!(out.latency >= Duration::from_millis(11));
+        assert!(out.latency < Duration::from_millis(30), "{:?}", out.latency);
+        // The RSDS has a shadow, not yet the payload.
+        let meta = store.borrow().head(&w.id).0.unwrap();
+        assert!(meta.is_shadow());
+        assert!(cluster.borrow().is_dirty(&rc_key(&w.id)).unwrap());
+        // After the persistor runs, the payload is in the RSDS, the cache
+        // copy is clean and (being a final output) dropped.
+        sim.run();
+        let meta = store.borrow().head(&w.id).0.unwrap();
+        assert!(!meta.is_shadow());
+        assert!(!cluster.borrow().contains(&rc_key(&w.id)));
+        let t = plane.telemetry.borrow();
+        assert_eq!((t.shadows, t.persists), (1, 1));
+    }
+
+    #[test]
+    fn pipeline_intermediates_skip_rsds_and_drop_at_end() {
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("tmp", "chunk0"),
+            size: MB,
+            is_final: false,
+        };
+        let out = plane.write(&mut sim, 0, &w, true, Some(7));
+        // No shadow: sub-millisecond cache-only write.
+        assert!(out.latency < Duration::from_millis(5));
+        assert!(
+            store.borrow().head(&w.id).0.is_err(),
+            "intermediate leaked to RSDS"
+        );
+        assert!(cluster.borrow().contains(&rc_key(&w.id)));
+        plane.pipeline_ended(&mut sim, 7, &[w.id.clone()]);
+        assert!(!cluster.borrow().contains(&rc_key(&w.id)));
+        let t = plane.telemetry.borrow();
+        assert_eq!(t.intermediates_dropped, 1);
+        assert_eq!(t.ephemeral_bytes, MB);
+    }
+
+    #[test]
+    fn external_read_boosts_pending_persistor() {
+        let (mut plane, _cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "o2"),
+            size: 512 * 1024,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        // Do NOT run the sim: the persistor has not fired yet.
+        let (res, latency) = plane.external_read(&w.id);
+        assert!(res.is_ok(), "webhook must deliver the latest version");
+        // The reader paid the boosted upload.
+        assert!(latency > store.borrow().latency().read(w.size));
+        assert!(!store.borrow().head(&w.id).0.unwrap().is_shadow());
+    }
+
+    #[test]
+    fn external_write_invalidates_cached_copy() {
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let obj = put_input(&store, "shared", 64 * 1024);
+        plane.read(&mut sim, 0, &obj, true); // fill cache
+        assert!(cluster.borrow().contains(&rc_key(&obj.id)));
+        plane.external_write(&obj.id, Payload::Synthetic(128 * 1024));
+        assert!(
+            !cluster.borrow().contains(&rc_key(&obj.id)),
+            "stale cached copy must be invalidated"
+        );
+        assert_eq!(plane.telemetry.borrow().invalidations, 1);
+        // The store holds the new version.
+        let (meta, payload) = store.borrow_mut().get(&obj.id).0.unwrap();
+        assert_eq!(payload.len(), 128 * 1024);
+        assert_eq!(meta.version, 2);
+    }
+
+    #[test]
+    fn relaxed_mode_skips_shadows() {
+        let (_, cluster, store) = setup();
+        let mut plane = OfcPlane::new(
+            PlaneConfig {
+                write_policy: WritePolicy::Lazy,
+                ..PlaneConfig::default()
+            },
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+        );
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "o3"),
+            size: 64 * 1024,
+            is_final: true,
+        };
+        let out = plane.write(&mut sim, 0, &w, true, None);
+        assert!(out.latency < Duration::from_millis(5), "no shadow cost");
+        sim.run();
+        assert!(
+            store.borrow().head(&w.id).0.is_err(),
+            "lazy: nothing persisted"
+        );
+        assert!(cluster.borrow().contains(&rc_key(&w.id)));
+    }
+
+    #[test]
+    fn chunked_write_stripes_large_objects() {
+        let (_, cluster, store) = setup();
+        let mut plane = OfcPlane::new(
+            PlaneConfig {
+                chunk_large_objects: true,
+                ..PlaneConfig::default()
+            },
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+        );
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "big"),
+            size: 25 * MB, // 3 chunks of <=10 MB
+            is_final: true,
+        };
+        let out = plane.write(&mut sim, 0, &w, true, None);
+        // Far cheaper than a ~660 ms direct Swift PUT of 25 MB.
+        assert!(out.latency < Duration::from_millis(60), "{:?}", out.latency);
+        assert_eq!(plane.telemetry.borrow().chunked_objects, 1);
+        // Three chunk entries exist, spread across nodes.
+        let key = rc_key(&w.id);
+        let masters: std::collections::HashSet<_> = (0..3)
+            .map(|i| {
+                cluster
+                    .borrow()
+                    .master_of(&OfcPlane::chunk_key(&key, i))
+                    .expect("chunk cached")
+            })
+            .collect();
+        assert!(masters.len() > 1, "stripe must spread over nodes");
+        // The persistor still lands the whole object in the RSDS.
+        sim.run();
+        assert!(!store.borrow().head(&w.id).0.unwrap().is_shadow());
+    }
+
+    #[test]
+    fn chunked_read_reassembles_fast() {
+        let (_, cluster, store) = setup();
+        let mut plane = OfcPlane::new(
+            PlaneConfig {
+                chunk_large_objects: true,
+                ..PlaneConfig::default()
+            },
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+        );
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "big"),
+            size: 25 * MB,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        sim.run();
+        let hit = plane.read(
+            &mut sim,
+            1,
+            &ObjectRef {
+                id: w.id.clone(),
+                size: w.size,
+            },
+            true,
+        );
+        assert_eq!(hit.served, Served::LocalHit);
+        // Parallel stripes: far faster than the ~670 ms RSDS read.
+        assert!(hit.latency < Duration::from_millis(40), "{:?}", hit.latency);
+        assert_eq!(plane.telemetry.borrow().chunked_hits, 1);
+    }
+
+    #[test]
+    fn broken_stripe_falls_back_and_restripes() {
+        let (_, cluster, store) = setup();
+        let mut plane = OfcPlane::new(
+            PlaneConfig {
+                chunk_large_objects: true,
+                ..PlaneConfig::default()
+            },
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+        );
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "big"),
+            size: 25 * MB,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        sim.run();
+        // Evict one chunk behind the plane's back.
+        let key = rc_key(&w.id);
+        cluster
+            .borrow_mut()
+            .delete(&OfcPlane::chunk_key(&key, 1))
+            .result
+            .unwrap();
+        let miss = plane.read(
+            &mut sim,
+            0,
+            &ObjectRef {
+                id: w.id.clone(),
+                size: w.size,
+            },
+            true,
+        );
+        assert_eq!(miss.served, Served::Miss, "broken stripe is a miss");
+        // The object was re-striped; the next read hits again.
+        let hit = plane.read(
+            &mut sim,
+            0,
+            &ObjectRef {
+                id: w.id.clone(),
+                size: w.size,
+            },
+            true,
+        );
+        assert_eq!(hit.served, Served::LocalHit);
+    }
+
+    #[test]
+    fn persistence_pending_tracking() {
+        let (mut plane, _cluster, _store) = setup();
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "o4"),
+            size: 1024,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        let p = plane.persistence();
+        assert!(p.borrow().is_pending(&rc_key(&w.id)));
+        assert_eq!(p.borrow().pending_count(), 1);
+        assert!(p.borrow_mut().persist_now(&rc_key(&w.id)));
+        assert!(!p.borrow_mut().persist_now(&rc_key(&w.id)), "idempotent");
+    }
+}

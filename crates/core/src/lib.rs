@@ -1,0 +1,55 @@
+//! OFC — Opportunistic FaaS Cache (EuroSys '21) — the paper's primary
+//! contribution.
+//!
+//! OFC turns the memory that FaaS worker nodes waste — tenant
+//! over-provisioning plus sandbox keep-alive — into a transparent,
+//! vertically and horizontally elastic in-memory cache for the Extract and
+//! Load phases of ETL-style cloud functions. This crate implements every
+//! OFC component over the substrate crates:
+//!
+//! | Paper component (§4) | Module |
+//! |---|---|
+//! | Predictor + ModelTrainer | [`ml`] |
+//! | Controller routing policy | [`scheduler`] |
+//! | Monitor (+ Sizer feedback) | [`monitor`] |
+//! | CacheAgent + autoscaling + slack pool | [`agent`] |
+//! | Proxy + rclib + Persistor + webhooks | [`cache`] |
+//! | Assembly onto OpenWhisk | [`ofc`] |
+//!
+//! # Examples
+//!
+//! Install OFC onto a platform and run a workload (see
+//! `examples/quickstart.rs` for a full walk-through):
+//!
+//! ```
+//! use ofc_core::ofc::{Ofc, OfcConfig};
+//! use ofc_faas::baselines::NoopPlane;
+//! use ofc_faas::platform::Platform;
+//! use ofc_faas::registry::Registry;
+//! use ofc_faas::PlatformConfig;
+//! use ofc_objstore::store::ObjectStore;
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let platform = Platform::build(
+//!     PlatformConfig::default(),
+//!     Registry::new(),
+//!     Box::new(NoopPlane),
+//! );
+//! let store = Rc::new(RefCell::new(ObjectStore::swift()));
+//! let ofc = Ofc::install(
+//!     &platform,
+//!     store,
+//!     Rc::new(|_, _, _| None),
+//!     OfcConfig::default(),
+//! );
+//! assert_eq!(ofc.cluster.borrow().n_nodes(), 4);
+//! ```
+
+pub mod agent;
+pub mod cache;
+pub mod ml;
+pub mod monitor;
+pub mod ofc;
+pub mod scheduler;
+pub mod trainer;

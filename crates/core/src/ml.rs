@@ -1,0 +1,508 @@
+//! The Predictor and ModelTrainer (§5): per-function J48 models for memory
+//! intervals and cache benefit, the maturation criterion, and the
+//! retraining policy.
+//!
+//! One [`MlEngine`] serves the whole platform. For each function it keeps:
+//!
+//! * a **memory model** — a J48 classifier over `[0, 2 GB]` divided into
+//!   16 MB intervals (§5.1.1). Until the model *matures*, its predictions
+//!   are recorded but not used (the sandbox runs at the booked size);
+//!   once mature, OFC allocates the **next greater interval** than the
+//!   predicted one, converting half of the residual underpredictions into
+//!   exact ones (§5.3.1),
+//! * a **cache-benefit model** — a J48 binary classifier for
+//!   `(Te + Tl) / Ttotal > 0.5` (§5.2),
+//! * the retained **training set** — after maturation, only
+//!   underpredictions and extreme overpredictions (`k − k* > 6`) are
+//!   added, with underpredictions weighted higher (§5.3.3).
+
+use ofc_dtree::c45::{C45Params, C45};
+use ofc_dtree::data::{AttrKind, Attribute, Dataset, Value};
+use ofc_dtree::tree::DecisionTree;
+use ofc_dtree::Classifier;
+use ofc_faas::{FunctionId, TenantId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Key identifying a function's models.
+pub type FnKey = (TenantId, FunctionId);
+
+/// Engine configuration (§5 defaults).
+#[derive(Debug, Clone)]
+pub struct MlConfig {
+    /// Classification interval size (16 MB).
+    pub interval_bytes: u64,
+    /// Covered memory range (2 GB — OWK's permitted allocations).
+    pub range_bytes: u64,
+    /// Minimum observations before maturity is even checked (100).
+    pub min_invocations: u64,
+    /// Maturation: required exact-or-over rate (0.90).
+    pub eo_threshold: f64,
+    /// Maturation: required fraction of underpredictions within one
+    /// interval (0.50).
+    pub under_one_threshold: f64,
+    /// Sliding evaluation window for the maturation criterion.
+    pub eval_window: usize,
+    /// Retrain after this many new training samples.
+    pub retrain_every: usize,
+    /// Weight applied to underprediction samples on retraining.
+    pub under_weight: f64,
+    /// Overpredictions farther than this many intervals are retained for
+    /// retraining (§5.3.3's `k − k* > 6`).
+    pub extreme_over_k: u32,
+    /// Cap on the retained training set ("small but valuable").
+    pub max_training_set: usize,
+    /// Safety margin in intervals added above the raw prediction (§5.3.1's
+    /// "next greater interval" = 1; 0 disables the margin — ablation).
+    pub safety_margin_intervals: u64,
+}
+
+impl Default for MlConfig {
+    fn default() -> Self {
+        MlConfig {
+            interval_bytes: 16 << 20,
+            range_bytes: 2 << 30,
+            min_invocations: 100,
+            eo_threshold: 0.90,
+            under_one_threshold: 0.50,
+            eval_window: 100,
+            retrain_every: 25,
+            under_weight: 5.0,
+            extreme_over_k: 6,
+            max_training_set: 2000,
+            safety_margin_intervals: 1,
+        }
+    }
+}
+
+impl MlConfig {
+    /// Number of classification intervals.
+    pub fn n_intervals(&self) -> usize {
+        (self.range_bytes / self.interval_bytes) as usize
+    }
+
+    /// Interval index of a memory amount (clamped to the top class).
+    pub fn interval_of(&self, mem_bytes: u64) -> u32 {
+        ((mem_bytes / self.interval_bytes) as u32).min(self.n_intervals() as u32 - 1)
+    }
+
+    /// Memory allocated for a *raw* predicted interval: the upper bound of
+    /// the interval `safety_margin_intervals` above it (§5.3.1: the "next
+    /// greater interval" by default).
+    pub fn allocation_for(&self, raw_interval: u32) -> u64 {
+        let next = (u64::from(raw_interval) + 1 + self.safety_margin_intervals)
+            .min(self.n_intervals() as u64);
+        next * self.interval_bytes
+    }
+}
+
+/// Outcome of a per-invocation prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// Memory to allocate, when the model is mature (`Mp` of §4).
+    pub mem_bytes: Option<u64>,
+    /// The raw predicted interval (before the next-greater margin), if a
+    /// model exists.
+    pub raw_interval: Option<u32>,
+    /// The `shouldBeCached` flag (§5.2); conservative `true` while the
+    /// benefit model is still blank (errors are benign, §5.3.2).
+    pub should_cache: bool,
+}
+
+/// One observation fed back by the Monitor after an invocation completes.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Feature vector in the registered schema order.
+    pub features: Vec<Value>,
+    /// Ground-truth peak memory.
+    pub actual_mem: u64,
+    /// Ground-truth E&L dominance ratio.
+    pub el_ratio: f64,
+}
+
+/// Running accuracy counters of a function's memory model (feeds Table 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelCounters {
+    /// Predictions whose allocated amount covered the actual need.
+    pub good: u64,
+    /// Predictions whose allocated amount fell short.
+    pub bad: u64,
+    /// Full retrainings performed.
+    pub retrains: u64,
+}
+
+struct FunctionMl {
+    mem_dataset: Dataset,
+    benefit_dataset: Dataset,
+    mem_model: Option<DecisionTree>,
+    benefit_model: Option<DecisionTree>,
+    /// `(raw_predicted, truth)` pairs for the maturation window.
+    window: VecDeque<(u32, u32)>,
+    observations: u64,
+    new_since_retrain: usize,
+    mature: bool,
+    /// Observation index at which the model matured, if it has.
+    matured_at: Option<u64>,
+    counters: ModelCounters,
+}
+
+/// The ML engine: Predictor + ModelTrainer.
+pub struct MlEngine {
+    cfg: MlConfig,
+    functions: HashMap<FnKey, FunctionMl>,
+}
+
+impl MlEngine {
+    /// Creates an engine.
+    pub fn new(cfg: MlConfig) -> Self {
+        MlEngine {
+            cfg,
+            functions: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MlConfig {
+        &self.cfg
+    }
+
+    /// Registers a function's feature schema. Models start blank (§5.1.1).
+    pub fn register(&mut self, key: FnKey, schema: Vec<Attribute>) {
+        let classes: Vec<String> = (0..self.cfg.n_intervals())
+            .map(|k| format!("I{k}"))
+            .collect();
+        let mut mem_builder = Dataset::builder();
+        let mut ben_builder = Dataset::builder();
+        for attr in schema {
+            let add = |b: ofc_dtree::data::DatasetBuilder| match attr.kind.clone() {
+                AttrKind::Numeric => b.numeric_attr(attr.name.clone()),
+                AttrKind::Nominal(vals) => b.nominal_attr(attr.name.clone(), vals),
+            };
+            mem_builder = add(mem_builder);
+            ben_builder = add(ben_builder);
+        }
+        self.functions.entry(key).or_insert_with(|| FunctionMl {
+            mem_dataset: mem_builder.classes(classes).build(),
+            benefit_dataset: ben_builder
+                .classes(["not_beneficial", "beneficial"])
+                .build(),
+            mem_model: None,
+            benefit_model: None,
+            window: VecDeque::new(),
+            observations: 0,
+            new_since_retrain: 0,
+            mature: false,
+            matured_at: None,
+            counters: ModelCounters::default(),
+        });
+    }
+
+    /// Whether the function is registered.
+    pub fn knows(&self, key: &FnKey) -> bool {
+        self.functions.contains_key(key)
+    }
+
+    /// Whether the function's memory model has matured.
+    pub fn is_mature(&self, key: &FnKey) -> bool {
+        self.functions.get(key).is_some_and(|f| f.mature)
+    }
+
+    /// The observation count at which the model matured (§7.1.3's
+    /// maturation quickness), if it has.
+    pub fn matured_at(&self, key: &FnKey) -> Option<u64> {
+        self.functions.get(key).and_then(|f| f.matured_at)
+    }
+
+    /// Accuracy counters of a function's memory model.
+    pub fn counters(&self, key: &FnKey) -> ModelCounters {
+        self.functions
+            .get(key)
+            .map(|f| f.counters)
+            .unwrap_or_default()
+    }
+
+    /// Predicts memory and cache benefit for an invocation (§4's Predictor
+    /// step).
+    pub fn predict(&self, key: &FnKey, features: &[Value]) -> Prediction {
+        let Some(f) = self.functions.get(key) else {
+            return Prediction {
+                mem_bytes: None,
+                raw_interval: None,
+                should_cache: true,
+            };
+        };
+        let raw_interval = f.mem_model.as_ref().map(|m| m.predict(features));
+        let mem_bytes = match (f.mature, raw_interval) {
+            (true, Some(raw)) => Some(self.cfg.allocation_for(raw)),
+            _ => None,
+        };
+        let should_cache = f
+            .benefit_model
+            .as_ref()
+            .map(|m| m.predict(features) == 1)
+            .unwrap_or(true);
+        Prediction {
+            mem_bytes,
+            raw_interval,
+            should_cache,
+        }
+    }
+
+    /// Feeds back one completed invocation (the ModelTrainer path, §5.3.3).
+    pub fn observe(&mut self, key: &FnKey, obs: Observation) {
+        let cfg = self.cfg.clone();
+        let Some(f) = self.functions.get_mut(key) else {
+            return;
+        };
+        f.observations += 1;
+        let truth = cfg.interval_of(obs.actual_mem);
+
+        // Evaluate the current model on this observation (whether or not
+        // its prediction was used) for the maturation window and counters.
+        let raw_pred = f.mem_model.as_ref().map(|m| m.predict(&obs.features));
+        if let Some(raw) = raw_pred {
+            f.window.push_back((raw, truth));
+            if f.window.len() > cfg.eval_window {
+                f.window.pop_front();
+            }
+            if cfg.allocation_for(raw) >= obs.actual_mem {
+                f.counters.good += 1;
+            } else {
+                f.counters.bad += 1;
+            }
+        }
+
+        // Retention policy (§5.3.3): everything before maturity; after it,
+        // only underpredictions and extreme overpredictions. Underpredicted
+        // samples always carry a higher weight "in order to better avoid
+        // them".
+        let keep = match raw_pred {
+            Some(raw) if raw < truth => Some(cfg.under_weight),
+            _ if !f.mature => Some(1.0),
+            Some(raw) if raw > truth + cfg.extreme_over_k => Some(1.0),
+            None => Some(1.0),
+            _ => None,
+        };
+        if let Some(weight) = keep {
+            f.mem_dataset
+                .push_weighted(obs.features.clone(), truth, weight);
+            f.mem_dataset.truncate_oldest(cfg.max_training_set);
+            f.benefit_dataset
+                .push(obs.features, u32::from(obs.el_ratio > 0.5));
+            f.benefit_dataset.truncate_oldest(cfg.max_training_set);
+            f.new_since_retrain += 1;
+        }
+
+        // Periodic full retraining (J48 is not incremental, §5.3.3).
+        let due = f.mem_model.is_none() || f.new_since_retrain >= cfg.retrain_every;
+        if due && f.mem_dataset.len() >= 10 {
+            f.mem_model = Some(C45::train(&f.mem_dataset, &C45Params::default()));
+            if f.benefit_dataset
+                .class_distribution()
+                .iter()
+                .all(|&w| w > 0.0)
+            {
+                f.benefit_model = Some(C45::train(&f.benefit_dataset, &C45Params::default()));
+            }
+            f.new_since_retrain = 0;
+            f.counters.retrains += 1;
+        }
+
+        // Maturation check (§5.3.1).
+        if !f.mature && f.observations >= cfg.min_invocations && !f.window.is_empty() {
+            let total = f.window.len() as f64;
+            let eo = f.window.iter().filter(|&&(p, t)| p >= t).count() as f64 / total;
+            let unders: Vec<&(u32, u32)> = f.window.iter().filter(|&&(p, t)| p < t).collect();
+            let under_one = if unders.is_empty() {
+                1.0
+            } else {
+                unders.iter().filter(|&&&(p, t)| p + 1 == t).count() as f64 / unders.len() as f64
+            };
+            if eo >= cfg.eo_threshold && under_one >= cfg.under_one_threshold {
+                f.mature = true;
+                f.matured_at = Some(f.observations);
+            }
+        }
+    }
+
+    /// Per-function training-set size (for tests and diagnostics).
+    pub fn training_set_size(&self, key: &FnKey) -> usize {
+        self.functions.get(key).map_or(0, |f| f.mem_dataset.len())
+    }
+
+    /// Maturation-window statistics `(eo_rate, under_within_one)` of a
+    /// function's memory model, if any predictions were windowed.
+    pub fn window_stats(&self, key: &FnKey) -> Option<(f64, f64)> {
+        let f = self.functions.get(key)?;
+        if f.window.is_empty() {
+            return None;
+        }
+        let total = f.window.len() as f64;
+        let eo = f.window.iter().filter(|&&(p, t)| p >= t).count() as f64 / total;
+        let unders: Vec<&(u32, u32)> = f.window.iter().filter(|&&(p, t)| p < t).collect();
+        let under_one = if unders.is_empty() {
+            1.0
+        } else {
+            unders.iter().filter(|&&&(p, t)| p + 1 == t).count() as f64 / unders.len() as f64
+        };
+        Some((eo, under_one))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FnKey {
+        (TenantId::from("t"), FunctionId::from("f"))
+    }
+
+    fn schema() -> Vec<Attribute> {
+        vec![Attribute {
+            name: "bytes".into(),
+            kind: AttrKind::Numeric,
+        }]
+    }
+
+    /// Memory is a clean linear function of the single feature, so J48
+    /// should mature quickly.
+    fn learnable_obs(i: u64) -> Observation {
+        let x = (i % 50) as f64;
+        Observation {
+            features: vec![Value::Num(x)],
+            // 64 MB .. ~860 MB in 16 MB steps.
+            actual_mem: (64 << 20) + (x as u64) * (16 << 20),
+            el_ratio: 0.8,
+        }
+    }
+
+    #[test]
+    fn interval_math_matches_paper() {
+        let cfg = MlConfig::default();
+        assert_eq!(cfg.n_intervals(), 128);
+        assert_eq!(cfg.interval_of(0), 0);
+        assert_eq!(cfg.interval_of(16 << 20), 1);
+        // Next-greater interval: raw interval k allocates (k+2)*16 MB.
+        assert_eq!(cfg.allocation_for(0), 32 << 20);
+        assert_eq!(cfg.allocation_for(3), 80 << 20);
+        // Clamped at the top of the range.
+        assert_eq!(cfg.allocation_for(127), 2 << 30);
+    }
+
+    #[test]
+    fn blank_model_predicts_nothing_but_caches() {
+        let mut ml = MlEngine::new(MlConfig::default());
+        ml.register(key(), schema());
+        let p = ml.predict(&key(), &[Value::Num(1.0)]);
+        assert_eq!(p.mem_bytes, None);
+        assert!(p.should_cache, "benefit errors are benign; default to true");
+    }
+
+    #[test]
+    fn unregistered_function_is_harmless() {
+        let mut ml = MlEngine::new(MlConfig::default());
+        let p = ml.predict(&key(), &[Value::Num(1.0)]);
+        assert!(p.mem_bytes.is_none());
+        ml.observe(&key(), learnable_obs(0)); // must not panic
+    }
+
+    #[test]
+    fn model_matures_on_learnable_function() {
+        let mut ml = MlEngine::new(MlConfig::default());
+        ml.register(key(), schema());
+        for i in 0..300 {
+            ml.observe(&key(), learnable_obs(i));
+            if ml.is_mature(&key()) {
+                break;
+            }
+        }
+        assert!(ml.is_mature(&key()), "model failed to mature");
+        let matured_at = ml.matured_at(&key()).unwrap();
+        assert!(matured_at >= 100, "maturity cannot precede 100 invocations");
+        // Once mature, predictions are used and carry the safety margin.
+        let p = ml.predict(&key(), &[Value::Num(10.0)]);
+        let truth = learnable_obs(10).actual_mem;
+        let allocated = p.mem_bytes.unwrap();
+        assert!(allocated >= truth, "allocation {allocated} < need {truth}");
+        // But far below the 2 GB a naive booking would use.
+        assert!(allocated < 512 << 20);
+    }
+
+    #[test]
+    fn maturation_requires_min_invocations() {
+        let mut ml = MlEngine::new(MlConfig::default());
+        ml.register(key(), schema());
+        for i in 0..99 {
+            ml.observe(&key(), learnable_obs(i));
+        }
+        assert!(!ml.is_mature(&key()));
+    }
+
+    #[test]
+    fn noisy_function_matures_later_or_never() {
+        // Memory independent of the feature: EO-rate hovers far below 90%.
+        let mut ml = MlEngine::new(MlConfig::default());
+        ml.register(key(), schema());
+        for i in 0..400u64 {
+            ml.observe(
+                &key(),
+                Observation {
+                    features: vec![Value::Num((i % 7) as f64)],
+                    actual_mem: (64 << 20) + (i.wrapping_mul(2654435761) % 40) * (16 << 20),
+                    el_ratio: 0.8,
+                },
+            );
+        }
+        assert!(!ml.is_mature(&key()), "pure noise must not mature");
+    }
+
+    #[test]
+    fn benefit_model_learns_both_classes() {
+        let mut ml = MlEngine::new(MlConfig::default());
+        ml.register(key(), schema());
+        for i in 0..120u64 {
+            let beneficial = i % 2 == 0;
+            ml.observe(
+                &key(),
+                Observation {
+                    features: vec![Value::Num(if beneficial { 1.0 } else { 100.0 })],
+                    actual_mem: 64 << 20,
+                    el_ratio: if beneficial { 0.9 } else { 0.1 },
+                },
+            );
+        }
+        assert!(ml.predict(&key(), &[Value::Num(1.0)]).should_cache);
+        assert!(!ml.predict(&key(), &[Value::Num(100.0)]).should_cache);
+    }
+
+    #[test]
+    fn training_set_stays_small_after_maturity() {
+        let cfg = MlConfig::default();
+        let mut ml = MlEngine::new(cfg);
+        ml.register(key(), schema());
+        for i in 0..1000 {
+            ml.observe(&key(), learnable_obs(i));
+        }
+        assert!(ml.is_mature(&key()));
+        // After maturity only mispredictions are retained, so the set grows
+        // far slower than one-per-observation.
+        assert!(
+            ml.training_set_size(&key()) < 500,
+            "training set ballooned: {}",
+            ml.training_set_size(&key())
+        );
+    }
+
+    #[test]
+    fn counters_track_good_and_bad() {
+        let mut ml = MlEngine::new(MlConfig::default());
+        ml.register(key(), schema());
+        for i in 0..200 {
+            ml.observe(&key(), learnable_obs(i));
+        }
+        let c = ml.counters(&key());
+        assert!(c.good > 0);
+        assert!(c.retrains > 0);
+        assert!(c.good + c.bad <= 200);
+    }
+}

@@ -1,0 +1,180 @@
+//! Assembly: installs OFC onto an OpenWhisk-model platform (§4's
+//! architecture diagram).
+//!
+//! [`Ofc::install`] wires every component into the platform's seams:
+//!
+//! * Predictor + ModelTrainer → [`crate::scheduler::OfcScheduler`] and
+//!   [`crate::monitor::OfcMonitor`],
+//! * CacheAgent (+ slack pool, periodic eviction) → the memory broker,
+//! * Proxy/rclib + persistors + webhooks → the data plane,
+//! * the RAMCloud-model cluster (one storage node per invoker) and the
+//!   locality oracle → the load balancer.
+
+use crate::agent::{AgentConfig, AgentHandle, AgentTelemetry, CacheAgent};
+use crate::cache::{rc_key, OfcPlane, Persistence, PlaneConfig, PlaneTelemetry};
+use crate::ml::{FnKey, MlConfig, MlEngine, ModelCounters};
+use crate::monitor::{MonitorConfig, OfcMonitor};
+use crate::scheduler::{FeatureFn, OfcScheduler};
+use ofc_dtree::data::Attribute;
+use ofc_faas::platform::PlatformHandle;
+use ofc_faas::{FunctionId, TenantId};
+use ofc_objstore::store::ObjectStore;
+use ofc_rcstore::cluster::{Cluster, ClusterCounters};
+use ofc_rcstore::ClusterConfig;
+use ofc_simtime::Sim;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Top-level OFC configuration.
+#[derive(Debug, Clone, Default)]
+pub struct OfcConfig {
+    /// ML engine tunables.
+    pub ml: MlConfig,
+    /// Cache-agent tunables.
+    pub agent: AgentConfig,
+    /// Data-plane tunables.
+    pub plane: PlaneConfig,
+    /// Monitor tunables.
+    pub monitor: MonitorConfig,
+    /// Replication factor of the cache store (paper testbed: 2).
+    pub replication_factor: usize,
+    /// Ablation: disable the cache-benefit gate (cache everything).
+    pub disable_benefit_gate: bool,
+    /// Ablation: disable locality-aware routing (§6.5).
+    pub disable_locality_routing: bool,
+    /// Overrides the initial per-node cache pool (contention studies);
+    /// `None` uses all node memory beyond the slack pool.
+    pub cache_pool_override: Option<u64>,
+}
+
+/// A fully installed OFC instance with handles to every subsystem.
+pub struct Ofc {
+    /// The shared Predictor/ModelTrainer.
+    pub ml: Rc<RefCell<MlEngine>>,
+    /// The cache store cluster.
+    pub cluster: Rc<RefCell<Cluster>>,
+    /// The cache agent.
+    pub agent: AgentHandle,
+    /// Data-plane telemetry.
+    pub plane_telemetry: Rc<RefCell<PlaneTelemetry>>,
+    /// Pending write-back state (webhook and reclamation paths).
+    pub persistence: Rc<RefCell<Persistence>>,
+}
+
+impl Ofc {
+    /// Installs OFC onto `platform`, interposing on `store`.
+    ///
+    /// The cache cluster gets one storage node per invoker; each node's
+    /// initial pool is the node memory minus the initial slack (sandboxes
+    /// then claim memory through the broker).
+    pub fn install(
+        platform: &PlatformHandle,
+        store: Rc<RefCell<ObjectStore>>,
+        features: FeatureFn,
+        cfg: OfcConfig,
+    ) -> Ofc {
+        let pcfg = platform.config();
+        let nodes = pcfg.nodes;
+        let replication = if cfg.replication_factor == 0 {
+            2.min(nodes.saturating_sub(1))
+        } else {
+            cfg.replication_factor.min(nodes.saturating_sub(1))
+        };
+        let cluster = Rc::new(RefCell::new(Cluster::new(ClusterConfig {
+            nodes,
+            replication_factor: replication,
+            node_pool_bytes: cfg
+                .cache_pool_override
+                .unwrap_or_else(|| pcfg.node_mem.saturating_sub(cfg.agent.slack_initial)),
+            max_object_bytes: cfg.plane.max_cached_object,
+            segment_bytes: (cfg.plane.max_cached_object * 2).max(16 << 20),
+            ..ClusterConfig::default()
+        })));
+
+        // Data plane (Proxy + rclib + persistors + webhooks).
+        let plane = OfcPlane::new(cfg.plane.clone(), Rc::clone(&cluster), Rc::clone(&store));
+        let persistence = plane.persistence();
+        let plane_telemetry = plane.telemetry();
+        platform.set_dataplane(Box::new(plane));
+
+        // Cache agent (broker seam) with the write-back hook.
+        let agent = CacheAgent::new(cfg.agent.clone(), Rc::clone(&cluster), Rc::clone(&store));
+        {
+            let persistence = Rc::clone(&persistence);
+            agent.0.borrow_mut().set_writeback(Box::new(move |key| {
+                persistence.borrow_mut().persist_now(key);
+            }));
+        }
+        platform.set_broker(Box::new(agent.clone()));
+
+        // ML engine behind the scheduler and monitor seams.
+        let ml = Rc::new(RefCell::new(MlEngine::new(cfg.ml.clone())));
+        let mut scheduler = OfcScheduler::new(Rc::clone(&ml), Rc::clone(&features));
+        scheduler.benefit_gate = !cfg.disable_benefit_gate;
+        scheduler.locality_routing = !cfg.disable_locality_routing;
+        platform.set_scheduler(Box::new(scheduler));
+        platform.set_monitor(Box::new(OfcMonitor::new(
+            cfg.monitor.clone(),
+            Rc::clone(&ml),
+            features,
+        )));
+
+        // Locality oracle (§6.5): the load balancer asks the coordinator
+        // which node masters the request's input object.
+        {
+            let cluster = Rc::clone(&cluster);
+            platform
+                .set_locality_oracle(Rc::new(move |id| cluster.borrow().master_of(&rc_key(id))));
+        }
+
+        Ofc {
+            ml,
+            cluster,
+            agent,
+            plane_telemetry,
+            persistence,
+        }
+    }
+
+    /// Starts the recurring activities (slack adaptation, periodic
+    /// eviction, telemetry sampling).
+    pub fn start(&self, sim: &mut Sim) {
+        self.agent.start(sim);
+    }
+
+    /// Registers a function's ML feature schema (models start blank).
+    pub fn register_function(
+        &self,
+        tenant: impl AsRef<str>,
+        function: impl AsRef<str>,
+        schema: Vec<Attribute>,
+    ) {
+        let key: FnKey = (
+            TenantId::from(tenant.as_ref()),
+            FunctionId::from(function.as_ref()),
+        );
+        self.ml.borrow_mut().register(key, schema);
+    }
+
+    /// Cache-store counters.
+    pub fn cluster_counters(&self) -> ClusterCounters {
+        self.cluster.borrow().counters()
+    }
+
+    /// Agent telemetry snapshot.
+    pub fn agent_telemetry(&self) -> AgentTelemetry {
+        self.agent.telemetry()
+    }
+
+    /// Data-plane telemetry snapshot.
+    pub fn plane_snapshot(&self) -> PlaneTelemetry {
+        *self.plane_telemetry.borrow()
+    }
+
+    /// Model accuracy counters for one function.
+    pub fn model_counters(&self, tenant: &str, function: &str) -> ModelCounters {
+        self.ml
+            .borrow()
+            .counters(&(TenantId::from(tenant), FunctionId::from(function)))
+    }
+}

@@ -1,0 +1,272 @@
+//! The OFC scheduler (§4, §6.5): Predictor-driven sandbox sizing and
+//! locality-aware request routing, replacing OWK's stock policy.
+
+use crate::ml::{FnKey, MlEngine};
+use ofc_dtree::data::Value;
+use ofc_faas::{
+    Args, FunctionId, RoutingContext, RoutingDecision, SandboxView, Scheduler, TenantId,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Extracts the ML feature vector of a request; `None` when the function
+/// is unknown to the extractor (prediction is skipped).
+pub type FeatureFn = Rc<dyn Fn(&TenantId, &FunctionId, &Args) -> Option<Vec<Value>>>;
+
+/// The OFC routing policy.
+pub struct OfcScheduler {
+    ml: Rc<RefCell<MlEngine>>,
+    features: FeatureFn,
+    /// Predictor + Sizer critical-path overhead (~6 ms, §7.2.1).
+    overhead: Duration,
+    /// Whether the cache-benefit gate is consulted (§5.2); `false` caches
+    /// everything (ablation).
+    pub benefit_gate: bool,
+    /// Whether routing prefers the node mastering the input (§6.5);
+    /// `false` falls back to home-node hashing (ablation).
+    pub locality_routing: bool,
+}
+
+impl OfcScheduler {
+    /// Builds the scheduler over the shared ML engine.
+    pub fn new(ml: Rc<RefCell<MlEngine>>, features: FeatureFn) -> Self {
+        OfcScheduler {
+            ml,
+            features,
+            overhead: Duration::from_millis(6),
+            benefit_gate: true,
+            locality_routing: true,
+        }
+    }
+
+    /// Orders warm sandboxes by §6.5's criteria: (i) smallest distance
+    /// between current and predicted memory, (ii) available node memory
+    /// when the sandbox must grow, (iii) input locality, (iv) recency.
+    fn pick_warm(
+        ctx: &RoutingContext,
+        warm: &[SandboxView],
+        mem_limit: u64,
+    ) -> Option<(usize, u64)> {
+        warm.iter()
+            .min_by_key(|sb| {
+                let diff = sb.mem_limit.abs_diff(mem_limit);
+                let must_grow = mem_limit > sb.mem_limit;
+                let node_free = ctx
+                    .nodes
+                    .iter()
+                    .find(|n| n.node == sb.node)
+                    .map(|n| n.total_mem.saturating_sub(n.committed_mem))
+                    .unwrap_or(0);
+                let non_local = ctx.input_master != Some(sb.node);
+                (
+                    diff,
+                    if must_grow { u64::MAX - node_free } else { 0 },
+                    non_local,
+                    u64::MAX - sb.idle_since.as_nanos(),
+                )
+            })
+            .map(|sb| (sb.node, sb.sandbox))
+    }
+}
+
+impl Scheduler for OfcScheduler {
+    fn route(&mut self, ctx: &RoutingContext) -> RoutingDecision {
+        let key: FnKey = (ctx.tenant.clone(), ctx.function.clone());
+        let prediction = (self.features)(&ctx.tenant, &ctx.function, &ctx.args)
+            .map(|f| self.ml.borrow().predict(&key, &f));
+        let (mem_limit, should_cache) = match prediction {
+            Some(p) => (p.mem_bytes.unwrap_or(ctx.booked_mem), p.should_cache),
+            // Unknown function: booked memory, cache conservatively.
+            None => (ctx.booked_mem, true),
+        };
+        let should_cache = should_cache || !self.benefit_gate;
+        let ctx_master = if self.locality_routing {
+            ctx.input_master
+        } else {
+            None
+        };
+        let ctx = &RoutingContext {
+            input_master: ctx_master,
+            ..ctx.clone()
+        };
+
+        if let Some((node, sandbox)) = Self::pick_warm(ctx, &ctx.warm, mem_limit) {
+            return RoutingDecision {
+                node,
+                sandbox: Some(sandbox),
+                mem_limit,
+                should_cache,
+                overhead: self.overhead,
+            };
+        }
+
+        // Cold path: prefer the node mastering the input's cached copy
+        // (§6.5), then the stock home, then the roomiest node.
+        let free = |node: usize| {
+            ctx.nodes
+                .iter()
+                .find(|n| n.node == node)
+                .map(|n| n.total_mem.saturating_sub(n.committed_mem))
+                .unwrap_or(0)
+        };
+        let node = ctx
+            .input_master
+            .filter(|&n| free(n) >= mem_limit)
+            .or_else(|| (free(ctx.home) >= mem_limit).then_some(ctx.home))
+            .or_else(|| {
+                ctx.nodes
+                    .iter()
+                    .max_by_key(|n| n.total_mem.saturating_sub(n.committed_mem))
+                    .map(|n| n.node)
+            })
+            .unwrap_or(ctx.home);
+        RoutingDecision {
+            node,
+            sandbox: None,
+            mem_limit,
+            should_cache,
+            overhead: self.overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::MlConfig;
+    use ofc_dtree::data::{AttrKind, Attribute};
+    use ofc_faas::NodeView;
+    use ofc_simtime::SimTime;
+
+    const MB: u64 = 1 << 20;
+
+    fn engine_with_mature_model() -> Rc<RefCell<MlEngine>> {
+        let mut ml = MlEngine::new(MlConfig::default());
+        let key = (TenantId::from("t"), FunctionId::from("f"));
+        ml.register(
+            key.clone(),
+            vec![Attribute {
+                name: "x".into(),
+                kind: AttrKind::Numeric,
+            }],
+        );
+        for i in 0..300u64 {
+            let x = (i % 40) as f64;
+            ml.observe(
+                &key,
+                crate::ml::Observation {
+                    features: vec![Value::Num(x)],
+                    actual_mem: (64 << 20) + (x as u64) * (16 << 20),
+                    el_ratio: 0.9,
+                },
+            );
+        }
+        assert!(ml.is_mature(&key));
+        Rc::new(RefCell::new(ml))
+    }
+
+    fn features() -> FeatureFn {
+        Rc::new(|_, _, args| {
+            args.get("x").map(|v| match v {
+                ofc_faas::ArgValue::Num(x) => vec![Value::Num(*x)],
+                _ => vec![Value::Missing],
+            })
+        })
+    }
+
+    fn ctx(warm: Vec<SandboxView>, input_master: Option<usize>, x: f64) -> RoutingContext {
+        let mut args = Args::new();
+        args.insert("x".into(), ofc_faas::ArgValue::Num(x));
+        RoutingContext {
+            function: FunctionId::from("f"),
+            tenant: TenantId::from("t"),
+            args,
+            booked_mem: 2 << 30,
+            home: 0,
+            warm,
+            nodes: (0..4)
+                .map(|node| NodeView {
+                    node,
+                    total_mem: 8 << 30,
+                    committed_mem: 0,
+                    busy: 0,
+                })
+                .collect(),
+            input_master,
+        }
+    }
+
+    fn sb(node: usize, id: u64, mem: u64, idle_s: u64) -> SandboxView {
+        SandboxView {
+            node,
+            sandbox: id,
+            mem_limit: mem,
+            idle_since: SimTime::from_secs(idle_s),
+        }
+    }
+
+    #[test]
+    fn mature_model_right_sizes_instead_of_booked() {
+        let ml = engine_with_mature_model();
+        let mut s = OfcScheduler::new(ml, features());
+        let d = s.route(&ctx(vec![], None, 10.0));
+        // Needs ~224 MB; allocation must cover it with the next-greater
+        // margin yet stay far below the 2 GB booking.
+        assert!(d.mem_limit >= 224 * MB);
+        assert!(d.mem_limit <= 512 * MB);
+        assert_eq!(d.overhead, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn warm_choice_minimizes_memory_distance() {
+        let ml = engine_with_mature_model();
+        let mut s = OfcScheduler::new(ml, features());
+        // Prediction for x=10 is ~256 MB: the 256 MB sandbox wins over the
+        // 2 GB one even though the latter idled more recently.
+        let warm = vec![sb(1, 1, 2 << 30, 100), sb(2, 2, 256 * MB, 5)];
+        let d = s.route(&ctx(warm, None, 10.0));
+        assert_eq!(d.node, 2);
+        assert_eq!(d.sandbox, Some(2));
+    }
+
+    #[test]
+    fn warm_tie_breaks_on_locality_then_recency() {
+        let ml = engine_with_mature_model();
+        let mut s = OfcScheduler::new(ml, features());
+        let warm = vec![
+            sb(1, 1, 256 * MB, 50),
+            sb(3, 2, 256 * MB, 10),
+            sb(2, 3, 256 * MB, 10),
+        ];
+        // Identical memory distance: the sandbox co-located with the cached
+        // input (node 3) wins.
+        let d = s.route(&ctx(warm.clone(), Some(3), 10.0));
+        assert_eq!(d.node, 3);
+        // Without locality info, the most recently used wins.
+        let d = s.route(&ctx(
+            vec![warm[0].clone(), sb(2, 3, 256 * MB, 99)],
+            None,
+            10.0,
+        ));
+        assert_eq!(d.node, 2);
+    }
+
+    #[test]
+    fn cold_start_prefers_input_master_node() {
+        let ml = engine_with_mature_model();
+        let mut s = OfcScheduler::new(ml, features());
+        let d = s.route(&ctx(vec![], Some(2), 10.0));
+        assert_eq!(d.node, 2, "locality routing (§6.5)");
+        assert_eq!(d.sandbox, None);
+    }
+
+    #[test]
+    fn unknown_function_falls_back_to_booked() {
+        let ml = Rc::new(RefCell::new(MlEngine::new(MlConfig::default())));
+        let mut s = OfcScheduler::new(ml, Rc::new(|_, _, _| None));
+        let d = s.route(&ctx(vec![], None, 1.0));
+        assert_eq!(d.mem_limit, 2 << 30);
+        assert!(d.should_cache, "conservative default");
+    }
+}

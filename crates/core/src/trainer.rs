@@ -1,0 +1,180 @@
+//! Background ModelTrainer: off-critical-path retraining on a worker
+//! thread.
+//!
+//! The paper's ModelTrainer "periodically retrains all memory prediction
+//! models ... and updates the Predictor" (§4) — training happens off the
+//! invocation path. The simulation harness retrains synchronously inside
+//! [`crate::ml::MlEngine`] for determinism; this module provides the
+//! deployment-shaped alternative: training jobs queue over a channel to a
+//! dedicated thread, and finished models publish into a shared registry the
+//! Predictor reads lock-free on its critical path.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use ofc_dtree::c45::{C45Params, C45};
+use ofc_dtree::data::Dataset;
+use ofc_dtree::tree::DecisionTree;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A published, immutable model registry shared with predictors.
+pub type ModelRegistry = Arc<RwLock<HashMap<String, Arc<DecisionTree>>>>;
+
+/// A training job: retrain the model of `key` on `data`.
+struct Job {
+    key: String,
+    data: Dataset,
+}
+
+/// The background trainer. Dropping it stops the worker thread.
+pub struct BackgroundTrainer {
+    tx: Option<Sender<Job>>,
+    registry: ModelRegistry,
+    worker: Option<JoinHandle<u64>>,
+}
+
+impl BackgroundTrainer {
+    /// Spawns the trainer thread with the given J48 parameters.
+    pub fn spawn(params: C45Params) -> Self {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
+        let registry: ModelRegistry = Arc::new(RwLock::new(HashMap::new()));
+        let published = Arc::clone(&registry);
+        let worker = std::thread::Builder::new()
+            .name("ofc-model-trainer".into())
+            .spawn(move || {
+                let mut trained = 0u64;
+                while let Ok(job) = rx.recv() {
+                    if job.data.is_empty() {
+                        continue;
+                    }
+                    let model = C45::train(&job.data, &params);
+                    published.write().insert(job.key, Arc::new(model));
+                    trained += 1;
+                }
+                trained
+            })
+            .expect("spawning the trainer thread");
+        BackgroundTrainer {
+            tx: Some(tx),
+            registry,
+            worker: Some(worker),
+        }
+    }
+
+    /// The shared model registry (clone freely; readers never block
+    /// training).
+    pub fn registry(&self) -> ModelRegistry {
+        Arc::clone(&self.registry)
+    }
+
+    /// Queues a retraining job; returns immediately.
+    pub fn submit(&self, key: impl Into<String>, data: Dataset) {
+        if let Some(tx) = &self.tx {
+            // A send only fails when the worker died; models then simply
+            // stop updating, which is safe (predictions stay stale).
+            let _ = tx.send(Job {
+                key: key.into(),
+                data,
+            });
+        }
+    }
+
+    /// The latest published model for `key`, if any.
+    pub fn model(&self, key: &str) -> Option<Arc<DecisionTree>> {
+        self.registry.read().get(key).cloned()
+    }
+
+    /// Drains the queue and stops the worker; returns how many models were
+    /// trained over the trainer's lifetime.
+    pub fn shutdown(mut self) -> u64 {
+        self.tx.take();
+        self.worker
+            .take()
+            .map(|w| w.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for BackgroundTrainer {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofc_dtree::data::{Dataset, Value};
+    use ofc_dtree::Classifier;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::builder()
+            .numeric_attr("x")
+            .classes(["lo", "hi"])
+            .build();
+        for i in 0..n {
+            let x = i as f64;
+            ds.push(vec![Value::Num(x)], u32::from(x > n as f64 / 2.0));
+        }
+        ds
+    }
+
+    #[test]
+    fn trains_and_publishes_asynchronously() {
+        let trainer = BackgroundTrainer::spawn(C45Params::default());
+        trainer.submit("t/f", dataset(100));
+        // Wait for publication (bounded).
+        let mut model = None;
+        for _ in 0..200 {
+            model = trainer.model("t/f");
+            if model.is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let model = model.expect("model published");
+        assert_eq!(model.predict(&[Value::Num(90.0)]), 1);
+        assert_eq!(model.predict(&[Value::Num(5.0)]), 0);
+        assert_eq!(trainer.shutdown(), 1);
+    }
+
+    #[test]
+    fn retraining_replaces_models() {
+        let trainer = BackgroundTrainer::spawn(C45Params::default());
+        for round in 0..5 {
+            trainer.submit("k", dataset(50 + round * 10));
+        }
+        assert_eq!(trainer.shutdown(), 5);
+    }
+
+    #[test]
+    fn registry_is_shared() {
+        let trainer = BackgroundTrainer::spawn(C45Params::default());
+        let registry = trainer.registry();
+        trainer.submit("a", dataset(60));
+        trainer.shutdown();
+        assert!(registry.read().contains_key("a"));
+    }
+
+    #[test]
+    fn empty_dataset_jobs_are_skipped() {
+        let trainer = BackgroundTrainer::spawn(C45Params::default());
+        let empty = Dataset::builder()
+            .numeric_attr("x")
+            .classes(["a", "b"])
+            .build();
+        trainer.submit("e", empty);
+        assert_eq!(trainer.shutdown(), 0);
+    }
+
+    #[test]
+    fn drop_joins_worker() {
+        let trainer = BackgroundTrainer::spawn(C45Params::default());
+        trainer.submit("k", dataset(40));
+        drop(trainer); // must not hang or panic
+    }
+}

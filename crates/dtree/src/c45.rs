@@ -1,0 +1,712 @@
+//! C4.5 decision-tree induction — the algorithm behind Weka's J48, which OFC
+//! selects for both of its predictors (§5.1.1).
+//!
+//! The implementation follows Quinlan's C4.5:
+//!
+//! * split selection by **gain ratio**, restricted to attributes whose
+//!   information gain is at least the average positive gain,
+//! * binary threshold splits on numeric attributes with the MDL penalty
+//!   `log2(candidates) / N` on the gain,
+//! * multiway splits on nominal attributes,
+//! * instance weights throughout (OFC overweights underprediction samples
+//!   during retraining, §5.3.3),
+//! * **pessimistic error pruning** (subtree replacement) using the upper
+//!   confidence bound of the binomial at the classic 0.25 confidence level.
+//!
+//! Missing values are routed to the heavier branch during both partitioning
+//! and classification (a simplification of C4.5's fractional instances that
+//! is exact for the OFC workloads, whose feature extractors rarely miss).
+
+use crate::data::{AttrKind, Dataset};
+use crate::tree::{DecisionTree, Node};
+use crate::Learner;
+
+/// Tunables of the C4.5 learner.
+#[derive(Debug, Clone)]
+pub struct C45Params {
+    /// Minimum total instance weight per leaf (J48 default: 2).
+    pub min_leaf: f64,
+    /// Confidence level for pessimistic-error pruning (J48 default: 0.25).
+    pub confidence: f64,
+    /// Whether to run the pruning pass.
+    pub prune: bool,
+    /// Optional hard depth cap (none by default).
+    pub max_depth: Option<usize>,
+}
+
+impl Default for C45Params {
+    fn default() -> Self {
+        C45Params {
+            min_leaf: 2.0,
+            confidence: 0.25,
+            prune: true,
+            max_depth: None,
+        }
+    }
+}
+
+/// The C4.5 learner (J48). See the module docs for the algorithm outline.
+#[derive(Debug, Clone, Default)]
+pub struct C45 {
+    params: C45Params,
+}
+
+impl C45 {
+    /// Creates a learner with the given parameters.
+    pub fn new(params: C45Params) -> Self {
+        C45 { params }
+    }
+
+    /// Trains a tree on `data` with `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn train(data: &Dataset, params: &C45Params) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut root = grow(data, &idx, params, 0);
+        if params.prune {
+            prune(&mut root, zscore_upper(params.confidence));
+        }
+        DecisionTree::new(root, data.n_classes())
+    }
+}
+
+impl Learner for C45 {
+    type Model = DecisionTree;
+
+    fn fit(&self, data: &Dataset) -> DecisionTree {
+        C45::train(data, &self.params)
+    }
+
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+}
+
+/// Weighted Shannon entropy of a class distribution.
+pub(crate) fn entropy(dist: &[f64]) -> f64 {
+    let total: f64 = dist.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    dist.iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Class distribution of the rows selected by `idx`.
+fn distribution(data: &Dataset, idx: &[usize]) -> Vec<f64> {
+    let mut dist = vec![0.0; data.n_classes()];
+    for &i in idx {
+        let r = &data.rows()[i];
+        dist[r.label as usize] += r.weight;
+    }
+    dist
+}
+
+/// A candidate split found by the search.
+pub(crate) enum Split {
+    /// Numeric binary split.
+    Num {
+        /// Attribute index.
+        attr: usize,
+        /// Threshold (`<=` goes left).
+        threshold: f64,
+        /// Gain ratio achieved.
+        gain_ratio: f64,
+        /// Raw information gain (pre split-info).
+        gain: f64,
+    },
+    /// Nominal multiway split.
+    Nom {
+        /// Attribute index.
+        attr: usize,
+        /// Gain ratio achieved.
+        gain_ratio: f64,
+        /// Raw information gain.
+        gain: f64,
+    },
+}
+
+impl Split {
+    pub(crate) fn gain(&self) -> f64 {
+        match self {
+            Split::Num { gain, .. } | Split::Nom { gain, .. } => *gain,
+        }
+    }
+
+    pub(crate) fn gain_ratio(&self) -> f64 {
+        match self {
+            Split::Num { gain_ratio, .. } | Split::Nom { gain_ratio, .. } => *gain_ratio,
+        }
+    }
+}
+
+/// Evaluates the best split of `attr` over the rows in `idx`.
+pub(crate) fn evaluate_attr(
+    data: &Dataset,
+    idx: &[usize],
+    attr: usize,
+    base_entropy: f64,
+    min_leaf: f64,
+) -> Option<Split> {
+    match &data.attrs()[attr].kind {
+        AttrKind::Numeric => evaluate_numeric(data, idx, attr, base_entropy, min_leaf),
+        AttrKind::Nominal(values) => {
+            evaluate_nominal(data, idx, attr, values.len(), base_entropy, min_leaf)
+        }
+    }
+}
+
+fn evaluate_numeric(
+    data: &Dataset,
+    idx: &[usize],
+    attr: usize,
+    base_entropy: f64,
+    min_leaf: f64,
+) -> Option<Split> {
+    let n_classes = data.n_classes();
+    // Gather non-missing (value, label, weight) triples sorted by value.
+    let mut points: Vec<(f64, u32, f64)> = idx
+        .iter()
+        .filter_map(|&i| {
+            let r = &data.rows()[i];
+            r.values[attr].as_num().map(|v| (v, r.label, r.weight))
+        })
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+
+    let total_w: f64 = points.iter().map(|p| p.2).sum();
+    let mut right = vec![0.0; n_classes];
+    for p in &points {
+        right[p.1 as usize] += p.2;
+    }
+    let mut left = vec![0.0; n_classes];
+    let mut left_w = 0.0;
+
+    let mut best: Option<(f64, f64, f64)> = None; // (gain, threshold, split_info)
+    let mut candidates = 0u32;
+    let mut i = 0;
+    while i < points.len() {
+        // Advance over ties in value so thresholds fall between distinct values.
+        let v = points[i].0;
+        while i < points.len() && points[i].0 == v {
+            let (_, label, w) = points[i];
+            left[label as usize] += w;
+            right[label as usize] -= w;
+            left_w += w;
+            i += 1;
+        }
+        if i == points.len() {
+            break;
+        }
+        let right_w = total_w - left_w;
+        if left_w < min_leaf || right_w < min_leaf {
+            continue;
+        }
+        candidates += 1;
+        let cond = (left_w / total_w) * entropy(&left) + (right_w / total_w) * entropy(&right);
+        let gain = base_entropy - cond;
+        let threshold = (v + points[i].0) / 2.0;
+        let split_info = entropy(&[left_w, right_w]);
+        if best.map_or(true, |(g, _, _)| gain > g) {
+            best = Some((gain, threshold, split_info));
+        }
+    }
+
+    let (gain, threshold, split_info) = best?;
+    // C4.5's MDL correction for choosing among numeric thresholds.
+    let gain = gain - (candidates.max(1) as f64).log2() / total_w;
+    if gain <= 0.0 || split_info <= 0.0 {
+        return None;
+    }
+    Some(Split::Num {
+        attr,
+        threshold,
+        gain_ratio: gain / split_info,
+        gain,
+    })
+}
+
+fn evaluate_nominal(
+    data: &Dataset,
+    idx: &[usize],
+    attr: usize,
+    cardinality: usize,
+    base_entropy: f64,
+    min_leaf: f64,
+) -> Option<Split> {
+    let n_classes = data.n_classes();
+    let mut per_value = vec![vec![0.0; n_classes]; cardinality];
+    let mut total_w = 0.0;
+    for &i in idx {
+        let r = &data.rows()[i];
+        if let Some(v) = r.values[attr].as_nom() {
+            per_value[v as usize][r.label as usize] += r.weight;
+            total_w += r.weight;
+        }
+    }
+    if total_w <= 0.0 {
+        return None;
+    }
+    let branch_weights: Vec<f64> = per_value.iter().map(|d| d.iter().sum()).collect();
+    let non_empty = branch_weights.iter().filter(|&&w| w > 0.0).count();
+    if non_empty < 2 {
+        return None;
+    }
+    // J48 requires at least two branches holding min_leaf weight.
+    let viable = branch_weights.iter().filter(|&&w| w >= min_leaf).count();
+    if viable < 2 {
+        return None;
+    }
+    let cond: f64 = per_value
+        .iter()
+        .zip(&branch_weights)
+        .map(|(d, &w)| (w / total_w) * entropy(d))
+        .sum();
+    let gain = base_entropy - cond;
+    if gain <= 0.0 {
+        return None;
+    }
+    let split_info = entropy(&branch_weights);
+    if split_info <= 0.0 {
+        return None;
+    }
+    Some(Split::Nom {
+        attr,
+        gain_ratio: gain / split_info,
+        gain,
+    })
+}
+
+/// Selects the best split following the C4.5 rule: maximize gain ratio among
+/// attributes whose gain is at least the average positive gain.
+fn select_split(data: &Dataset, idx: &[usize], base_entropy: f64, min_leaf: f64) -> Option<Split> {
+    let splits: Vec<Split> = (0..data.n_attrs())
+        .filter_map(|a| evaluate_attr(data, idx, a, base_entropy, min_leaf))
+        .collect();
+    if splits.is_empty() {
+        return None;
+    }
+    let mean_gain: f64 = splits.iter().map(Split::gain).sum::<f64>() / splits.len() as f64;
+    splits
+        .into_iter()
+        .filter(|s| s.gain() >= mean_gain - 1e-12)
+        .max_by(|a, b| {
+            a.gain_ratio()
+                .partial_cmp(&b.gain_ratio())
+                .expect("finite gain ratios")
+        })
+}
+
+/// Partitions `idx` according to `split`; missing values go to the heavier
+/// branch.
+fn partition(data: &Dataset, idx: &[usize], split: &Split) -> Vec<Vec<usize>> {
+    match *split {
+        Split::Num {
+            attr, threshold, ..
+        } => {
+            let mut le = Vec::new();
+            let mut gt = Vec::new();
+            let mut missing = Vec::new();
+            for &i in idx {
+                match data.rows()[i].values[attr].as_num() {
+                    Some(v) if v <= threshold => le.push(i),
+                    Some(_) => gt.push(i),
+                    None => missing.push(i),
+                }
+            }
+            let le_w: f64 = le.iter().map(|&i| data.rows()[i].weight).sum();
+            let gt_w: f64 = gt.iter().map(|&i| data.rows()[i].weight).sum();
+            if le_w >= gt_w {
+                le.extend(missing);
+            } else {
+                gt.extend(missing);
+            }
+            vec![le, gt]
+        }
+        Split::Nom { attr, .. } => {
+            let cardinality = data.attrs()[attr]
+                .kind
+                .cardinality()
+                .expect("nominal split on nominal attribute");
+            let mut parts = vec![Vec::new(); cardinality];
+            let mut missing = Vec::new();
+            for &i in idx {
+                match data.rows()[i].values[attr].as_nom() {
+                    Some(v) => parts[v as usize].push(i),
+                    None => missing.push(i),
+                }
+            }
+            if !missing.is_empty() {
+                let heaviest = (0..parts.len())
+                    .max_by(|&a, &b| {
+                        let wa: f64 = parts[a].iter().map(|&i| data.rows()[i].weight).sum();
+                        let wb: f64 = parts[b].iter().map(|&i| data.rows()[i].weight).sum();
+                        wa.partial_cmp(&wb).expect("finite weights")
+                    })
+                    .expect("cardinality >= 1");
+                parts[heaviest].extend(missing);
+            }
+            parts
+        }
+    }
+}
+
+fn grow(data: &Dataset, idx: &[usize], params: &C45Params, depth: usize) -> Node {
+    let dist = distribution(data, idx);
+    let total_w: f64 = dist.iter().sum();
+    let pure = dist.iter().filter(|&&w| w > 0.0).count() <= 1;
+    let depth_capped = params.max_depth.is_some_and(|d| depth >= d);
+    if pure || total_w < 2.0 * params.min_leaf || depth_capped {
+        return Node::Leaf { dist };
+    }
+    let base = entropy(&dist);
+    let Some(split) = select_split(data, idx, base, params.min_leaf) else {
+        return Node::Leaf { dist };
+    };
+    let parts = partition(data, idx, &split);
+    // Degenerate partitions (all rows in one branch) terminate as a leaf.
+    if parts.iter().filter(|p| !p.is_empty()).count() < 2 {
+        return Node::Leaf { dist };
+    }
+    match split {
+        Split::Num {
+            attr, threshold, ..
+        } => Node::SplitNum {
+            attr,
+            threshold,
+            dist,
+            le: Box::new(grow(data, &parts[0], params, depth + 1)),
+            gt: Box::new(grow(data, &parts[1], params, depth + 1)),
+        },
+        Split::Nom { attr, .. } => {
+            let children = parts
+                .iter()
+                .map(|p| {
+                    if p.is_empty() {
+                        // Empty branches inherit the parent distribution as a
+                        // leaf so routing still works.
+                        Node::Leaf { dist: dist.clone() }
+                    } else {
+                        grow(data, p, params, depth + 1)
+                    }
+                })
+                .collect();
+            Node::SplitNom {
+                attr,
+                dist,
+                children,
+            }
+        }
+    }
+}
+
+/// Upper-tail z-score for confidence `c` (C4.5 uses the one-sided bound).
+///
+/// Uses the Beasley–Springer–Moro rational approximation of the inverse
+/// normal CDF, accurate to ~1e-9 over the range pruning uses.
+pub(crate) fn zscore_upper(confidence: f64) -> f64 {
+    assert!(
+        (0.0..0.5).contains(&confidence) && confidence > 0.0,
+        "pruning confidence must be in (0, 0.5), got {confidence}"
+    );
+    inverse_normal_cdf(1.0 - confidence)
+}
+
+fn inverse_normal_cdf(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p));
+    // Beasley-Springer-Moro coefficients.
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    if y.abs() < 0.42 {
+        let r = y * y;
+        y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0])
+            / ((((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0)
+    } else {
+        let r = if y > 0.0 { 1.0 - p } else { p };
+        let s = (-r.ln()).ln();
+        let mut x = C[0];
+        let mut sp = 1.0;
+        for &c in &C[1..] {
+            sp *= s;
+            x += c * sp;
+        }
+        if y < 0.0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+/// C4.5's pessimistic error estimate: upper confidence bound on the error
+/// rate of a node holding `n` weight with `e` erroneous weight, times `n`.
+fn estimated_errors(n: f64, e: f64, z: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let f = e / n;
+    let z2 = z * z;
+    let ub = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).max(0.0).sqrt())
+        / (1.0 + z2 / n);
+    n * ub.min(1.0)
+}
+
+fn leaf_errors(dist: &[f64]) -> (f64, f64) {
+    let n: f64 = dist.iter().sum();
+    let correct = dist.iter().cloned().fold(0.0, f64::max);
+    (n, n - correct)
+}
+
+/// Bottom-up subtree-replacement pruning; returns the subtree's estimated
+/// errors after pruning.
+fn prune(node: &mut Node, z: f64) -> f64 {
+    let (n, e) = leaf_errors(node.dist());
+    let as_leaf = estimated_errors(n, e, z);
+    let subtree = match node {
+        Node::Leaf { .. } => return as_leaf,
+        Node::SplitNum { le, gt, .. } => prune(le, z) + prune(gt, z),
+        Node::SplitNom { children, .. } => children.iter_mut().map(|c| prune(c, z)).sum(),
+    };
+    // Replace the subtree by a leaf when that does not raise the estimate
+    // (the +0.1 slack is J48's).
+    if as_leaf <= subtree + 0.1 {
+        *node = Node::Leaf {
+            dist: node.dist().to_vec(),
+        };
+        as_leaf
+    } else {
+        subtree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, Value};
+    use crate::Classifier;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn quadrant_dataset(n: usize, seed: u64) -> Dataset {
+        // label = (x > 0.5) AND (y > 0.5): requires a depth-2 tree (no single
+        // threshold separates it) while the first split still has positive
+        // gain — unlike XOR, which greedy univariate trees cannot start on.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut ds = Dataset::builder()
+            .numeric_attr("x")
+            .numeric_attr("y")
+            .classes(["f", "t"])
+            .build();
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            let y: f64 = rng.gen();
+            let label = u32::from(x > 0.5 && y > 0.5);
+            ds.push(vec![Value::Num(x), Value::Num(y)], label);
+        }
+        ds
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        assert!((entropy(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn learns_nested_quadrant() {
+        let ds = quadrant_dataset(400, 1);
+        let tree = C45::train(&ds, &C45Params::default());
+        let mut correct = 0;
+        for (x, y) in [(0.1, 0.1), (0.9, 0.9), (0.1, 0.9), (0.9, 0.1)] {
+            let want = u32::from(x > 0.5 && y > 0.5);
+            if tree.predict(&[Value::Num(x), Value::Num(y)]) == want {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, 4, "tree failed to learn the quadrant:\n{tree}");
+        assert!(tree.depth() >= 3, "expected a depth-2+ tree:\n{tree}");
+    }
+
+    #[test]
+    fn learns_nominal_split() {
+        let mut ds = Dataset::builder()
+            .nominal_attr("fmt", ["png", "jpg", "gif"])
+            .classes(["lo", "hi"])
+            .build();
+        for _ in 0..10 {
+            ds.push(vec![Value::Nom(0)], 0);
+            ds.push(vec![Value::Nom(1)], 1);
+            ds.push(vec![Value::Nom(2)], 1);
+        }
+        let tree = C45::train(&ds, &C45Params::default());
+        assert_eq!(tree.predict(&[Value::Nom(0)]), 0);
+        assert_eq!(tree.predict(&[Value::Nom(1)]), 1);
+        assert_eq!(tree.predict(&[Value::Nom(2)]), 1);
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let mut ds = Dataset::builder()
+            .numeric_attr("x")
+            .classes(["a", "b"])
+            .build();
+        for i in 0..10 {
+            ds.push(vec![Value::Num(i as f64)], 0);
+        }
+        let tree = C45::train(&ds, &C45Params::default());
+        assert_eq!(tree.size(), 1);
+        assert_eq!(tree.predict(&[Value::Num(100.0)]), 0);
+    }
+
+    #[test]
+    fn weights_shift_majority() {
+        let mut ds = Dataset::builder()
+            .numeric_attr("x")
+            .classes(["a", "b"])
+            .build();
+        // Identical feature values: no split possible; weights decide.
+        for _ in 0..3 {
+            ds.push(vec![Value::Num(1.0)], 0);
+        }
+        ds.push_weighted(vec![Value::Num(1.0)], 1, 10.0);
+        let tree = C45::train(&ds, &C45Params::default());
+        assert_eq!(tree.predict(&[Value::Num(1.0)]), 1);
+    }
+
+    #[test]
+    fn pruning_collapses_spurious_split() {
+        // Both children predict the same class with similar error rates: the
+        // pessimistic estimate of the collapsed leaf cannot exceed the
+        // subtree's, so pruning must replace the split.
+        let mut node = Node::SplitNum {
+            attr: 0,
+            threshold: 1.0,
+            dist: vec![100.0, 6.0],
+            le: Box::new(Node::Leaf {
+                dist: vec![50.0, 3.0],
+            }),
+            gt: Box::new(Node::Leaf {
+                dist: vec![50.0, 3.0],
+            }),
+        };
+        prune(&mut node, zscore_upper(0.25));
+        assert!(matches!(node, Node::Leaf { .. }), "spurious split survived");
+    }
+
+    #[test]
+    fn pruning_keeps_informative_split() {
+        // A perfectly separating split has far lower pessimistic error than
+        // the collapsed leaf; pruning must keep it.
+        let mut node = Node::SplitNum {
+            attr: 0,
+            threshold: 1.0,
+            dist: vec![50.0, 50.0],
+            le: Box::new(Node::Leaf {
+                dist: vec![50.0, 0.0],
+            }),
+            gt: Box::new(Node::Leaf {
+                dist: vec![0.0, 50.0],
+            }),
+        };
+        prune(&mut node, zscore_upper(0.25));
+        assert!(
+            matches!(node, Node::SplitNum { .. }),
+            "informative split was pruned"
+        );
+    }
+
+    #[test]
+    fn max_depth_caps_tree() {
+        let ds = quadrant_dataset(400, 5);
+        let tree = C45::train(
+            &ds,
+            &C45Params {
+                max_depth: Some(1),
+                prune: false,
+                ..C45Params::default()
+            },
+        );
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn missing_values_do_not_crash_training() {
+        let mut ds = Dataset::builder()
+            .numeric_attr("x")
+            .numeric_attr("y")
+            .classes(["a", "b"])
+            .build();
+        for i in 0..50 {
+            let v = if i % 7 == 0 {
+                Value::Missing
+            } else {
+                Value::Num(i as f64)
+            };
+            ds.push(vec![v, Value::Num((i % 3) as f64)], u32::from(i >= 25));
+        }
+        let tree = C45::train(&ds, &C45Params::default());
+        let _ = tree.predict(&[Value::Missing, Value::Missing]);
+    }
+
+    #[test]
+    fn zscore_matches_known_quantiles() {
+        // z for one-sided 25% confidence: Phi^-1(0.75) ~= 0.6744898.
+        assert!((zscore_upper(0.25) - 0.6744898).abs() < 1e-4);
+        // Phi^-1(0.95) ~= 1.6448536.
+        assert!((zscore_upper(0.05) - 1.6448536).abs() < 1e-4);
+    }
+
+    #[test]
+    fn estimated_errors_monotone_in_errors() {
+        let z = zscore_upper(0.25);
+        let e1 = estimated_errors(10.0, 0.0, z);
+        let e2 = estimated_errors(10.0, 2.0, z);
+        let e3 = estimated_errors(10.0, 5.0, z);
+        assert!(e1 < e2 && e2 < e3);
+        // Even a perfect leaf has nonzero pessimistic error.
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = quadrant_dataset(300, 9);
+        let a = C45::train(&ds, &C45Params::default());
+        let b = C45::train(&ds, &C45Params::default());
+        assert_eq!(a.to_string(), b.to_string());
+    }
+}

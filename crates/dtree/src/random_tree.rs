@@ -1,0 +1,268 @@
+//! RandomTree: a decision tree that examines a random subset of attributes
+//! at each node (the base learner of RandomForest, and one of the Table 1
+//! comparison algorithms).
+//!
+//! Unlike C4.5 it selects splits by raw information gain, uses no MDL
+//! penalty bookkeeping beyond what the shared split search applies, and does
+//! not prune — variance is controlled by the ensemble instead.
+
+use crate::c45::evaluate_attr;
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, Node};
+use crate::Learner;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Tunables of the RandomTree learner.
+#[derive(Debug, Clone)]
+pub struct RandomTreeParams {
+    /// Attributes examined per node; `None` means `ceil(log2(d)) + 1`.
+    pub k_attrs: Option<usize>,
+    /// Minimum total instance weight per leaf.
+    pub min_leaf: f64,
+    /// Optional depth cap.
+    pub max_depth: Option<usize>,
+    /// RNG seed (the tree is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for RandomTreeParams {
+    fn default() -> Self {
+        RandomTreeParams {
+            k_attrs: None,
+            min_leaf: 1.0,
+            max_depth: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The RandomTree learner.
+#[derive(Debug, Clone, Default)]
+pub struct RandomTree {
+    params: RandomTreeParams,
+}
+
+impl RandomTree {
+    /// Creates a learner with the given parameters.
+    pub fn new(params: RandomTreeParams) -> Self {
+        RandomTree { params }
+    }
+
+    /// Trains a tree on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn train(data: &Dataset, params: &RandomTreeParams) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let k = params
+            .k_attrs
+            .unwrap_or_else(|| (data.n_attrs() as f64).log2().ceil() as usize + 1)
+            .clamp(1, data.n_attrs());
+        let root = grow(data, &idx, params, k, 0, &mut rng);
+        DecisionTree::new(root, data.n_classes())
+    }
+}
+
+impl Learner for RandomTree {
+    type Model = DecisionTree;
+
+    fn fit(&self, data: &Dataset) -> DecisionTree {
+        RandomTree::train(data, &self.params)
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomTree"
+    }
+}
+
+fn distribution(data: &Dataset, idx: &[usize]) -> Vec<f64> {
+    let mut dist = vec![0.0; data.n_classes()];
+    for &i in idx {
+        let r = &data.rows()[i];
+        dist[r.label as usize] += r.weight;
+    }
+    dist
+}
+
+fn grow(
+    data: &Dataset,
+    idx: &[usize],
+    params: &RandomTreeParams,
+    k: usize,
+    depth: usize,
+    rng: &mut ChaCha8Rng,
+) -> Node {
+    let dist = distribution(data, idx);
+    let total_w: f64 = dist.iter().sum();
+    let pure = dist.iter().filter(|&&w| w > 0.0).count() <= 1;
+    if pure || total_w < 2.0 * params.min_leaf || params.max_depth.is_some_and(|d| depth >= d) {
+        return Node::Leaf { dist };
+    }
+    let base = crate::c45::entropy(&dist);
+
+    // Sample k attributes without replacement; fall back over the rest if
+    // none of the sampled ones yields a split (Weka's behaviour).
+    let mut order: Vec<usize> = (0..data.n_attrs()).collect();
+    order.shuffle(rng);
+    let mut best: Option<crate::c45::Split> = None;
+    for (examined, &attr) in order.iter().enumerate() {
+        if let Some(s) = evaluate_attr(data, idx, attr, base, params.min_leaf) {
+            if best.as_ref().map_or(true, |b| s.gain() > b.gain()) {
+                best = Some(s);
+            }
+        }
+        if examined + 1 >= k && best.is_some() {
+            break;
+        }
+    }
+    let Some(split) = best else {
+        return Node::Leaf { dist };
+    };
+
+    match split {
+        crate::c45::Split::Num {
+            attr, threshold, ..
+        } => {
+            let (mut le, mut gt) = (Vec::new(), Vec::new());
+            let mut missing = Vec::new();
+            for &i in idx {
+                match data.rows()[i].values[attr].as_num() {
+                    Some(v) if v <= threshold => le.push(i),
+                    Some(_) => gt.push(i),
+                    None => missing.push(i),
+                }
+            }
+            if le.len() >= gt.len() {
+                le.extend(missing);
+            } else {
+                gt.extend(missing);
+            }
+            if le.is_empty() || gt.is_empty() {
+                return Node::Leaf { dist };
+            }
+            Node::SplitNum {
+                attr,
+                threshold,
+                dist,
+                le: Box::new(grow(data, &le, params, k, depth + 1, rng)),
+                gt: Box::new(grow(data, &gt, params, k, depth + 1, rng)),
+            }
+        }
+        crate::c45::Split::Nom { attr, .. } => {
+            let cardinality = data.attrs()[attr]
+                .kind
+                .cardinality()
+                .expect("nominal split on nominal attribute");
+            let mut parts = vec![Vec::new(); cardinality];
+            for &i in idx {
+                if let Some(v) = data.rows()[i].values[attr].as_nom() {
+                    parts[v as usize].push(i);
+                }
+            }
+            if parts.iter().filter(|p| !p.is_empty()).count() < 2 {
+                return Node::Leaf { dist };
+            }
+            Node::SplitNom {
+                attr,
+                dist: dist.clone(),
+                children: parts
+                    .iter()
+                    .map(|p| {
+                        if p.is_empty() {
+                            Node::Leaf { dist: dist.clone() }
+                        } else {
+                            grow(data, p, params, k, depth + 1, rng)
+                        }
+                    })
+                    .collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Value;
+    use crate::Classifier;
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ds = Dataset::builder()
+            .numeric_attr("x")
+            .numeric_attr("y")
+            .classes(["a", "b"])
+            .build();
+        for _ in 0..n {
+            let label = rng.gen_range(0..2u32);
+            let center = if label == 0 { 0.0 } else { 10.0 };
+            ds.push(
+                vec![
+                    Value::Num(center + rng.gen::<f64>()),
+                    Value::Num(center + rng.gen::<f64>()),
+                ],
+                label,
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn separable_blobs_classified() {
+        let ds = blobs(200, 11);
+        let tree = RandomTree::train(&ds, &RandomTreeParams::default());
+        assert_eq!(tree.predict(&[Value::Num(0.5), Value::Num(0.5)]), 0);
+        assert_eq!(tree.predict(&[Value::Num(10.5), Value::Num(10.5)]), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = blobs(200, 12);
+        let p = RandomTreeParams {
+            seed: 99,
+            ..RandomTreeParams::default()
+        };
+        let a = RandomTree::train(&ds, &p);
+        let b = RandomTree::train(&ds, &p);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn different_seeds_vary_structure() {
+        // With k restricted to 1 attribute per node, seeds must produce
+        // different trees on a dataset where both attributes are informative.
+        let ds = blobs(300, 13);
+        let mk = |seed| {
+            RandomTree::train(
+                &ds,
+                &RandomTreeParams {
+                    seed,
+                    k_attrs: Some(1),
+                    ..RandomTreeParams::default()
+                },
+            )
+            .to_string()
+        };
+        let distinct = (0..8).map(mk).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "all seeds produced identical trees");
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let ds = blobs(300, 14);
+        let tree = RandomTree::train(
+            &ds,
+            &RandomTreeParams {
+                max_depth: Some(2),
+                ..RandomTreeParams::default()
+            },
+        );
+        assert!(tree.depth() <= 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Shared decision-tree structure used by the batch learners (C4.5 and
+//! RandomTree).
+//!
+//! A tree is a recursive [`Node`]; every node carries the weighted class
+//! distribution of the training instances that reached it, which is used (i)
+//! to answer [`Classifier::distribution`], (ii) to route instances with
+//! missing values down the heaviest branch (a simplification of C4.5's
+//! fractional instances), and (iii) by the pruning pass.
+
+use crate::data::{majority, Value};
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A decision-tree node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node predicting from its class distribution.
+    Leaf {
+        /// Weighted class distribution at this leaf.
+        dist: Vec<f64>,
+    },
+    /// Binary test on a numeric attribute: `value <= threshold` goes left.
+    SplitNum {
+        /// Attribute index tested.
+        attr: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Class distribution at this node (for missing-value routing).
+        dist: Vec<f64>,
+        /// Branch for `value <= threshold`.
+        le: Box<Node>,
+        /// Branch for `value > threshold`.
+        gt: Box<Node>,
+    },
+    /// Multiway test on a nominal attribute: one child per nominal value.
+    SplitNom {
+        /// Attribute index tested.
+        attr: usize,
+        /// Class distribution at this node (for missing-value routing).
+        dist: Vec<f64>,
+        /// One child per nominal value of the attribute.
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    /// The class distribution recorded at this node.
+    pub fn dist(&self) -> &[f64] {
+        match self {
+            Node::Leaf { dist } => dist,
+            Node::SplitNum { dist, .. } => dist,
+            Node::SplitNom { dist, .. } => dist,
+        }
+    }
+
+    /// Total training weight that reached this node.
+    pub fn weight(&self) -> f64 {
+        self.dist().iter().sum()
+    }
+
+    /// Routes `instance` to the leaf distribution it falls into.
+    pub fn classify<'a>(&'a self, instance: &[Value]) -> &'a [f64] {
+        match self {
+            Node::Leaf { dist } => dist,
+            Node::SplitNum {
+                attr,
+                threshold,
+                le,
+                gt,
+                ..
+            } => match instance.get(*attr).copied().unwrap_or(Value::Missing) {
+                Value::Num(v) => {
+                    if v <= *threshold {
+                        le.classify(instance)
+                    } else {
+                        gt.classify(instance)
+                    }
+                }
+                // Missing (or type-mismatched) values take the heavier branch.
+                _ => {
+                    if le.weight() >= gt.weight() {
+                        le.classify(instance)
+                    } else {
+                        gt.classify(instance)
+                    }
+                }
+            },
+            Node::SplitNom { attr, children, .. } => {
+                match instance.get(*attr).copied().unwrap_or(Value::Missing) {
+                    Value::Nom(v) if (v as usize) < children.len() => {
+                        children[v as usize].classify(instance)
+                    }
+                    _ => {
+                        // Heaviest child takes missing / out-of-ensemble values.
+                        children
+                            .iter()
+                            .max_by(|a, b| {
+                                a.weight()
+                                    .partial_cmp(&b.weight())
+                                    .expect("weights are finite")
+                            })
+                            .map(|c| c.classify(instance))
+                            .unwrap_or_else(|| self.dist())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::SplitNum { le, gt, .. } => 1 + le.size() + gt.size(),
+            Node::SplitNom { children, .. } => 1 + children.iter().map(Node::size).sum::<usize>(),
+        }
+    }
+
+    /// Number of leaves in this subtree.
+    pub fn leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::SplitNum { le, gt, .. } => le.leaves() + gt.leaves(),
+            Node::SplitNom { children, .. } => children.iter().map(Node::leaves).sum(),
+        }
+    }
+
+    /// Depth of this subtree (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::SplitNum { le, gt, .. } => 1 + le.depth().max(gt.depth()),
+            Node::SplitNom { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Node::Leaf { dist } => {
+                writeln!(f, "{pad}leaf -> class {} {dist:?}", majority(dist))
+            }
+            Node::SplitNum {
+                attr,
+                threshold,
+                le,
+                gt,
+                ..
+            } => {
+                writeln!(f, "{pad}attr[{attr}] <= {threshold:.4}?")?;
+                le.fmt_indented(f, depth + 1)?;
+                gt.fmt_indented(f, depth + 1)
+            }
+            Node::SplitNom { attr, children, .. } => {
+                writeln!(f, "{pad}attr[{attr}] in {{0..{}}}", children.len())?;
+                for c in children {
+                    c.fmt_indented(f, depth + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A trained decision tree (output of C4.5 or RandomTree).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Wraps a root node.
+    pub fn new(root: Node, n_classes: usize) -> Self {
+        DecisionTree { root, n_classes }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Number of classes of the training dataset.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Leaf count.
+    pub fn leaves(&self) -> usize {
+        self.root.leaves()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, instance: &[Value]) -> u32 {
+        majority(self.root.classify(instance))
+    }
+
+    fn distribution(&self, instance: &[Value]) -> Vec<f64> {
+        let dist = self.root.classify(instance);
+        let total: f64 = dist.iter().sum();
+        if total <= 0.0 {
+            vec![1.0 / self.n_classes as f64; self.n_classes]
+        } else {
+            dist.iter().map(|w| w / total).collect()
+        }
+    }
+}
+
+impl fmt::Display for DecisionTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.root.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> DecisionTree {
+        // attr0 <= 5 ? (attr1 nominal in {0,1}) : leaf class1
+        let root = Node::SplitNum {
+            attr: 0,
+            threshold: 5.0,
+            dist: vec![6.0, 4.0],
+            le: Box::new(Node::SplitNom {
+                attr: 1,
+                dist: vec![5.0, 1.0],
+                children: vec![
+                    Node::Leaf {
+                        dist: vec![5.0, 0.0],
+                    },
+                    Node::Leaf {
+                        dist: vec![0.0, 1.0],
+                    },
+                ],
+            }),
+            gt: Box::new(Node::Leaf {
+                dist: vec![1.0, 3.0],
+            }),
+        };
+        DecisionTree::new(root, 2)
+    }
+
+    #[test]
+    fn classify_routes_through_splits() {
+        let t = sample_tree();
+        assert_eq!(t.predict(&[Value::Num(2.0), Value::Nom(0)]), 0);
+        assert_eq!(t.predict(&[Value::Num(2.0), Value::Nom(1)]), 1);
+        assert_eq!(t.predict(&[Value::Num(9.0), Value::Nom(0)]), 1);
+    }
+
+    #[test]
+    fn boundary_goes_left() {
+        let t = sample_tree();
+        assert_eq!(t.predict(&[Value::Num(5.0), Value::Nom(0)]), 0);
+    }
+
+    #[test]
+    fn missing_numeric_takes_heavier_branch() {
+        let t = sample_tree();
+        // le branch weighs 6.0 vs gt 4.0, then nominal missing takes the
+        // heavier child (class 0 with 5.0).
+        assert_eq!(t.predict(&[Value::Missing, Value::Missing]), 0);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let t = sample_tree();
+        let d = t.distribution(&[Value::Num(9.0), Value::Nom(0)]);
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_leaves_depth() {
+        let t = sample_tree();
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.leaves(), 3);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let text = sample_tree().to_string();
+        assert!(text.contains("attr[0] <= 5.0000?"));
+        assert!(text.contains("leaf"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample_tree();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.size(), t.size());
+        assert_eq!(back.predict(&[Value::Num(9.0), Value::Nom(0)]), 1);
+    }
+}

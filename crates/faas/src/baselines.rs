@@ -1,0 +1,227 @@
+//! Baseline data planes: `OWK-Swift` (every access hits the RSDS) and
+//! `OWK-Redis` (every access hits a tenant-provisioned IMOC), the two
+//! comparison configurations of §7.2.
+
+use crate::{
+    DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served, WriteOutcome,
+};
+use ofc_objstore::imoc::Imoc;
+use ofc_objstore::store::ObjectStore;
+use ofc_objstore::Payload;
+use ofc_simtime::Sim;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// `OWK-Swift`: reads and writes go straight to the object store.
+pub struct DirectPlane {
+    store: Rc<RefCell<ObjectStore>>,
+}
+
+impl DirectPlane {
+    /// Wraps a shared object store.
+    pub fn new(store: Rc<RefCell<ObjectStore>>) -> Self {
+        DirectPlane { store }
+    }
+}
+
+impl DataPlane for DirectPlane {
+    fn read(
+        &mut self,
+        _sim: &mut Sim,
+        _node: NodeId,
+        obj: &ObjectRef,
+        _should_cache: bool,
+    ) -> ReadOutcome {
+        let mut store = self.store.borrow_mut();
+        let (res, latency) = store.get(&obj.id);
+        // A read of a missing object still pays the metadata round trip;
+        // the caller decides what a missing input means for the function.
+        let _ = res;
+        ReadOutcome {
+            latency,
+            served: Served::Direct,
+        }
+    }
+
+    fn write(
+        &mut self,
+        _sim: &mut Sim,
+        _node: NodeId,
+        obj: &ObjectWrite,
+        _should_cache: bool,
+        _pipeline: Option<PipelineId>,
+    ) -> WriteOutcome {
+        let mut store = self.store.borrow_mut();
+        let (_, latency) = store.put(&obj.id, Payload::Synthetic(obj.size), HashMap::new(), false);
+        WriteOutcome { latency }
+    }
+}
+
+/// `OWK-Redis`: the tenant provisioned an IMOC and modified the function to
+/// use it for all data (§2.2.3). Intermediate and final data live in Redis;
+/// nothing touches the RSDS on the critical path.
+pub struct ImocPlane {
+    imoc: Rc<RefCell<Imoc>>,
+    /// Redis miss fallback: the store the data originally lives in.
+    store: Rc<RefCell<ObjectStore>>,
+}
+
+impl ImocPlane {
+    /// Wraps a shared IMOC with an RSDS fallback for cold reads.
+    pub fn new(imoc: Rc<RefCell<Imoc>>, store: Rc<RefCell<ObjectStore>>) -> Self {
+        ImocPlane { imoc, store }
+    }
+}
+
+impl DataPlane for ImocPlane {
+    fn read(
+        &mut self,
+        _sim: &mut Sim,
+        _node: NodeId,
+        obj: &ObjectRef,
+        _should_cache: bool,
+    ) -> ReadOutcome {
+        let mut imoc = self.imoc.borrow_mut();
+        let (res, latency) = imoc.get(&obj.id);
+        match res {
+            Ok(_) => ReadOutcome {
+                latency,
+                served: Served::Direct,
+            },
+            Err(_) => {
+                // Cold read: fetch from the RSDS and populate Redis.
+                let mut store = self.store.borrow_mut();
+                let (_, store_latency) = store.get(&obj.id);
+                let (_, put_latency) = imoc.put(&obj.id, Payload::Synthetic(obj.size));
+                ReadOutcome {
+                    latency: latency + store_latency + put_latency,
+                    served: Served::Miss,
+                }
+            }
+        }
+    }
+
+    fn write(
+        &mut self,
+        _sim: &mut Sim,
+        _node: NodeId,
+        obj: &ObjectWrite,
+        _should_cache: bool,
+        _pipeline: Option<PipelineId>,
+    ) -> WriteOutcome {
+        let mut imoc = self.imoc.borrow_mut();
+        let (res, latency) = imoc.put(&obj.id, Payload::Synthetic(obj.size));
+        let latency = match res {
+            Ok(()) => latency,
+            // An over-capacity object goes straight to the RSDS instead.
+            Err(_) => {
+                let mut store = self.store.borrow_mut();
+                store
+                    .put(&obj.id, Payload::Synthetic(obj.size), HashMap::new(), false)
+                    .1
+            }
+        };
+        WriteOutcome { latency }
+    }
+}
+
+/// A zero-latency plane for scheduler/lifecycle unit tests.
+#[derive(Debug, Default)]
+pub struct NoopPlane;
+
+impl DataPlane for NoopPlane {
+    fn read(
+        &mut self,
+        _sim: &mut Sim,
+        _node: NodeId,
+        _obj: &ObjectRef,
+        _should_cache: bool,
+    ) -> ReadOutcome {
+        ReadOutcome {
+            latency: Duration::ZERO,
+            served: Served::Direct,
+        }
+    }
+
+    fn write(
+        &mut self,
+        _sim: &mut Sim,
+        _node: NodeId,
+        _obj: &ObjectWrite,
+        _should_cache: bool,
+        _pipeline: Option<PipelineId>,
+    ) -> WriteOutcome {
+        WriteOutcome {
+            latency: Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofc_objstore::latency::LatencyModel;
+    use ofc_objstore::ObjectId;
+
+    fn oref(key: &str, size: u64) -> ObjectRef {
+        ObjectRef {
+            id: ObjectId::new("b", key),
+            size,
+        }
+    }
+
+    #[test]
+    fn direct_plane_charges_store_latency() {
+        let store = Rc::new(RefCell::new(ObjectStore::swift()));
+        store.borrow_mut().put(
+            &ObjectId::new("b", "k"),
+            Payload::Synthetic(1024),
+            HashMap::new(),
+            false,
+        );
+        let mut plane = DirectPlane::new(Rc::clone(&store));
+        let mut sim = Sim::new(0);
+        let out = plane.read(&mut sim, 0, &oref("k", 1024), false);
+        assert!(out.latency >= Duration::from_millis(42));
+        assert_eq!(out.served, Served::Direct);
+    }
+
+    #[test]
+    fn imoc_plane_hits_after_cold_read() {
+        let store = Rc::new(RefCell::new(ObjectStore::new(LatencyModel::swift())));
+        store.borrow_mut().put(
+            &ObjectId::new("b", "k"),
+            Payload::Synthetic(1024),
+            HashMap::new(),
+            false,
+        );
+        let imoc = Rc::new(RefCell::new(Imoc::redis(1 << 20)));
+        let mut plane = ImocPlane::new(imoc, Rc::clone(&store));
+        let mut sim = Sim::new(0);
+        let cold = plane.read(&mut sim, 0, &oref("k", 1024), false);
+        assert_eq!(cold.served, Served::Miss);
+        let warm = plane.read(&mut sim, 0, &oref("k", 1024), false);
+        assert_eq!(warm.served, Served::Direct);
+        assert!(warm.latency < cold.latency);
+        // Warm Redis read is sub-millisecond.
+        assert!(warm.latency < Duration::from_millis(2));
+    }
+
+    #[test]
+    fn imoc_plane_writes_land_in_redis() {
+        let store = Rc::new(RefCell::new(ObjectStore::swift()));
+        let imoc = Rc::new(RefCell::new(Imoc::redis(1 << 20)));
+        let mut plane = ImocPlane::new(Rc::clone(&imoc), store);
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("b", "out"),
+            size: 4096,
+            is_final: true,
+        };
+        let out = plane.write(&mut sim, 0, &w, false, None);
+        assert!(out.latency < Duration::from_millis(1));
+        assert!(imoc.borrow().contains(&ObjectId::new("b", "out")));
+    }
+}

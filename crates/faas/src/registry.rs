@@ -1,0 +1,145 @@
+//! Function registry: the platform's function metadata store (CouchDB in
+//! OpenWhisk).
+//!
+//! OFC stores each function's ML models alongside its metadata so that
+//! fetching a function for invocation also fetches its Predictor model
+//! (§5.1). The registry supports that with an opaque attachment slot.
+
+use crate::{Args, Behavior, FunctionId, FunctionModel, TenantId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A registered function: tenant booking plus runtime model.
+#[derive(Clone)]
+pub struct FunctionSpec {
+    /// Function id (unique per tenant).
+    pub id: FunctionId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Memory the tenant booked for each sandbox of this function.
+    pub booked_mem: u64,
+    /// Runtime behaviour model.
+    pub model: Rc<dyn FunctionModel>,
+}
+
+impl std::fmt::Debug for FunctionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionSpec")
+            .field("id", &self.id)
+            .field("tenant", &self.tenant)
+            .field("booked_mem", &self.booked_mem)
+            .finish()
+    }
+}
+
+/// The function metadata store.
+#[derive(Debug, Default)]
+pub struct Registry {
+    specs: HashMap<(TenantId, FunctionId), FunctionSpec>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register(&mut self, spec: FunctionSpec) {
+        self.specs
+            .insert((spec.tenant.clone(), spec.id.clone()), spec);
+    }
+
+    /// Looks up a function.
+    pub fn get(&self, tenant: &TenantId, function: &FunctionId) -> Option<&FunctionSpec> {
+        self.specs.get(&(tenant.clone(), function.clone()))
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterates over all specs.
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionSpec> {
+        self.specs.values()
+    }
+}
+
+/// A fixed-behaviour model for tests and examples.
+#[derive(Debug, Clone, Default)]
+pub struct FixedModel {
+    /// The behaviour returned for every invocation.
+    pub behavior: Behavior,
+}
+
+impl FunctionModel for FixedModel {
+    fn behavior(&self, _args: &Args, _seed: u64) -> Behavior {
+        self.behavior.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = Registry::new();
+        reg.register(FunctionSpec {
+            id: FunctionId::from("blur"),
+            tenant: TenantId::from("alice"),
+            booked_mem: 512 << 20,
+            model: Rc::new(FixedModel::default()),
+        });
+        assert_eq!(reg.len(), 1);
+        let spec = reg
+            .get(&TenantId::from("alice"), &FunctionId::from("blur"))
+            .unwrap();
+        assert_eq!(spec.booked_mem, 512 << 20);
+        assert!(reg
+            .get(&TenantId::from("bob"), &FunctionId::from("blur"))
+            .is_none());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut reg = Registry::new();
+        for booked in [1u64, 2] {
+            reg.register(FunctionSpec {
+                id: FunctionId::from("f"),
+                tenant: TenantId::from("t"),
+                booked_mem: booked,
+                model: Rc::new(FixedModel::default()),
+            });
+        }
+        assert_eq!(reg.len(), 1);
+        assert_eq!(
+            reg.get(&TenantId::from("t"), &FunctionId::from("f"))
+                .unwrap()
+                .booked_mem,
+            2
+        );
+    }
+
+    #[test]
+    fn fixed_model_returns_behavior() {
+        let m = FixedModel {
+            behavior: Behavior {
+                mem_bytes: 77,
+                compute: Duration::from_millis(5),
+                reads: vec![],
+                writes: vec![],
+            },
+        };
+        let b = m.behavior(&Args::new(), 0);
+        assert_eq!(b.mem_bytes, 77);
+        assert_eq!(b.compute, Duration::from_millis(5));
+    }
+}

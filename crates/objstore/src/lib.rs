@@ -1,0 +1,193 @@
+//! Remote shared data store (RSDS) substrate: a Swift/S3-model object store
+//! plus a Redis-model in-memory object cache (IMOC) baseline.
+//!
+//! The paper's functions follow the Extract-Transform-Load pattern against a
+//! remote object store (§1); OFC interposes a cache between the two. This
+//! crate provides the storage side:
+//!
+//! * [`store::ObjectStore`] — buckets, versioned objects, metadata tags
+//!   (where extracted ML features live, §5.1.2), **shadow objects**
+//!   (empty-payload placeholders carrying two version numbers, §6.2), and
+//!   read/write **webhooks** for external-client consistency,
+//! * [`imoc::Imoc`] — the Redis-like cache used by the `OWK-Redis` baseline
+//!   of §7.2,
+//! * [`latency::LatencyModel`] — first-order per-operation cost models with
+//!   presets calibrated to the paper's measurements.
+//!
+//! All operations are *time-functional*: they return the operation latency
+//! along with the result; the caller advances virtual time.
+
+pub mod imoc;
+pub mod latency;
+pub mod store;
+
+use bytes::Bytes;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of an object: `(bucket, key)`.
+///
+/// Cheap to clone (interned strings) and usable as a map key across the
+/// whole stack — the cache, the store, and the FaaS argument parser all pass
+/// these around.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId {
+    /// Bucket (Swift container) name.
+    pub bucket: Arc<str>,
+    /// Object key within the bucket.
+    pub key: Arc<str>,
+}
+
+impl ObjectId {
+    /// Creates an id from bucket and key names.
+    pub fn new(bucket: impl AsRef<str>, key: impl AsRef<str>) -> Self {
+        ObjectId {
+            bucket: Arc::from(bucket.as_ref()),
+            key: Arc::from(key.as_ref()),
+        }
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.bucket, self.key)
+    }
+}
+
+/// An object payload.
+///
+/// Simulated workloads carry [`Payload::Synthetic`] (a byte count only) so a
+/// 30-minute macro experiment does not allocate gigabytes; real byte
+/// payloads are supported for API users and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A payload of the given size whose bytes are not materialized.
+    Synthetic(u64),
+    /// Actual bytes.
+    Data(Bytes),
+}
+
+impl Payload {
+    /// Payload size in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Synthetic(n) => *n,
+            Payload::Data(b) => b.len() as u64,
+        }
+    }
+
+    /// Whether the payload is empty (a shadow placeholder has no payload at
+    /// all and is represented separately).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The real bytes, if materialized.
+    pub fn bytes(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Synthetic(_) => None,
+            Payload::Data(b) => Some(b),
+        }
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload::Data(b)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Self {
+        Payload::Data(Bytes::copy_from_slice(b))
+    }
+}
+
+/// Errors returned by the storage substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The object (or bucket) does not exist.
+    NotFound(ObjectId),
+    /// A shadow fulfillment arrived out of order or for a stale version.
+    VersionConflict {
+        /// The object concerned.
+        id: ObjectId,
+        /// Version the caller tried to act on.
+        attempted: u64,
+        /// Current latest version.
+        current: u64,
+    },
+    /// The object's payload is not yet persisted (only its shadow exists)
+    /// and the store was asked for strict reads.
+    ShadowOnly(ObjectId),
+    /// The store/cache is out of capacity.
+    CapacityExceeded {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(id) => write!(f, "object {id} not found"),
+            StoreError::VersionConflict {
+                id,
+                attempted,
+                current,
+            } => write!(
+                f,
+                "version conflict on {id}: attempted {attempted}, current {current}"
+            ),
+            StoreError::ShadowOnly(id) => {
+                write!(f, "object {id} has an unfulfilled shadow (payload pending)")
+            }
+            StoreError::CapacityExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded: requested {requested} B, available {available} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_display_and_eq() {
+        let a = ObjectId::new("imgs", "cat.png");
+        let b = ObjectId::new("imgs", "cat.png");
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "imgs/cat.png");
+    }
+
+    #[test]
+    fn payload_lengths() {
+        assert_eq!(Payload::Synthetic(42).len(), 42);
+        assert_eq!(Payload::from(&b"abc"[..]).len(), 3);
+        assert!(Payload::Synthetic(0).is_empty());
+        assert!(Payload::from(&b"xy"[..]).bytes().is_some());
+        assert!(Payload::Synthetic(9).bytes().is_none());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let id = ObjectId::new("b", "k");
+        let e = StoreError::VersionConflict {
+            id: id.clone(),
+            attempted: 3,
+            current: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("b/k") && msg.contains('3') && msg.contains('5'));
+        assert!(StoreError::NotFound(id).to_string().contains("not found"));
+    }
+}

@@ -1,0 +1,1074 @@
+//! The cluster: coordinator (tablet map, replica placement), client
+//! operations, migration-by-promotion, and crash recovery.
+
+use crate::node::StorageNode;
+use crate::{AccessStats, ClusterConfig, Key, NodeId, RcError, ReadLocality, Timed, Value};
+use ofc_simtime::SimTime;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Cluster-wide counters for telemetry (feeds Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Reads served from the requesting node.
+    pub local_hits: u64,
+    /// Reads served from a remote master.
+    pub remote_hits: u64,
+    /// Reads that found no cached copy.
+    pub misses: u64,
+    /// Writes accepted.
+    pub writes: u64,
+    /// Objects evicted.
+    pub evictions: u64,
+    /// Masterships migrated by backup promotion.
+    pub promotions: u64,
+    /// Pool scale-up operations.
+    pub scale_ups: u64,
+    /// Pool scale-down operations.
+    pub scale_downs: u64,
+    /// Objects lost during recovery (no surviving replica).
+    pub lost_objects: u64,
+}
+
+/// The distributed cache store. See the crate docs for an example.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<StorageNode>,
+    /// Key → master node.
+    tablet: HashMap<Key, NodeId>,
+    /// Key → backup nodes (in ring order).
+    replicas: HashMap<Key, Vec<NodeId>>,
+    /// Coordinator-side version counters: bumped by every committed write,
+    /// delete, or eviction of a key (transaction validation, [`crate::txn`]).
+    versions: HashMap<Key, u64>,
+    counters: ClusterCounters,
+}
+
+impl Cluster {
+    /// Builds a cluster of `cfg.nodes` empty storage nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replication factor leaves no distinct backup nodes or
+    /// the node count is zero.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.nodes > 0, "cluster needs at least one node");
+        assert!(
+            cfg.replication_factor < cfg.nodes,
+            "replication factor {} needs more than {} nodes",
+            cfg.replication_factor,
+            cfg.nodes
+        );
+        assert!(
+            cfg.max_object_bytes <= cfg.segment_bytes,
+            "objects must fit in a log segment"
+        );
+        let nodes = (0..cfg.nodes)
+            .map(|id| StorageNode::new(id, cfg.segment_bytes, cfg.node_pool_bytes))
+            .collect();
+        Cluster {
+            cfg,
+            nodes,
+            tablet: HashMap::new(),
+            replicas: HashMap::new(),
+            versions: HashMap::new(),
+            counters: ClusterCounters::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Cluster counters so far.
+    pub fn counters(&self) -> ClusterCounters {
+        self.counters
+    }
+
+    /// Number of nodes (up or down).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow of a node (panics on bad id — internal invariant).
+    pub fn node(&self, id: NodeId) -> &StorageNode {
+        &self.nodes[id]
+    }
+
+    /// Master node of `key`, if cached.
+    pub fn master_of(&self, key: &Key) -> Option<NodeId> {
+        self.tablet.get(key).copied()
+    }
+
+    /// Backup nodes of `key`.
+    pub fn backups_of(&self, key: &Key) -> &[NodeId] {
+        self.replicas.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `key` has a cached master copy.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.tablet.contains_key(key)
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.tablet.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tablet.is_empty()
+    }
+
+    /// Total bytes of master copies across the cluster.
+    pub fn used_bytes(&self) -> u64 {
+        self.nodes.iter().map(StorageNode::used_bytes).sum()
+    }
+
+    /// Total pool bytes across live nodes.
+    pub fn pool_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_up())
+            .map(StorageNode::pool_bytes)
+            .sum()
+    }
+
+    /// Access statistics of a cached object.
+    pub fn stats_of(&self, key: &Key) -> Option<AccessStats> {
+        let master = self.master_of(key)?;
+        self.nodes[master].peek_master(key).map(|o| o.stats)
+    }
+
+    /// Whether the cached object is dirty (unpersisted).
+    pub fn is_dirty(&self, key: &Key) -> Option<bool> {
+        let master = self.master_of(key)?;
+        self.nodes[master].peek_master(key).map(|o| o.dirty)
+    }
+
+    /// Writes an object into the cache.
+    ///
+    /// The master is placed on `home` (the invoker node running the writing
+    /// function, §6.5 locality) when it has room, otherwise on the live node
+    /// with the most available pool. Backups go to the next
+    /// `replication_factor` live nodes in ring order.
+    pub fn write(
+        &mut self,
+        home: NodeId,
+        key: &Key,
+        value: Value,
+        now: SimTime,
+    ) -> Timed<Result<NodeId, RcError>> {
+        self.write_with_dirty(home, key, value, now, true)
+    }
+
+    /// [`Cluster::write`] with an explicit dirty flag (tests and pre-warmed
+    /// caches insert clean objects).
+    pub fn write_with_dirty(
+        &mut self,
+        home: NodeId,
+        key: &Key,
+        value: Value,
+        now: SimTime,
+        dirty: bool,
+    ) -> Timed<Result<NodeId, RcError>> {
+        let size = value.size();
+        if size > self.cfg.max_object_bytes {
+            return Timed::new(
+                Err(RcError::ObjectTooLarge {
+                    size,
+                    max: self.cfg.max_object_bytes,
+                }),
+                Duration::ZERO,
+            );
+        }
+        // An overwrite first retires the previous placement.
+        if self.tablet.contains_key(key) {
+            self.remove_entry(key);
+        }
+        let Some(master) = self.place_master(home, size) else {
+            return Timed::new(
+                Err(RcError::OutOfMemory {
+                    requested: size,
+                    available: self.max_node_available(),
+                }),
+                Duration::ZERO,
+            );
+        };
+        if let Err(e) = self.nodes[master].insert_master(key.clone(), value.clone(), now, dirty) {
+            return Timed::new(Err(e), Duration::ZERO);
+        }
+        let backups = self.pick_backups(master);
+        for &b in &backups {
+            self.nodes[b].store_backup(key.clone(), value.clone());
+        }
+        self.tablet.insert(key.clone(), master);
+        self.replicas.insert(key.clone(), backups);
+        *self.versions.entry(key.clone()).or_insert(0) += 1;
+        self.counters.writes += 1;
+        let latency = self.cfg.latency.write(size, master != home);
+        Timed::new(Ok(master), latency)
+    }
+
+    /// Reads an object from the viewpoint of node `from`.
+    pub fn read(
+        &mut self,
+        from: NodeId,
+        key: &Key,
+        now: SimTime,
+    ) -> Timed<Result<(Value, ReadLocality), RcError>> {
+        let Some(&master) = self.tablet.get(key) else {
+            self.counters.misses += 1;
+            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+        };
+        let Some(obj) = self.nodes[master].read_master(key, now) else {
+            self.counters.misses += 1;
+            return Timed::new(Err(RcError::NodeUnavailable(master)), Duration::ZERO);
+        };
+        let value = obj.value.clone();
+        let locality = if master == from {
+            self.counters.local_hits += 1;
+            ReadLocality::LocalHit
+        } else {
+            self.counters.remote_hits += 1;
+            ReadLocality::RemoteHit
+        };
+        let latency = self
+            .cfg
+            .latency
+            .read(value.size(), locality == ReadLocality::RemoteHit);
+        Timed::new(Ok((value, locality)), latency)
+    }
+
+    /// Marks an object clean (persisted to the RSDS).
+    pub fn mark_clean(&mut self, key: &Key) -> Result<(), RcError> {
+        let master = self
+            .master_of(key)
+            .ok_or_else(|| RcError::NotFound(key.clone()))?;
+        self.nodes[master].set_dirty(key, false)
+    }
+
+    /// Evicts an object entirely (master and backups).
+    ///
+    /// Dirty objects are refused — the caller must write them back first
+    /// (§6.4's reclamation order guarantees this).
+    pub fn evict(&mut self, key: &Key) -> Timed<Result<u64, RcError>> {
+        let Some(&master) = self.tablet.get(key) else {
+            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+        };
+        if self.nodes[master].peek_master(key).is_some_and(|o| o.dirty) {
+            return Timed::new(Err(RcError::Dirty(key.clone())), Duration::ZERO);
+        }
+        let size = self.remove_entry(key);
+        self.counters.evictions += 1;
+        Timed::new(Ok(size), self.cfg.latency.delete_base)
+    }
+
+    /// Deletes an object unconditionally (pipeline intermediates are dropped
+    /// without persistence once the pipeline ends, §6.3).
+    pub fn delete(&mut self, key: &Key) -> Timed<Result<u64, RcError>> {
+        if !self.tablet.contains_key(key) {
+            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+        }
+        let size = self.remove_entry(key);
+        Timed::new(Ok(size), self.cfg.latency.delete_base)
+    }
+
+    /// Moves the mastership of `key` off its current node by promoting a
+    /// backup replica (§6.4): no payload crosses the network; the old master
+    /// keeps an on-disk copy and becomes a backup, preserving the
+    /// replication factor.
+    pub fn migrate_by_promotion(
+        &mut self,
+        key: &Key,
+        now: SimTime,
+    ) -> Timed<Result<NodeId, RcError>> {
+        let Some(&old_master) = self.tablet.get(key) else {
+            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+        };
+        let size = self.nodes[old_master]
+            .peek_master(key)
+            .map(|o| o.value.size())
+            .unwrap_or(0);
+        let dirty = self.nodes[old_master]
+            .peek_master(key)
+            .map(|o| o.dirty)
+            .unwrap_or(false);
+        // Elect the backup with the most available memory.
+        let backups = self.backups_of(key).to_vec();
+        let new_master = backups
+            .iter()
+            .copied()
+            .filter(|&b| self.nodes[b].is_up() && self.nodes[b].available_bytes() >= size)
+            .max_by_key(|&b| self.nodes[b].available_bytes());
+        let Some(new_master) = new_master else {
+            return Timed::new(Err(RcError::NoEligibleBackup(key.clone())), Duration::ZERO);
+        };
+        if let Err(e) = self.nodes[new_master].promote_backup(key, now, dirty) {
+            return Timed::new(Err(e), Duration::ZERO);
+        }
+        // Old master demotes to backup: removes from memory, keeps on disk.
+        if self.nodes[old_master].demote_to_backup(key).is_err() {
+            // Master vanished under us; treat as recovery-grade promotion.
+            self.nodes[old_master].remove_master(key);
+        }
+        self.tablet.insert(key.clone(), new_master);
+        let new_backups: Vec<NodeId> = backups
+            .into_iter()
+            .map(|b| if b == new_master { old_master } else { b })
+            .collect();
+        self.replicas.insert(key.clone(), new_backups);
+        self.counters.promotions += 1;
+        Timed::new(Ok(new_master), self.cfg.latency.promote(size))
+    }
+
+    /// Resizes a node's memory pool (vertical scaling).
+    ///
+    /// Shrinks that would cut into live data are refused — the cache agent
+    /// must evict or migrate first; this keeps the mechanism/policy split
+    /// clean.
+    pub fn resize_pool(&mut self, node: NodeId, bytes: u64) -> Timed<Result<(), RcError>> {
+        if node >= self.nodes.len() || !self.nodes[node].is_up() {
+            return Timed::new(Err(RcError::NodeUnavailable(node)), Duration::ZERO);
+        }
+        let growing = bytes >= self.nodes[node].pool_bytes();
+        if !growing && self.nodes[node].used_bytes() > bytes {
+            return Timed::new(
+                Err(RcError::OutOfMemory {
+                    requested: bytes,
+                    available: self.nodes[node].used_bytes(),
+                }),
+                Duration::ZERO,
+            );
+        }
+        let over = self.nodes[node].set_pool_bytes(bytes);
+        debug_assert!(!over, "live data fits, so the cleaner must succeed");
+        if growing {
+            self.counters.scale_ups += 1;
+        } else {
+            self.counters.scale_downs += 1;
+        }
+        Timed::new(Ok(()), self.cfg.latency.rescale(false))
+    }
+
+    /// Crashes a node and recovers its data: every object it mastered is
+    /// promoted on a surviving backup; replicas it held are re-created
+    /// elsewhere to restore the replication factor.
+    ///
+    /// Returns the number of objects lost (no surviving replica), with the
+    /// recovery latency.
+    pub fn crash_node(&mut self, node: NodeId) -> Timed<usize> {
+        if node >= self.nodes.len() || !self.nodes[node].is_up() {
+            return Timed::new(0, Duration::ZERO);
+        }
+        self.nodes[node].set_up(false);
+
+        let mut latency = Duration::ZERO;
+        let mut lost = 0usize;
+
+        // Re-master objects whose master crashed.
+        let orphaned: Vec<Key> = self
+            .tablet
+            .iter()
+            .filter(|&(_, &m)| m == node)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in orphaned {
+            let survivors: Vec<NodeId> = self
+                .backups_of(&key)
+                .iter()
+                .copied()
+                .filter(|&b| self.nodes[b].is_up() && self.nodes[b].has_backup(&key))
+                .collect();
+            let Some(&new_master) = survivors.first() else {
+                self.remove_entry(&key);
+                lost += 1;
+                continue;
+            };
+            let size = self.nodes[new_master]
+                .peek_master(&key)
+                .map(|o| o.value.size())
+                .unwrap_or_else(|| {
+                    // Size comes from the backup copy being promoted.
+                    0
+                });
+            if self.nodes[new_master]
+                .promote_backup(&key, SimTime::ZERO, false)
+                .is_err()
+            {
+                self.remove_entry(&key);
+                lost += 1;
+                continue;
+            }
+            latency += self.cfg.latency.promote(size.max(1));
+            self.tablet.insert(key.clone(), new_master);
+            let mut backups: Vec<NodeId> = survivors[1..].to_vec();
+            // Restore the replication factor from the new master's copy.
+            let value = self.nodes[new_master]
+                .peek_master(&key)
+                .map(|o| o.value.clone());
+            if let Some(value) = value {
+                let ring: Vec<NodeId> = self.ring_from(new_master).collect();
+                for candidate in ring {
+                    if backups.len() >= self.cfg.replication_factor {
+                        break;
+                    }
+                    if candidate != new_master
+                        && self.nodes[candidate].is_up()
+                        && !backups.contains(&candidate)
+                    {
+                        self.nodes[candidate].store_backup(key.clone(), value.clone());
+                        backups.push(candidate);
+                    }
+                }
+            }
+            self.replicas.insert(key, backups);
+        }
+
+        // Restore replicas that lived on the crashed node.
+        let weakened: Vec<Key> = self
+            .replicas
+            .iter()
+            .filter(|(_, bs)| bs.contains(&node))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in weakened {
+            let Some(&master) = self.tablet.get(&key) else {
+                continue;
+            };
+            let value = match self.nodes[master].peek_master(&key) {
+                Some(o) => o.value.clone(),
+                None => continue,
+            };
+            let mut backups: Vec<NodeId> = self.replicas[&key]
+                .iter()
+                .copied()
+                .filter(|&b| b != node)
+                .collect();
+            let ring: Vec<NodeId> = self.ring_from(master).collect();
+            for candidate in ring {
+                if backups.len() >= self.cfg.replication_factor {
+                    break;
+                }
+                if candidate != master
+                    && self.nodes[candidate].is_up()
+                    && !backups.contains(&candidate)
+                {
+                    self.nodes[candidate].store_backup(key.clone(), value.clone());
+                    backups.push(candidate);
+                }
+            }
+            self.replicas.insert(key, backups);
+        }
+
+        self.counters.lost_objects += lost as u64;
+        Timed::new(lost, latency)
+    }
+
+    /// Restarts a crashed node. It rejoins empty, and the coordinator
+    /// immediately tops up the replication of any object left below the
+    /// configured factor by earlier failures.
+    pub fn restart_node(&mut self, node: NodeId) {
+        if node >= self.nodes.len() {
+            return;
+        }
+        self.nodes[node].set_up(true);
+        let weakened: Vec<Key> = self
+            .replicas
+            .iter()
+            .filter(|(key, backups)| {
+                let live = backups
+                    .iter()
+                    .filter(|&&b| self.nodes[b].is_up() && self.nodes[b].has_backup(key))
+                    .count();
+                live < self.cfg.replication_factor
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in weakened {
+            let Some(&master) = self.tablet.get(&key) else {
+                continue;
+            };
+            let value = match self.nodes[master].peek_master(&key) {
+                Some(o) => o.value.clone(),
+                None => continue,
+            };
+            let mut backups: Vec<NodeId> = self.replicas[&key]
+                .iter()
+                .copied()
+                .filter(|&b| self.nodes[b].is_up() && self.nodes[b].has_backup(&key))
+                .collect();
+            let ring: Vec<NodeId> = self.ring_from(master).collect();
+            for candidate in ring {
+                if backups.len() >= self.cfg.replication_factor {
+                    break;
+                }
+                if candidate != master
+                    && self.nodes[candidate].is_up()
+                    && !backups.contains(&candidate)
+                {
+                    self.nodes[candidate].store_backup(key.clone(), value.clone());
+                    backups.push(candidate);
+                }
+            }
+            self.replicas.insert(key, backups);
+        }
+    }
+
+    /// Adds a storage node to the cluster (horizontal scale-out, §6.4).
+    ///
+    /// The new node joins empty with the given memory pool and immediately
+    /// becomes a placement candidate for masters and backups; returns its
+    /// id. Existing placements are untouched — load drains towards the new
+    /// node through normal writes, reclamation migrations, and recovery.
+    pub fn add_node(&mut self, pool_bytes: u64) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes
+            .push(StorageNode::new(id, self.cfg.segment_bytes, pool_bytes));
+        self.cfg.nodes = self.nodes.len();
+        id
+    }
+
+    /// Drains and removes a node from service (horizontal scale-in, §6.4):
+    /// every master it holds migrates away by promotion where a backup
+    /// exists (falling back to a copy through the coordinator otherwise),
+    /// backups it held are re-created elsewhere, and the node goes down.
+    ///
+    /// Returns the number of objects that could not be preserved (only
+    /// possible when the remaining nodes lack memory).
+    pub fn drain_node(&mut self, node: NodeId, now: SimTime) -> Timed<usize> {
+        if node >= self.nodes.len() || !self.nodes[node].is_up() {
+            return Timed::new(0, Duration::ZERO);
+        }
+        let mut latency = Duration::ZERO;
+        let mut lost = 0usize;
+        let masters: Vec<Key> = self
+            .tablet
+            .iter()
+            .filter(|&(_, &m)| m == node)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in masters {
+            let t = self.migrate_by_promotion(&key, now);
+            match t.result {
+                Ok(_) => latency += t.latency,
+                Err(_) => {
+                    // No eligible backup: fall back to a coordinator-driven
+                    // copy onto the roomiest other live node.
+                    let (value, dirty) = match self.nodes[node].peek_master(&key) {
+                        Some(o) => (o.value.clone(), o.dirty),
+                        None => continue,
+                    };
+                    let target = self
+                        .nodes
+                        .iter()
+                        .filter(|n| {
+                            n.id() != node
+                                && n.is_up()
+                                && n.available_bytes() >= value.size().max(1)
+                        })
+                        .max_by_key(|n| n.available_bytes())
+                        .map(StorageNode::id);
+                    match target {
+                        Some(target) => {
+                            let size = value.size();
+                            if self.nodes[target]
+                                .insert_master(key.clone(), value, now, dirty)
+                                .is_ok()
+                            {
+                                self.nodes[node].remove_master(&key);
+                                self.tablet.insert(key.clone(), target);
+                                // Full copy over the network, unlike promotion.
+                                latency += self.cfg.latency.write(size, true);
+                            } else {
+                                lost += 1;
+                                self.remove_entry(&key);
+                            }
+                        }
+                        None => {
+                            lost += 1;
+                            self.remove_entry(&key);
+                        }
+                    }
+                }
+            }
+        }
+        // Re-home the backups it held, then take it out of service; the
+        // crash path already knows how to restore replication.
+        let t = self.crash_node(node);
+        latency += t.latency;
+        self.counters.lost_objects += lost as u64;
+        Timed::new(lost + t.result, latency)
+    }
+
+    /// Current replication factor of `key` (backup copies actually present).
+    pub fn live_replicas(&self, key: &Key) -> usize {
+        self.backups_of(key)
+            .iter()
+            .filter(|&&b| self.nodes[b].is_up() && self.nodes[b].has_backup(key))
+            .count()
+    }
+
+    /// Current version of `key` (0 when never written).
+    pub fn version_of(&self, key: &Key) -> u64 {
+        self.versions.get(key).copied().unwrap_or(0)
+    }
+
+    /// Clone of the cached value of `key`, without touching access stats.
+    pub fn peek_value(&self, key: &Key) -> Option<Value> {
+        let master = self.master_of(key)?;
+        self.nodes[master].peek_master(key).map(|o| o.value.clone())
+    }
+
+    fn remove_entry(&mut self, key: &Key) -> u64 {
+        *self.versions.entry(key.clone()).or_insert(0) += 1;
+        let mut size = 0;
+        if let Some(master) = self.tablet.remove(key) {
+            if let Some(obj) = self.nodes[master].remove_master(key) {
+                size = obj.value.size();
+            }
+        }
+        if let Some(backups) = self.replicas.remove(key) {
+            for b in backups {
+                self.nodes[b].remove_backup(key);
+            }
+        }
+        size
+    }
+
+    fn place_master(&self, home: NodeId, size: u64) -> Option<NodeId> {
+        let fits = |n: &StorageNode| n.is_up() && n.available_bytes() >= size.max(1);
+        if home < self.nodes.len() && fits(&self.nodes[home]) {
+            return Some(home);
+        }
+        self.nodes
+            .iter()
+            .filter(|n| fits(n))
+            .max_by_key(|n| n.available_bytes())
+            .map(StorageNode::id)
+    }
+
+    fn max_node_available(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_up())
+            .map(StorageNode::available_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn pick_backups(&self, master: NodeId) -> Vec<NodeId> {
+        self.ring_from(master)
+            .filter(|&n| n != master && self.nodes[n].is_up())
+            .take(self.cfg.replication_factor)
+            .collect()
+    }
+
+    fn ring_from(&self, start: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let n = self.nodes.len();
+        (1..=n).map(move |i| (start + i) % n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            nodes: 4,
+            replication_factor: 2,
+            node_pool_bytes: 4 << 20,
+            max_object_bytes: 1 << 20,
+            segment_bytes: 1 << 20,
+            ..ClusterConfig::default()
+        })
+    }
+
+    #[test]
+    fn write_places_on_home_and_replicates() {
+        let mut c = cluster();
+        let t = c.write(1, &key("a"), Value::synthetic(1000), SimTime::ZERO);
+        assert_eq!(t.result.unwrap(), 1);
+        assert_eq!(c.master_of(&key("a")), Some(1));
+        assert_eq!(c.backups_of(&key("a")), &[2, 3]);
+        assert_eq!(c.live_replicas(&key("a")), 2);
+    }
+
+    #[test]
+    fn read_locality_distinguished() {
+        let mut c = cluster();
+        c.write(1, &key("a"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        let local = c.read(1, &key("a"), SimTime::ZERO);
+        let remote = c.read(0, &key("a"), SimTime::ZERO);
+        assert_eq!(local.result.unwrap().1, ReadLocality::LocalHit);
+        assert_eq!(remote.result.unwrap().1, ReadLocality::RemoteHit);
+        assert!(remote.latency > local.latency);
+        let counters = c.counters();
+        assert_eq!((counters.local_hits, counters.remote_hits), (1, 1));
+    }
+
+    #[test]
+    fn miss_reported() {
+        let mut c = cluster();
+        assert!(c.read(0, &key("nope"), SimTime::ZERO).result.is_err());
+        assert_eq!(c.counters().misses, 1);
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut c = cluster();
+        let t = c.write(0, &key("big"), Value::synthetic(2 << 20), SimTime::ZERO);
+        assert!(matches!(t.result, Err(RcError::ObjectTooLarge { .. })));
+    }
+
+    #[test]
+    fn full_home_spills_to_roomiest_node() {
+        let mut c = cluster();
+        // Fill node 0 (pool 4 MB, objects 1 MB each).
+        for i in 0..4 {
+            c.write(
+                0,
+                &key(&format!("f{i}")),
+                Value::synthetic(1 << 20),
+                SimTime::ZERO,
+            )
+            .result
+            .unwrap();
+        }
+        let t = c.write(0, &key("spill"), Value::synthetic(1 << 20), SimTime::ZERO);
+        let master = t.result.unwrap();
+        assert_ne!(master, 0);
+    }
+
+    #[test]
+    fn dirty_objects_resist_eviction_until_clean() {
+        let mut c = cluster();
+        c.write(0, &key("a"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.is_dirty(&key("a")), Some(true));
+        assert!(matches!(c.evict(&key("a")).result, Err(RcError::Dirty(_))));
+        c.mark_clean(&key("a")).unwrap();
+        assert_eq!(c.evict(&key("a")).result.unwrap(), 10);
+        assert!(!c.contains(&key("a")));
+        // Backups must be gone too.
+        for n in 0..4 {
+            assert!(!c.node(n).has_backup(&key("a")));
+        }
+    }
+
+    #[test]
+    fn delete_is_unconditional() {
+        let mut c = cluster();
+        c.write(0, &key("tmp"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.delete(&key("tmp")).result.unwrap(), 10);
+        assert!(!c.contains(&key("tmp")));
+    }
+
+    #[test]
+    fn migration_by_promotion_moves_master_without_copying() {
+        let mut c = cluster();
+        c.write_with_dirty(1, &key("hot"), Value::synthetic(1000), SimTime::ZERO, false)
+            .result
+            .unwrap();
+        let before_backups = c.backups_of(&key("hot")).to_vec();
+        let t = c.migrate_by_promotion(&key("hot"), SimTime::from_secs(1));
+        let new_master = t.result.unwrap();
+        assert!(before_backups.contains(&new_master));
+        assert_eq!(c.master_of(&key("hot")), Some(new_master));
+        // Old master (1) is now a backup: replication factor preserved.
+        assert_eq!(c.live_replicas(&key("hot")), 2);
+        assert!(c.node(1).has_backup(&key("hot")));
+        assert!(!c.node(1).has_master(&key("hot")));
+        assert_eq!(c.counters().promotions, 1);
+    }
+
+    #[test]
+    fn promotion_latency_scales_with_size() {
+        let mut c = cluster();
+        c.write_with_dirty(
+            0,
+            &key("s"),
+            Value::synthetic(8 << 10),
+            SimTime::ZERO,
+            false,
+        )
+        .result
+        .unwrap();
+        c.write_with_dirty(
+            0,
+            &key("l"),
+            Value::synthetic(1 << 20),
+            SimTime::ZERO,
+            false,
+        )
+        .result
+        .unwrap();
+        let small = c.migrate_by_promotion(&key("s"), SimTime::ZERO).latency;
+        let large = c.migrate_by_promotion(&key("l"), SimTime::ZERO).latency;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn resize_pool_guards_live_data() {
+        let mut c = cluster();
+        c.write_with_dirty(
+            0,
+            &key("a"),
+            Value::synthetic(1 << 20),
+            SimTime::ZERO,
+            false,
+        )
+        .result
+        .unwrap();
+        // Shrinking node 0 below its live bytes is refused.
+        let t = c.resize_pool(0, 100);
+        assert!(matches!(t.result, Err(RcError::OutOfMemory { .. })));
+        // Evict, then shrink succeeds.
+        c.mark_clean(&key("a")).ok();
+        c.evict(&key("a")).result.unwrap();
+        c.resize_pool(0, 100).result.unwrap();
+        assert_eq!(c.node(0).pool_bytes(), 100);
+        // The refused shrink is not counted; only the successful one is.
+        let counters = c.counters();
+        assert_eq!((counters.scale_ups, counters.scale_downs), (0, 1));
+    }
+
+    #[test]
+    fn crash_recovery_promotes_and_restores_replication() {
+        let mut c = cluster();
+        for i in 0..3 {
+            c.write_with_dirty(
+                0,
+                &key(&format!("k{i}")),
+                Value::synthetic(1000),
+                SimTime::ZERO,
+                false,
+            )
+            .result
+            .unwrap();
+        }
+        let lost = c.crash_node(0);
+        assert_eq!(lost.result, 0, "replicated data must survive");
+        for i in 0..3 {
+            let k = key(&format!("k{i}"));
+            let master = c.master_of(&k).expect("still cached");
+            assert_ne!(master, 0);
+            assert_eq!(c.live_replicas(&k), 2, "replication factor restored");
+            // Data still readable.
+            assert!(c.read(1, &k, SimTime::ZERO).result.is_ok());
+        }
+    }
+
+    #[test]
+    fn unreplicated_cluster_loses_data_on_crash() {
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            replication_factor: 0,
+            node_pool_bytes: 1 << 20,
+            max_object_bytes: 1 << 20,
+            segment_bytes: 1 << 20,
+            ..ClusterConfig::default()
+        });
+        c.write_with_dirty(0, &key("a"), Value::synthetic(10), SimTime::ZERO, false)
+            .result
+            .unwrap();
+        let lost = c.crash_node(0);
+        assert_eq!(lost.result, 1);
+        assert!(!c.contains(&key("a")));
+        assert_eq!(c.counters().lost_objects, 1);
+    }
+
+    #[test]
+    fn restart_rejoins_empty() {
+        let mut c = cluster();
+        c.write_with_dirty(0, &key("a"), Value::synthetic(10), SimTime::ZERO, false)
+            .result
+            .unwrap();
+        c.crash_node(0);
+        c.restart_node(0);
+        assert!(c.node(0).is_up());
+        assert_eq!(c.node(0).master_count(), 0);
+        // New writes can land on it again.
+        c.write(0, &key("b"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.master_of(&key("b")), Some(0));
+    }
+
+    #[test]
+    fn overwrite_replaces_placement() {
+        let mut c = cluster();
+        c.write(0, &key("a"), Value::synthetic(100), SimTime::ZERO)
+            .result
+            .unwrap();
+        c.write(2, &key("a"), Value::synthetic(200), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.master_of(&key("a")), Some(2));
+        assert_eq!(c.len(), 1);
+        let (v, _) = c.read(2, &key("a"), SimTime::ZERO).result.unwrap();
+        assert_eq!(v.size(), 200);
+    }
+
+    #[test]
+    fn stats_accumulate_across_reads() {
+        let mut c = cluster();
+        c.write(0, &key("a"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        for i in 1..=5u64 {
+            c.read(0, &key("a"), SimTime::from_secs(i)).result.unwrap();
+        }
+        let stats = c.stats_of(&key("a")).unwrap();
+        assert_eq!(stats.n_access, 5);
+        assert_eq!(stats.t_access, SimTime::from_secs(5));
+    }
+}
+
+#[cfg(test)]
+mod elasticity_tests {
+    use super::*;
+
+    fn key(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            nodes: 3,
+            replication_factor: 1,
+            node_pool_bytes: 8 << 20,
+            max_object_bytes: 1 << 20,
+            segment_bytes: 1 << 20,
+            ..ClusterConfig::default()
+        })
+    }
+
+    #[test]
+    fn add_node_expands_capacity_and_receives_writes() {
+        let mut c = small_cluster();
+        // Fill the original nodes.
+        let mut written = 0;
+        for i in 0..100 {
+            if c.write(
+                0,
+                &key(&format!("k{i}")),
+                Value::synthetic(1 << 20),
+                SimTime::ZERO,
+            )
+            .result
+            .is_ok()
+            {
+                written += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(written < 30, "original capacity should be ~24 objects");
+        // Scale out: the new node absorbs further writes.
+        let new = c.add_node(8 << 20);
+        assert_eq!(new, 3);
+        assert_eq!(c.n_nodes(), 4);
+        let t = c.write(0, &key("fresh"), Value::synthetic(1 << 20), SimTime::ZERO);
+        assert_eq!(t.result.unwrap(), new, "spill lands on the new node");
+    }
+
+    #[test]
+    fn added_node_participates_in_replication() {
+        let mut c = small_cluster();
+        let new = c.add_node(8 << 20);
+        c.write(new, &key("a"), Value::synthetic(1000), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.master_of(&key("a")), Some(new));
+        assert_eq!(c.live_replicas(&key("a")), 1);
+    }
+
+    #[test]
+    fn drain_node_preserves_data_and_takes_node_down() {
+        let mut c = small_cluster();
+        for i in 0..5 {
+            c.write_with_dirty(
+                0,
+                &key(&format!("k{i}")),
+                Value::synthetic(1 << 20),
+                SimTime::ZERO,
+                false,
+            )
+            .result
+            .unwrap();
+        }
+        let victim = c.master_of(&key("k0")).unwrap();
+        let t = c.drain_node(victim, SimTime::ZERO);
+        assert_eq!(t.result, 0, "nothing may be lost on a planned drain");
+        assert!(!c.node(victim).is_up());
+        for i in 0..5 {
+            let k = key(&format!("k{i}"));
+            assert!(c.contains(&k), "k{i} lost");
+            let master = c.master_of(&k).unwrap();
+            assert_ne!(master, victim);
+            assert!(c.read(0, &k, SimTime::ZERO).result.is_ok());
+        }
+    }
+
+    #[test]
+    fn drain_without_backups_copies_instead() {
+        // Replication factor 0: promotion is impossible, the drain must
+        // fall back to full copies.
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            replication_factor: 0,
+            node_pool_bytes: 8 << 20,
+            max_object_bytes: 1 << 20,
+            segment_bytes: 1 << 20,
+            ..ClusterConfig::default()
+        });
+        c.write_with_dirty(
+            0,
+            &key("a"),
+            Value::synthetic(1 << 20),
+            SimTime::ZERO,
+            false,
+        )
+        .result
+        .unwrap();
+        let t = c.drain_node(0, SimTime::ZERO);
+        assert_eq!(t.result, 0);
+        assert_eq!(c.master_of(&key("a")), Some(1));
+        assert!(c.read(1, &key("a"), SimTime::ZERO).result.is_ok());
+    }
+
+    #[test]
+    fn drain_then_add_back_round_trips() {
+        let mut c = small_cluster();
+        c.write_with_dirty(0, &key("a"), Value::synthetic(1000), SimTime::ZERO, false)
+            .result
+            .unwrap();
+        c.drain_node(0, SimTime::ZERO);
+        let replacement = c.add_node(8 << 20);
+        assert_eq!(replacement, 3);
+        // The cluster keeps serving, including placements on the new node.
+        c.write(
+            replacement,
+            &key("b"),
+            Value::synthetic(1000),
+            SimTime::ZERO,
+        )
+        .result
+        .unwrap();
+        assert!(c.contains(&key("a")));
+        assert!(c.contains(&key("b")));
+    }
+}

@@ -1,0 +1,372 @@
+//! A single storage node: master (in-memory, log-structured) plus backup
+//! (on-disk replica) roles, co-located with a FaaS invoker.
+
+use crate::log::Log;
+use crate::{AccessStats, Key, NodeId, RcError, Value};
+use ofc_simtime::SimTime;
+use std::collections::HashMap;
+
+/// A master-copy record: payload, access statistics, dirtiness.
+#[derive(Debug, Clone)]
+pub struct MasterObject {
+    /// The payload.
+    pub value: Value,
+    /// Access statistics (`n_access` / `t_access`, §6.3).
+    pub stats: AccessStats,
+    /// Dirty objects have not been persisted to the RSDS yet and must not
+    /// be evicted before write-back (§6.4).
+    pub dirty: bool,
+}
+
+/// One storage node.
+#[derive(Debug)]
+pub struct StorageNode {
+    id: NodeId,
+    log: Log,
+    master: HashMap<Key, MasterObject>,
+    /// Backup replicas held on disk for other nodes' masters.
+    backup: HashMap<Key, Value>,
+    up: bool,
+}
+
+impl StorageNode {
+    /// Creates a node with the given log geometry and pool size.
+    pub fn new(id: NodeId, segment_bytes: u64, pool_bytes: u64) -> Self {
+        StorageNode {
+            id,
+            log: Log::new(segment_bytes, pool_bytes),
+            master: HashMap::new(),
+            backup: HashMap::new(),
+            up: true,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is alive.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Marks the node down (crash) or up (restart). A restarted node comes
+    /// back empty — recovery repopulates it.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+        if !up {
+            let budget = self.log.budget_bytes();
+            self.log = Log::new(self.log.segment_bytes(), budget);
+            self.master.clear();
+            self.backup.clear();
+        }
+    }
+
+    /// Memory pool size in bytes.
+    pub fn pool_bytes(&self) -> u64 {
+        self.log.budget_bytes()
+    }
+
+    /// Live master bytes in memory.
+    pub fn used_bytes(&self) -> u64 {
+        self.log.live_bytes()
+    }
+
+    /// Bytes available for new master copies (post-cleaning estimate).
+    pub fn available_bytes(&self) -> u64 {
+        self.pool_bytes().saturating_sub(self.used_bytes())
+    }
+
+    /// Adjusts the pool size (vertical scaling, §6.4). The caller is
+    /// responsible for evicting/migrating first when shrinking; this method
+    /// reports whether the log still exceeds the new budget.
+    pub fn set_pool_bytes(&mut self, bytes: u64) -> bool {
+        self.log.set_budget_bytes(bytes);
+        self.log.over_budget()
+    }
+
+    /// Number of master objects.
+    pub fn master_count(&self) -> usize {
+        self.master.len()
+    }
+
+    /// Number of backup replicas held.
+    pub fn backup_count(&self) -> usize {
+        self.backup.len()
+    }
+
+    /// Whether this node masters `key`.
+    pub fn has_master(&self, key: &Key) -> bool {
+        self.master.contains_key(key)
+    }
+
+    /// Whether this node holds a backup replica of `key`.
+    pub fn has_backup(&self, key: &Key) -> bool {
+        self.backup.contains_key(key)
+    }
+
+    /// Inserts (or replaces) a master copy.
+    pub fn insert_master(
+        &mut self,
+        key: Key,
+        value: Value,
+        now: SimTime,
+        dirty: bool,
+    ) -> Result<(), RcError> {
+        if !self.up {
+            return Err(RcError::NodeUnavailable(self.id));
+        }
+        self.log.append(key.clone(), value.size().max(1))?;
+        self.master.insert(
+            key,
+            MasterObject {
+                value,
+                stats: AccessStats {
+                    n_access: 0,
+                    t_access: now,
+                    created: now,
+                },
+                dirty,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reads a master copy, bumping `n_access` / `t_access`.
+    pub fn read_master(&mut self, key: &Key, now: SimTime) -> Option<&MasterObject> {
+        if !self.up {
+            return None;
+        }
+        let obj = self.master.get_mut(key)?;
+        obj.stats.n_access += 1;
+        obj.stats.t_access = now;
+        Some(&*obj)
+    }
+
+    /// Peeks at a master copy without touching the access statistics.
+    pub fn peek_master(&self, key: &Key) -> Option<&MasterObject> {
+        self.master.get(key)
+    }
+
+    /// Removes a master copy, returning it.
+    pub fn remove_master(&mut self, key: &Key) -> Option<MasterObject> {
+        self.log.remove(key);
+        self.master.remove(key)
+    }
+
+    /// Sets the dirty flag of a master copy.
+    pub fn set_dirty(&mut self, key: &Key, dirty: bool) -> Result<(), RcError> {
+        match self.master.get_mut(key) {
+            Some(o) => {
+                o.dirty = dirty;
+                Ok(())
+            }
+            None => Err(RcError::NotFound(key.clone())),
+        }
+    }
+
+    /// Stores a backup replica (on disk; does not consume pool memory).
+    pub fn store_backup(&mut self, key: Key, value: Value) {
+        if self.up {
+            self.backup.insert(key, value);
+        }
+    }
+
+    /// Drops a backup replica.
+    pub fn remove_backup(&mut self, key: &Key) -> Option<Value> {
+        self.backup.remove(key)
+    }
+
+    /// Takes the backup copy for promotion to master on this node.
+    ///
+    /// This is the heart of migration-by-promotion (§6.4): the payload is
+    /// already on this node's disk, so no network transfer happens.
+    pub fn promote_backup(&mut self, key: &Key, now: SimTime, dirty: bool) -> Result<(), RcError> {
+        let value = self
+            .backup
+            .get(key)
+            .cloned()
+            .ok_or_else(|| RcError::NoEligibleBackup(key.clone()))?;
+        self.insert_master(key.clone(), value, now, dirty)?;
+        self.backup.remove(key);
+        Ok(())
+    }
+
+    /// Demotes the master copy to a backup replica (memory → disk).
+    pub fn demote_to_backup(&mut self, key: &Key) -> Result<(), RcError> {
+        let obj = self
+            .remove_master(key)
+            .ok_or_else(|| RcError::NotFound(key.clone()))?;
+        self.backup.insert(key.clone(), obj.value);
+        Ok(())
+    }
+
+    /// Master keys in least-recently-used order (LRU eviction input, §6.4).
+    pub fn lru_masters(&self) -> Vec<Key> {
+        let mut keys: Vec<(&Key, SimTime)> = self
+            .master
+            .iter()
+            .map(|(k, o)| (k, o.stats.t_access))
+            .collect();
+        keys.sort_by_key(|&(k, t)| (t, k.clone()));
+        keys.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Iterates over master entries.
+    pub fn masters(&self) -> impl Iterator<Item = (&Key, &MasterObject)> {
+        self.master.iter()
+    }
+
+    /// Iterates over backup keys.
+    pub fn backups(&self) -> impl Iterator<Item = &Key> {
+        self.backup.keys()
+    }
+
+    /// Log utilization (cleaner effectiveness metric).
+    pub fn log_utilization(&self) -> f64 {
+        self.log.utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn node() -> StorageNode {
+        StorageNode::new(0, 1 << 20, 8 << 20)
+    }
+
+    #[test]
+    fn master_lifecycle() {
+        let mut n = node();
+        n.insert_master(key("a"), Value::synthetic(1000), SimTime::ZERO, false)
+            .unwrap();
+        assert!(n.has_master(&key("a")));
+        assert_eq!(n.used_bytes(), 1000);
+        let obj = n.read_master(&key("a"), SimTime::from_secs(5)).unwrap();
+        assert_eq!(obj.stats.n_access, 1);
+        assert_eq!(obj.stats.t_access, SimTime::from_secs(5));
+        let removed = n.remove_master(&key("a")).unwrap();
+        assert_eq!(removed.value.size(), 1000);
+        assert_eq!(n.used_bytes(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats() {
+        let mut n = node();
+        n.insert_master(key("a"), Value::synthetic(10), SimTime::ZERO, false)
+            .unwrap();
+        n.peek_master(&key("a")).unwrap();
+        assert_eq!(n.peek_master(&key("a")).unwrap().stats.n_access, 0);
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut n = StorageNode::new(0, 1 << 20, 2 << 20);
+        n.insert_master(key("a"), Value::synthetic(1 << 20), SimTime::ZERO, false)
+            .unwrap();
+        n.insert_master(key("b"), Value::synthetic(1 << 20), SimTime::ZERO, false)
+            .unwrap();
+        let err = n
+            .insert_master(key("c"), Value::synthetic(1 << 20), SimTime::ZERO, false)
+            .unwrap_err();
+        assert!(matches!(err, RcError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn promotion_and_demotion_round_trip() {
+        let mut n = node();
+        n.store_backup(key("a"), Value::synthetic(500));
+        assert!(n.has_backup(&key("a")));
+        n.promote_backup(&key("a"), SimTime::ZERO, false).unwrap();
+        assert!(n.has_master(&key("a")));
+        assert!(!n.has_backup(&key("a")));
+        n.demote_to_backup(&key("a")).unwrap();
+        assert!(!n.has_master(&key("a")));
+        assert!(n.has_backup(&key("a")));
+        assert_eq!(n.used_bytes(), 0);
+    }
+
+    #[test]
+    fn promote_without_backup_fails() {
+        let mut n = node();
+        assert!(matches!(
+            n.promote_backup(&key("zzz"), SimTime::ZERO, false),
+            Err(RcError::NoEligibleBackup(_))
+        ));
+    }
+
+    #[test]
+    fn lru_order_follows_access_times() {
+        let mut n = node();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            n.insert_master(
+                key(name),
+                Value::synthetic(10),
+                SimTime::from_secs(i as u64),
+                false,
+            )
+            .unwrap();
+        }
+        // Touch "a" last.
+        n.read_master(&key("a"), SimTime::from_secs(100));
+        let lru = n.lru_masters();
+        assert_eq!(lru[0], key("b"));
+        assert_eq!(lru[2], key("a"));
+    }
+
+    #[test]
+    fn crash_clears_state() {
+        let mut n = node();
+        n.insert_master(key("a"), Value::synthetic(10), SimTime::ZERO, false)
+            .unwrap();
+        n.store_backup(key("b"), Value::synthetic(10));
+        n.set_up(false);
+        assert!(!n.is_up());
+        assert_eq!(n.master_count(), 0);
+        assert_eq!(n.backup_count(), 0);
+        assert!(n
+            .insert_master(key("c"), Value::synthetic(1), SimTime::ZERO, false)
+            .is_err());
+        n.set_up(true);
+        assert!(n
+            .insert_master(key("c"), Value::synthetic(1), SimTime::ZERO, false)
+            .is_ok());
+    }
+
+    #[test]
+    fn dirty_flag_toggles() {
+        let mut n = node();
+        n.insert_master(key("a"), Value::synthetic(10), SimTime::ZERO, true)
+            .unwrap();
+        assert!(n.peek_master(&key("a")).unwrap().dirty);
+        n.set_dirty(&key("a"), false).unwrap();
+        assert!(!n.peek_master(&key("a")).unwrap().dirty);
+        assert!(n.set_dirty(&key("zz"), true).is_err());
+    }
+
+    #[test]
+    fn shrink_pool_reports_over_budget() {
+        let mut n = StorageNode::new(0, 1 << 20, 4 << 20);
+        for i in 0..3 {
+            n.insert_master(
+                key(&format!("k{i}")),
+                Value::synthetic(1 << 20),
+                SimTime::ZERO,
+                false,
+            )
+            .unwrap();
+        }
+        // Shrinking to 1 MB cannot fit 3 MB of live data.
+        assert!(n.set_pool_bytes(1 << 20));
+        // Evicting two objects resolves it.
+        n.remove_master(&key("k0"));
+        n.remove_master(&key("k1"));
+        assert!(!n.set_pool_bytes(1 << 20));
+    }
+}

@@ -1,0 +1,279 @@
+//! Optimistic multi-object transactions over the cache store.
+//!
+//! The paper notes that RAMCloud "can be extended to support full
+//! linearizability and multi-object transactions" (§6.2, citing Lee et
+//! al., SOSP '15); this module provides that extension. A transaction
+//! records versioned reads and buffered writes; commit validates that no
+//! read object changed (optimistic concurrency control) and then applies
+//! every write, rolling back on mid-commit failure so commits are
+//! all-or-nothing.
+//!
+//! Versions are coordinator metadata: every committed write, delete, or
+//! eviction of a key bumps its version, so a validation conflict is
+//! detected even when the object vanished entirely.
+//!
+//! # Examples
+//!
+//! ```
+//! use ofc_rcstore::cluster::Cluster;
+//! use ofc_rcstore::txn::Transaction;
+//! use ofc_rcstore::{ClusterConfig, Key, Value};
+//! use ofc_simtime::SimTime;
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! let (a, b) = (Key::from("acct/a"), Key::from("acct/b"));
+//! cluster.write(0, &a, Value::synthetic(100), SimTime::ZERO).result.unwrap();
+//! cluster.write(0, &b, Value::synthetic(50), SimTime::ZERO).result.unwrap();
+//!
+//! let mut txn = Transaction::begin();
+//! txn.read(&mut cluster, 0, &a, SimTime::ZERO).unwrap();
+//! txn.read(&mut cluster, 0, &b, SimTime::ZERO).unwrap();
+//! txn.write(a.clone(), Value::synthetic(50));
+//! txn.write(b.clone(), Value::synthetic(100));
+//! txn.commit(&mut cluster, 0, SimTime::ZERO).result.unwrap();
+//! ```
+
+use crate::cluster::Cluster;
+use crate::{Key, NodeId, RcError, Timed, Value};
+use ofc_simtime::SimTime;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Why a commit failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// A read object changed (or vanished) since the transaction read it.
+    Conflict(Key),
+    /// A buffered write could not be applied; the transaction rolled back.
+    WriteFailed(Key, RcError),
+    /// A transactional read missed the cache.
+    ReadMiss(Key),
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Conflict(k) => write!(f, "conflict on {k}"),
+            TxnError::WriteFailed(k, e) => write!(f, "write of {k} failed: {e}"),
+            TxnError::ReadMiss(k) => write!(f, "transactional read of {k} missed"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// An in-flight transaction: validated reads plus buffered writes.
+#[derive(Debug, Default)]
+pub struct Transaction {
+    /// Key → version observed at read time.
+    reads: BTreeMap<Key, u64>,
+    /// Buffered writes, applied at commit (last write per key wins).
+    writes: BTreeMap<Key, Value>,
+}
+
+impl Transaction {
+    /// Starts an empty transaction.
+    pub fn begin() -> Self {
+        Transaction::default()
+    }
+
+    /// Reads `key` within the transaction, recording its version for
+    /// commit-time validation. Reads-your-writes: a buffered write
+    /// satisfies the read without touching the store.
+    pub fn read(
+        &mut self,
+        cluster: &mut Cluster,
+        from: NodeId,
+        key: &Key,
+        now: SimTime,
+    ) -> Result<Value, TxnError> {
+        if let Some(v) = self.writes.get(key) {
+            return Ok(v.clone());
+        }
+        let t = cluster.read(from, key, now);
+        match t.result {
+            Ok((value, _)) => {
+                self.reads.insert(key.clone(), cluster.version_of(key));
+                Ok(value)
+            }
+            Err(_) => Err(TxnError::ReadMiss(key.clone())),
+        }
+    }
+
+    /// Buffers a write; nothing is visible to other clients until commit.
+    pub fn write(&mut self, key: Key, value: Value) {
+        self.writes.insert(key, value);
+    }
+
+    /// Number of buffered writes.
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Validates the read set and applies the write set atomically.
+    ///
+    /// On any failure the store is restored to its pre-commit state and
+    /// the error names the offending key; the caller may retry the whole
+    /// transaction.
+    pub fn commit(
+        self,
+        cluster: &mut Cluster,
+        home: NodeId,
+        now: SimTime,
+    ) -> Timed<Result<(), TxnError>> {
+        // Validation phase: every read version must still be current.
+        for (key, version) in &self.reads {
+            if cluster.version_of(key) != *version {
+                return Timed::new(Err(TxnError::Conflict(key.clone())), Duration::ZERO);
+            }
+        }
+        // Apply phase with rollback. Previous values are captured so a
+        // mid-commit failure leaves no partial state.
+        let mut latency = Duration::ZERO;
+        let mut applied: Vec<(Key, Option<Value>)> = Vec::new();
+        for (key, value) in &self.writes {
+            let previous = cluster.peek_value(key);
+            let t = cluster.write(home, key, value.clone(), now);
+            match t.result {
+                Ok(_) => {
+                    latency += t.latency;
+                    applied.push((key.clone(), previous));
+                }
+                Err(e) => {
+                    // Roll back in reverse order.
+                    for (k, prev) in applied.into_iter().rev() {
+                        match prev {
+                            Some(v) => {
+                                cluster.write(home, &k, v, now).result.ok();
+                            }
+                            None => {
+                                cluster.delete(&k).result.ok();
+                            }
+                        }
+                    }
+                    return Timed::new(Err(TxnError::WriteFailed(key.clone(), e)), latency);
+                }
+            }
+        }
+        Timed::new(Ok(()), latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            nodes: 3,
+            replication_factor: 1,
+            node_pool_bytes: 32 << 20,
+            max_object_bytes: 4 << 20,
+            segment_bytes: 8 << 20,
+            ..ClusterConfig::default()
+        })
+    }
+
+    fn key(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn seed(c: &mut Cluster, k: &str, size: u64) {
+        c.write_with_dirty(0, &key(k), Value::synthetic(size), SimTime::ZERO, false)
+            .result
+            .unwrap();
+    }
+
+    #[test]
+    fn commit_applies_all_writes() {
+        let mut c = cluster();
+        seed(&mut c, "a", 100);
+        seed(&mut c, "b", 50);
+        let mut txn = Transaction::begin();
+        txn.read(&mut c, 0, &key("a"), SimTime::ZERO).unwrap();
+        txn.read(&mut c, 0, &key("b"), SimTime::ZERO).unwrap();
+        txn.write(key("a"), Value::synthetic(50));
+        txn.write(key("b"), Value::synthetic(100));
+        txn.commit(&mut c, 0, SimTime::ZERO).result.unwrap();
+        let a = c.read(0, &key("a"), SimTime::ZERO).result.unwrap().0;
+        let b = c.read(0, &key("b"), SimTime::ZERO).result.unwrap().0;
+        assert_eq!((a.size(), b.size()), (50, 100));
+    }
+
+    #[test]
+    fn conflicting_update_aborts_commit() {
+        let mut c = cluster();
+        seed(&mut c, "a", 100);
+        let mut txn = Transaction::begin();
+        txn.read(&mut c, 0, &key("a"), SimTime::ZERO).unwrap();
+        txn.write(key("a"), Value::synthetic(1));
+        // A concurrent writer sneaks in before commit.
+        seed(&mut c, "a", 999);
+        let t = txn.commit(&mut c, 0, SimTime::ZERO);
+        assert_eq!(t.result, Err(TxnError::Conflict(key("a"))));
+        // The concurrent write survives.
+        let a = c.read(0, &key("a"), SimTime::ZERO).result.unwrap().0;
+        assert_eq!(a.size(), 999);
+    }
+
+    #[test]
+    fn deletion_of_read_object_is_a_conflict() {
+        let mut c = cluster();
+        seed(&mut c, "a", 100);
+        let mut txn = Transaction::begin();
+        txn.read(&mut c, 0, &key("a"), SimTime::ZERO).unwrap();
+        txn.write(key("b"), Value::synthetic(7));
+        c.delete(&key("a")).result.unwrap();
+        let t = txn.commit(&mut c, 0, SimTime::ZERO);
+        assert_eq!(t.result, Err(TxnError::Conflict(key("a"))));
+        assert!(!c.contains(&key("b")), "no partial commit");
+    }
+
+    #[test]
+    fn failed_write_rolls_back_applied_ones() {
+        let mut c = cluster();
+        seed(&mut c, "a", 100);
+        let mut txn = Transaction::begin();
+        txn.write(key("a"), Value::synthetic(200));
+        // This write exceeds the maximum object size: it must fail and the
+        // earlier write to "a" must be rolled back.
+        txn.write(key("too-big"), Value::synthetic(100 << 20));
+        let t = txn.commit(&mut c, 0, SimTime::ZERO);
+        assert!(matches!(t.result, Err(TxnError::WriteFailed(_, _))));
+        let a = c.read(0, &key("a"), SimTime::ZERO).result.unwrap().0;
+        assert_eq!(a.size(), 100, "rolled back to the pre-commit value");
+        assert!(!c.contains(&key("too-big")));
+    }
+
+    #[test]
+    fn reads_your_own_writes() {
+        let mut c = cluster();
+        let mut txn = Transaction::begin();
+        txn.write(key("x"), Value::synthetic(42));
+        let v = txn.read(&mut c, 0, &key("x"), SimTime::ZERO).unwrap();
+        assert_eq!(v.size(), 42);
+        assert!(!c.contains(&key("x")), "invisible before commit");
+    }
+
+    #[test]
+    fn read_miss_is_an_error() {
+        let mut c = cluster();
+        let mut txn = Transaction::begin();
+        assert_eq!(
+            txn.read(&mut c, 0, &key("nope"), SimTime::ZERO),
+            Err(TxnError::ReadMiss(key("nope")))
+        );
+    }
+
+    #[test]
+    fn blind_writes_commit_without_reads() {
+        let mut c = cluster();
+        let mut txn = Transaction::begin();
+        txn.write(key("a"), Value::synthetic(1));
+        txn.write(key("b"), Value::synthetic(2));
+        assert_eq!(txn.write_set_len(), 2);
+        txn.commit(&mut c, 0, SimTime::ZERO).result.unwrap();
+        assert!(c.contains(&key("a")) && c.contains(&key("b")));
+    }
+}

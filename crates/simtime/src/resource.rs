@@ -1,0 +1,217 @@
+//! First-order contention models for simulated hardware resources.
+//!
+//! Two models cover the devices the OFC evaluation touches:
+//!
+//! * [`FifoResource`] — a serial server (e.g., an SSD command queue or a CPU
+//!   core executing one request at a time). Requests are served in arrival
+//!   order; a request arriving while the server is busy queues behind the
+//!   in-flight work.
+//! * [`Link`] — a bandwidth-limited, latency-prone pipe (e.g., a 10 GbE NIC
+//!   between workers, or the WAN path to a remote object store). Transfer
+//!   time is `base_latency + bytes / bandwidth`, serialized across
+//!   concurrent transfers.
+//!
+//! Both are *time-functional*: callers pass the current [`SimTime`] and get
+//! back the completion instant; the models never touch the event queue
+//! themselves, which keeps them trivially testable.
+
+use crate::SimTime;
+use std::time::Duration;
+
+/// A serial FIFO server: one request at a time, queueing in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct FifoResource {
+    next_free: SimTime,
+    served: u64,
+    busy: Duration,
+}
+
+impl FifoResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves a request arriving at `now` taking `service` time; returns the
+    /// `(start, completion)` instants after any queueing delay.
+    pub fn serve(&mut self, now: SimTime, service: Duration) -> (SimTime, SimTime) {
+        let start = now.max(self.next_free);
+        let finish = start + service;
+        self.next_free = finish;
+        self.served += 1;
+        self.busy += service;
+        (start, finish)
+    }
+
+    /// The instant at which the resource next becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Cumulative busy time (for utilization accounting).
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Queueing delay a request arriving at `now` would currently face.
+    pub fn queue_delay(&self, now: SimTime) -> Duration {
+        self.next_free.saturating_since(now)
+    }
+}
+
+/// A bandwidth/latency pipe between two simulated endpoints.
+///
+/// The model charges `base_latency` once per transfer (propagation plus
+/// protocol overhead) and serializes payload bytes at `bytes_per_sec`.
+/// Concurrent transfers share the pipe FIFO-style, which first-order captures
+/// NIC saturation without modeling packets.
+#[derive(Debug, Clone)]
+pub struct Link {
+    base_latency: Duration,
+    bytes_per_sec: f64,
+    fifo: FifoResource,
+    transferred: u64,
+}
+
+impl Link {
+    /// Creates a link with the given propagation latency and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    pub fn new(base_latency: Duration, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "link bandwidth must be positive, got {bytes_per_sec}"
+        );
+        Link {
+            base_latency,
+            bytes_per_sec,
+            fifo: FifoResource::new(),
+            transferred: 0,
+        }
+    }
+
+    /// A 10 Gb/s Ethernet link with the given one-way latency.
+    pub fn ten_gbe(base_latency: Duration) -> Self {
+        Link::new(base_latency, 10e9 / 8.0)
+    }
+
+    /// Pure serialization time for `bytes` (no queueing, no base latency).
+    pub fn serialization_time(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Latency of an unqueued transfer of `bytes` (base + serialization).
+    pub fn ideal_transfer_time(&self, bytes: u64) -> Duration {
+        self.base_latency + self.serialization_time(bytes)
+    }
+
+    /// Starts a transfer of `bytes` at `now`; returns the completion instant
+    /// including any queueing behind in-flight transfers.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let (_, finish) = self.fifo.serve(now, self.serialization_time(bytes));
+        self.transferred += bytes;
+        finish + self.base_latency
+    }
+
+    /// Total payload bytes pushed through the link.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    /// The configured base (propagation) latency.
+    pub fn base_latency(&self) -> Duration {
+        self.base_latency
+    }
+
+    /// The configured bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn fifo_idle_resource_starts_immediately() {
+        let mut r = FifoResource::new();
+        let (start, finish) = r.serve(SimTime::from_millis(10), 5 * MS);
+        assert_eq!(start, SimTime::from_millis(10));
+        assert_eq!(finish, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn fifo_busy_resource_queues() {
+        let mut r = FifoResource::new();
+        r.serve(SimTime::ZERO, 10 * MS);
+        // Arrives at t=2ms but the server is busy until t=10ms.
+        let (start, finish) = r.serve(SimTime::from_millis(2), 3 * MS);
+        assert_eq!(start, SimTime::from_millis(10));
+        assert_eq!(finish, SimTime::from_millis(13));
+        assert_eq!(r.queue_delay(SimTime::from_millis(2)), 11 * MS);
+    }
+
+    #[test]
+    fn fifo_counts_and_busy_time_accumulate() {
+        let mut r = FifoResource::new();
+        for _ in 0..4 {
+            r.serve(SimTime::ZERO, 2 * MS);
+        }
+        assert_eq!(r.served(), 4);
+        assert_eq!(r.busy_time(), 8 * MS);
+        assert_eq!(r.next_free(), SimTime::from_millis(8));
+    }
+
+    #[test]
+    fn link_ideal_transfer_combines_latency_and_bandwidth() {
+        // 100 MB/s, 1 ms base: 10 MB takes 1ms + 100ms.
+        let link = Link::new(MS, 100e6);
+        let t = link.ideal_transfer_time(10_000_000);
+        assert_eq!(t, Duration::from_millis(101));
+    }
+
+    #[test]
+    fn link_concurrent_transfers_share_bandwidth() {
+        let mut link = Link::new(Duration::ZERO, 1e6); // 1 MB/s
+        let a = link.transfer(SimTime::ZERO, 500_000); // 0.5 s
+        let b = link.transfer(SimTime::ZERO, 500_000); // queues behind a
+        assert_eq!(a, SimTime::from_millis(500));
+        assert_eq!(b, SimTime::from_secs(1));
+        assert_eq!(link.bytes_transferred(), 1_000_000);
+    }
+
+    #[test]
+    fn link_base_latency_not_serialized() {
+        // Base latency is propagation: two back-to-back transfers each pay it,
+        // but it does not occupy the pipe.
+        let mut link = Link::new(10 * MS, 1e9);
+        let a = link.transfer(SimTime::ZERO, 1_000_000); // 1 ms serialization
+        let b = link.transfer(SimTime::ZERO, 1_000_000);
+        assert_eq!(a, SimTime::from_millis(11));
+        assert_eq!(b, SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn ten_gbe_bandwidth() {
+        let link = Link::ten_gbe(Duration::ZERO);
+        // 1.25 GB/s: 125 MB takes 100 ms.
+        let t = link.ideal_transfer_time(125_000_000);
+        assert_eq!(t, Duration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn link_rejects_zero_bandwidth() {
+        let _ = Link::new(Duration::ZERO, 0.0);
+    }
+}
