@@ -37,7 +37,12 @@ fn setup(filled: bool) -> (ofc_core::agent::AgentHandle, Sim) {
         }
     }
     let store = Rc::new(RefCell::new(ObjectStore::swift()));
-    let agent = CacheAgent::new(AgentConfig::default(), cluster, store);
+    let agent = CacheAgent::new(
+        AgentConfig::default(),
+        cluster,
+        store,
+        &ofc_telemetry::Telemetry::standalone(),
+    );
     (agent, Sim::new(0))
 }
 

@@ -1,0 +1,78 @@
+//! Overhead of the observability plane on the hot path.
+//!
+//! The redesigned telemetry API promises that `TelemetryConfig::Off`
+//! costs essentially nothing: a disabled handle reduces every record
+//! call to one branch on a pre-computed `bool`. This bench compares a
+//! bare counting loop against the same loop with Off-mode, Counters-mode,
+//! and Full-mode instrumentation — Off must sit within noise of bare.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ofc_simtime::SimTime;
+use ofc_telemetry::{Phase, Telemetry, TelemetryConfig};
+use std::time::Duration;
+
+fn bench_counter_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_counter");
+    const N: u64 = 10_000;
+
+    group.bench_function("bare_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+    });
+
+    for (label, level) in [
+        ("off", TelemetryConfig::Off),
+        ("counters", TelemetryConfig::Counters),
+        ("full", TelemetryConfig::Full),
+    ] {
+        let t = Telemetry::new(level);
+        let counter = t.counter("bench.ticks");
+        group.bench_function(format!("counter_inc_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..N {
+                    acc = acc.wrapping_add(black_box(i));
+                    counter.inc();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_span_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_span");
+    const N: u64 = 1_000;
+
+    for (label, level) in [
+        ("off", TelemetryConfig::Off),
+        ("counters", TelemetryConfig::Counters),
+        ("full", TelemetryConfig::Full),
+    ] {
+        let t = Telemetry::new(level);
+        // Bound ring growth so Full mode measures steady-state recording.
+        t.set_ring_capacity(4096);
+        group.bench_function(format!("span_at_{label}"), |b| {
+            b.iter(|| {
+                for i in 0..N {
+                    t.span_at(
+                        black_box(i),
+                        Phase::Extract,
+                        SimTime::from_micros(i),
+                        Duration::from_micros(3),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter_path, bench_span_path);
+criterion_main!(benches);

@@ -120,16 +120,17 @@ fn main() {
                 }
             }
         }
-        let t = ofc.agent_telemetry();
+        let m = ofc.metrics();
+        let migrations = m.counter("agent.scale_downs_migration");
+        let evictions = m.counter("agent.scale_downs_eviction");
         println!(
-            "  {label:12} surviving hot objects {survivors:2}/{n_objects}  migrations {:3}  evictions {:3}",
-            t.scale_downs_migration, t.scale_downs_eviction
+            "  {label:12} surviving hot objects {survivors:2}/{n_objects}  migrations {migrations:3}  evictions {evictions:3}"
         );
         out.reclamation.push((
             label.into(),
             survivors as f64 / n_objects as f64,
-            t.scale_downs_migration,
-            t.scale_downs_eviction,
+            migrations,
+            evictions,
         ));
     }
 
@@ -200,13 +201,11 @@ fn main() {
                 });
         }
         tb.sim.run_until(ofc_simtime::SimTime::from_secs(300));
-        let t = tb.ofc.as_ref().expect("ofc").plane_snapshot();
-        println!(
-            "  {label:12} local hits {:3}  remote hits {:3}",
-            t.local_hits, t.remote_hits
-        );
-        out.locality
-            .push((label.into(), t.local_hits, t.remote_hits));
+        let m = tb.ofc.as_ref().expect("ofc").metrics();
+        let local_hits = m.counter("plane.local_hits");
+        let remote_hits = m.counter("plane.remote_hits");
+        println!("  {label:12} local hits {local_hits:3}  remote hits {remote_hits:3}");
+        out.locality.push((label.into(), local_hits, remote_hits));
     }
 
     // 5. Write policy: L-phase latency of a cached final output.

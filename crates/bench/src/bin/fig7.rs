@@ -51,7 +51,7 @@ fn main() {
         (App::MapReduce, 30 * MB, 8),
         (App::This, 125 * MB, 36),
         (App::Imad, 10 * MB, 1),
-        (App::ImageProcessing, 1 * MB, 1),
+        (App::ImageProcessing, MB, 1),
     ];
     for (app, bytes, fanout) in pipelines {
         for scenario in Scenario::ALL {

@@ -326,12 +326,10 @@ pub fn cache_scaling(scenario: ScalingScenario, input_bytes: u64, seed: u64) -> 
         ofc_faas::registry::Registry::new(),
         Box::new(ofc_faas::baselines::NoopPlane),
     );
-    let ofc = ofc_core::ofc::Ofc::install(
-        &platform,
-        Rc::clone(&store),
-        feature_fn(catalog.clone()),
-        ofc_core::ofc::OfcConfig::default(),
-    );
+    let ofc = ofc_core::ofc::Ofc::builder(&platform)
+        .store(Rc::clone(&store))
+        .features(feature_fn(catalog.clone()))
+        .build();
     let mut tb = Testbed {
         sim: ofc_simtime::Sim::new(seed),
         platform,
@@ -405,7 +403,10 @@ pub fn cache_scaling(scenario: ScalingScenario, input_bytes: u64, seed: u64) -> 
     // The measured invocation: the paper's sweep maps 1 kB–3072 kB inputs
     // to 84–152 MB memory requirements; the warm 64 MB container must be
     // resized and the cache shrunk accordingly.
-    let before = tb.ofc.as_ref().expect("ofc").agent_telemetry();
+    let scale_down_nanos = |m: &ofc_telemetry::MetricsSnapshot| {
+        m.histogram("agent.scale_down_nanos").map_or(0, |h| h.sum)
+    };
+    let before = scale_down_nanos(&tb.ofc.as_ref().expect("ofc").metrics());
     let meta = gen_image_with_bytes(input_bytes, &mut rng);
     // The paper's sweep maps 1 kB-3072 kB inputs to 84-152 MB requirements;
     // the limit must also cover this input's true footprint (no OOM retry
@@ -431,8 +432,8 @@ pub fn cache_scaling(scenario: ScalingScenario, input_bytes: u64, seed: u64) -> 
     let records = tb.platform.drain_records();
     assert_eq!(records.len(), 1);
     assert_eq!(records[0].completion, Completion::Success);
-    let after = tb.ofc.as_ref().expect("ofc").agent_telemetry();
-    let scaling = after.scale_down_time.saturating_sub(before.scale_down_time);
+    let after = scale_down_nanos(&tb.ofc.as_ref().expect("ofc").metrics());
+    let scaling = Duration::from_nanos(after.saturating_sub(before));
     ScalingRun {
         input_bytes,
         scaling_ms: scaling.as_secs_f64() * 1e3,
@@ -569,7 +570,7 @@ pub fn run_macro_full(
     // OFC: register schemas and pre-train models to maturity (production
     // functions have history, §7.1.3). Snapshot the prediction counters
     // afterwards so Table 2 only reports the observation window.
-    let mut counter_baseline: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    let mut counter_baseline = (0u64, 0u64);
     if let Some(ofc) = &tb.ofc {
         for pt in &prepared {
             match pt.function.as_str() {
@@ -585,11 +586,12 @@ pub fn run_macro_full(
                     pretrain_single(&tb, &pt.tenant, p, 1200);
                 }
             }
-            for name in function_names(&pt.function) {
-                let c = ofc.model_counters(pt.tenant.as_ref(), &name);
-                counter_baseline.insert((pt.tenant.to_string(), name), (c.good, c.bad));
-            }
         }
+        let m = ofc.metrics();
+        counter_baseline = (
+            m.counter("ml.good_predictions"),
+            m.counter("ml.bad_predictions"),
+        );
     }
 
     tb.sim
@@ -639,41 +641,32 @@ pub fn run_macro_full(
 
     let (cache_series, table2) = match &tb.ofc {
         Some(ofc) => {
-            let at = ofc.agent_telemetry();
-            let plane = ofc.plane_snapshot();
-            let mut good = 0;
-            let mut bad = 0;
-            for pt in &prepared {
-                for n in function_names(&pt.function) {
-                    let c = ofc.model_counters(pt.tenant.as_ref(), &n);
-                    let (g0, b0) = counter_baseline
-                        .get(&(pt.tenant.to_string(), n))
-                        .copied()
-                        .unwrap_or((0, 0));
-                    good += c.good - g0;
-                    bad += c.bad - b0;
-                }
-            }
-            let series = at
-                .cache_size
-                .downsample(64)
+            let m = ofc.metrics();
+            let (g0, b0) = counter_baseline;
+            let good = m.counter("ml.good_predictions").saturating_sub(g0);
+            let bad = m.counter("ml.bad_predictions").saturating_sub(b0);
+            let series = m
+                .gauge_series("agent.cache_size_bytes")
+                .map(|s| s.downsample(64))
+                .unwrap_or_default()
                 .into_iter()
                 .map(|(t, v)| (t.as_secs_f64() / 60.0, v / (1u64 << 30) as f64))
                 .collect();
+            let hist_secs = |name: &str| m.histogram(name).map_or(0.0, |h| h.sum as f64 / 1e9);
             (
                 series,
                 Table2 {
-                    scale_ups: at.scale_ups,
-                    scale_up_time_s: at.scale_up_time.as_secs_f64(),
-                    scale_down_no_eviction: at.scale_downs_plain,
-                    scale_down_migration: at.scale_downs_migration,
-                    scale_down_eviction: at.scale_downs_eviction,
-                    scale_down_time_s: at.scale_down_time.as_secs_f64(),
+                    scale_ups: m.counter("agent.scale_ups"),
+                    scale_up_time_s: hist_secs("agent.scale_up_nanos"),
+                    scale_down_no_eviction: m.counter("agent.scale_downs_plain"),
+                    scale_down_migration: m.counter("agent.scale_downs_migration"),
+                    scale_down_eviction: m.counter("agent.scale_downs_eviction"),
+                    scale_down_time_s: hist_secs("agent.scale_down_nanos"),
                     bad_predictions: bad,
                     good_predictions: good,
                     failed_invocations: failed,
-                    hit_ratio_pct: 100.0 * plane.hit_ratio(),
-                    ephemeral_gb: plane.ephemeral_bytes as f64 / (1u64 << 30) as f64,
+                    hit_ratio_pct: 100.0 * ofc_core::cache::plane_hit_ratio(&m),
+                    ephemeral_gb: m.counter("plane.ephemeral_bytes") as f64 / (1u64 << 30) as f64,
                 },
             )
         }
@@ -696,17 +689,6 @@ pub fn run_macro_full(
         per_function_total_s,
         cache_series,
         table2,
-    }
-}
-
-/// The platform function names behind a tenant's workload label.
-fn function_names(workload: &str) -> Vec<String> {
-    match workload {
-        "map_reduce" | "THIS" => ofc_workloads::pipelines::STAGE_PROFILES
-            .iter()
-            .map(|s| s.name.to_string())
-            .collect(),
-        n => vec![n.to_string()],
     }
 }
 

@@ -116,7 +116,11 @@ pub fn testbed_full(
                 Box::new(ofc_faas::baselines::NoopPlane),
             );
             let features = feature_fn(catalog.clone());
-            let ofc = Ofc::install(&platform, Rc::clone(&store), features, ofc_cfg);
+            let ofc = Ofc::builder(&platform)
+                .store(Rc::clone(&store))
+                .features(features)
+                .config(ofc_cfg)
+                .build();
             let mut tb = Testbed {
                 sim: Sim::new(seed),
                 platform,

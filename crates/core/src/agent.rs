@@ -14,8 +14,8 @@ use ofc_faas::{MemoryBroker, NodeId};
 use ofc_objstore::store::ObjectStore;
 use ofc_rcstore::cluster::Cluster;
 use ofc_rcstore::Key;
-use ofc_simtime::stats::TimeSeries;
 use ofc_simtime::{Sim, SimTime};
+use ofc_telemetry::{Counter, Gauge, Histogram, Phase, Telemetry};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -73,28 +73,42 @@ impl Default for AgentConfig {
     }
 }
 
-/// Agent telemetry (feeds Table 2 and Figure 10).
-#[derive(Debug, Clone, Default)]
-pub struct AgentTelemetry {
-    /// Cache scale-up operations.
-    pub scale_ups: u64,
-    /// Total time spent scaling up.
-    pub scale_up_time: Duration,
-    /// Scale-downs without any data movement (Sc1).
-    pub scale_downs_plain: u64,
-    /// Scale-downs that migrated hot objects (Sc2).
-    pub scale_downs_migration: u64,
-    /// Scale-downs that evicted objects (Sc3).
-    pub scale_downs_eviction: u64,
-    /// Total time spent scaling down.
-    pub scale_down_time: Duration,
-    /// Objects dropped by the periodic eviction pass.
-    pub periodic_evictions: u64,
-    /// Dirty objects written back during reclamation.
-    pub writebacks: u64,
-    /// Cluster-wide cache pool size over time (Figure 10).
-    pub cache_size: TimeSeries,
+/// Pre-registered handles for the agent's `agent.*` metrics (feeds
+/// Table 2 and, through the cache-size gauge series, Figure 10).
+#[derive(Debug)]
+struct AgentMetrics {
+    scale_ups: Counter,
+    scale_downs_plain: Counter,
+    scale_downs_migration: Counter,
+    scale_downs_eviction: Counter,
+    periodic_evictions: Counter,
+    writebacks: Counter,
+    scale_up_nanos: Histogram,
+    scale_down_nanos: Histogram,
+    cache_size: Gauge,
 }
+
+impl AgentMetrics {
+    fn new(t: &Telemetry) -> Self {
+        AgentMetrics {
+            scale_ups: t.counter("agent.scale_ups"),
+            scale_downs_plain: t.counter("agent.scale_downs_plain"),
+            scale_downs_migration: t.counter("agent.scale_downs_migration"),
+            scale_downs_eviction: t.counter("agent.scale_downs_eviction"),
+            periodic_evictions: t.counter("agent.periodic_evictions"),
+            writebacks: t.counter("agent.writebacks"),
+            scale_up_nanos: t.histogram("agent.scale_up_nanos"),
+            scale_down_nanos: t.histogram("agent.scale_down_nanos"),
+            cache_size: t.gauge("agent.cache_size_bytes"),
+        }
+    }
+}
+
+/// Write-back callback for dirty objects reclaimed from the cache.
+pub type WritebackFn = Box<dyn FnMut(&Key)>;
+
+/// A recurring agent activity driven by [`AgentHandle::start`].
+type PeriodicFn = Rc<dyn Fn(&mut CacheAgent, SimTime)>;
 
 /// The cache agent. Wrap in [`AgentHandle`] for the broker seam.
 pub struct CacheAgent {
@@ -111,11 +125,12 @@ pub struct CacheAgent {
     churn: Vec<VecDeque<u64>>,
     /// Per-node committed value at the previous churn sample.
     churn_prev: Vec<u64>,
-    telemetry: AgentTelemetry,
+    telemetry: Telemetry,
+    metrics: AgentMetrics,
     /// Callback invoked when a dirty object must be written back during
     /// reclamation (installed by the data plane; performs the shadow
     /// fulfillment so the store sees the payload).
-    writeback: Option<Box<dyn FnMut(&Key)>>,
+    writeback: Option<WritebackFn>,
 }
 
 /// Shared handle to the agent.
@@ -124,12 +139,15 @@ pub struct AgentHandle(pub Rc<RefCell<CacheAgent>>);
 
 impl CacheAgent {
     /// Creates an agent over a cache cluster and the RSDS.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(
         cfg: AgentConfig,
         cluster: Rc<RefCell<Cluster>>,
         store: Rc<RefCell<ObjectStore>>,
+        telemetry: &Telemetry,
     ) -> AgentHandle {
         let n = cluster.borrow().n_nodes();
+        let metrics = AgentMetrics::new(telemetry);
         AgentHandle(Rc::new(RefCell::new(CacheAgent {
             slack: vec![cfg.slack_initial; n],
             committed: vec![0; n],
@@ -139,7 +157,8 @@ impl CacheAgent {
             cfg,
             cluster,
             store,
-            telemetry: AgentTelemetry::default(),
+            telemetry: telemetry.clone(),
+            metrics,
             writeback: None,
         })))
     }
@@ -150,8 +169,8 @@ impl CacheAgent {
         self.writeback = Some(f);
     }
 
-    /// Telemetry snapshot.
-    pub fn telemetry(&self) -> &AgentTelemetry {
+    /// The observability plane this agent records into.
+    pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
 
@@ -162,7 +181,7 @@ impl CacheAgent {
 
     fn record_size(&mut self, now: SimTime) {
         let size = self.cluster.borrow().pool_bytes();
-        self.telemetry.cache_size.push(now, size as f64);
+        self.metrics.cache_size.set(now, size as f64);
     }
 
     /// Frees node memory so sandboxes can commit `committed_after` bytes:
@@ -215,7 +234,7 @@ impl CacheAgent {
                         wb(&key);
                     }
                     self.cluster.borrow_mut().mark_clean(&key).ok();
-                    self.telemetry.writebacks += 1;
+                    self.metrics.writebacks.inc();
                 }
                 if n_access >= self.cfg.hot_access_threshold {
                     let t = self
@@ -250,13 +269,15 @@ impl CacheAgent {
         }
 
         if migrated {
-            self.telemetry.scale_downs_migration += 1;
+            self.metrics.scale_downs_migration.inc();
         } else if evicted {
-            self.telemetry.scale_downs_eviction += 1;
+            self.metrics.scale_downs_eviction.inc();
         } else {
-            self.telemetry.scale_downs_plain += 1;
+            self.metrics.scale_downs_plain.inc();
         }
-        self.telemetry.scale_down_time += delay;
+        self.metrics.scale_down_nanos.record_duration(delay);
+        self.telemetry
+            .span_at(node as u64, Phase::ScaleDown, sim.now(), delay);
         self.record_size(sim.now());
         Some(delay)
     }
@@ -269,8 +290,10 @@ impl CacheAgent {
         if target_pool > pool {
             let t = self.cluster.borrow_mut().resize_pool(node, target_pool);
             if t.result.is_ok() {
-                self.telemetry.scale_ups += 1;
-                self.telemetry.scale_up_time += t.latency;
+                self.metrics.scale_ups.inc();
+                self.metrics.scale_up_nanos.record_duration(t.latency);
+                self.telemetry
+                    .span_at(node as u64, Phase::ScaleUp, sim.now(), t.latency);
                 self.record_size(sim.now());
             }
         }
@@ -334,10 +357,12 @@ impl CacheAgent {
                     wb(&key);
                 }
                 self.cluster.borrow_mut().mark_clean(&key).ok();
-                self.telemetry.writebacks += 1;
+                self.metrics.writebacks.inc();
             }
-            if self.cluster.borrow_mut().evict(&key).result.is_ok() {
-                self.telemetry.periodic_evictions += 1;
+            let t = self.cluster.borrow_mut().evict(&key);
+            if t.result.is_ok() {
+                self.metrics.periodic_evictions.inc();
+                self.telemetry.span_at(0, Phase::Evict, now, t.latency);
             }
         }
         let _ = &self.store; // Store participates via the writeback hook.
@@ -348,12 +373,7 @@ impl AgentHandle {
     /// Starts the agent's recurring activities on the simulator: churn
     /// sampling, slack adjustment, periodic eviction, telemetry.
     pub fn start(&self, sim: &mut Sim) {
-        fn every(
-            sim: &mut Sim,
-            period: Duration,
-            agent: AgentHandle,
-            f: Rc<dyn Fn(&mut CacheAgent, SimTime)>,
-        ) {
+        fn every(sim: &mut Sim, period: Duration, agent: AgentHandle, f: PeriodicFn) {
             sim.schedule_in(period, move |sim| {
                 f(&mut agent.0.borrow_mut(), sim.now());
                 every(sim, period, agent, f);
@@ -386,8 +406,8 @@ impl AgentHandle {
         );
     }
 
-    /// Telemetry snapshot (cloned).
-    pub fn telemetry(&self) -> AgentTelemetry {
+    /// The observability plane this agent records into (cloned handle).
+    pub fn telemetry(&self) -> Telemetry {
         self.0.borrow().telemetry().clone()
     }
 }
@@ -441,7 +461,12 @@ mod tests {
             ..ClusterConfig::default()
         })));
         let store = Rc::new(RefCell::new(ObjectStore::swift()));
-        let agent = CacheAgent::new(AgentConfig::default(), Rc::clone(&cluster), store);
+        let agent = CacheAgent::new(
+            AgentConfig::default(),
+            Rc::clone(&cluster),
+            store,
+            &Telemetry::standalone(),
+        );
         (agent, cluster, Sim::new(0))
     }
 
@@ -462,9 +487,9 @@ mod tests {
             .expect("reserve must succeed");
         assert_eq!(d, Duration::from_micros(289));
         assert!(cluster.borrow().node(0).pool_bytes() <= 512 * MB);
-        let t = agent.telemetry();
-        assert_eq!(t.scale_downs_plain, 1);
-        assert_eq!(t.scale_downs_eviction, 0);
+        let m = agent.telemetry().metrics();
+        assert_eq!(m.counter("agent.scale_downs_plain"), 1);
+        assert_eq!(m.counter("agent.scale_downs_eviction"), 0);
     }
 
     #[test]
@@ -491,8 +516,8 @@ mod tests {
             .expect("reserve must succeed");
         // Sc3: eviction happened; scaling time reflects it.
         assert!(d >= Duration::from_micros(373), "got {d:?}");
-        let t = agent.telemetry();
-        assert_eq!(t.scale_downs_eviction, 1);
+        let m = agent.telemetry().metrics();
+        assert_eq!(m.counter("agent.scale_downs_eviction"), 1);
         assert!(cluster.borrow().node(0).used_bytes() < used);
     }
 
@@ -518,8 +543,14 @@ mod tests {
         agent
             .reserve(&mut sim, 0, 1536 * MB, 1536 * MB, 2048 * MB)
             .expect("reserve must succeed");
-        let t = agent.telemetry();
-        assert_eq!(t.scale_downs_migration, 1, "hot objects must migrate");
+        let m = agent.telemetry().metrics();
+        assert_eq!(
+            m.counter("agent.scale_downs_migration"),
+            1,
+            "hot objects must migrate"
+        );
+        // The scale-down appears in the span stream as well.
+        assert_eq!(agent.telemetry().trace().phase_count(Phase::ScaleDown), 1);
         // The objects stay cached, just mastered elsewhere.
         let c = cluster.borrow();
         assert!(c.len() == 60, "migration must not lose objects");
@@ -555,7 +586,7 @@ mod tests {
             !written.borrow().is_empty(),
             "dirty objects must write back"
         );
-        assert!(agent.telemetry().writebacks > 0);
+        assert!(agent.telemetry().metrics().counter("agent.writebacks") > 0);
     }
 
     #[test]
@@ -576,7 +607,7 @@ mod tests {
         agent.release(&mut sim, 0, 1024 * MB, 512 * MB, 2048 * MB);
         let regrown = cluster.borrow().node(0).pool_bytes();
         assert!(regrown > shrunk, "{regrown} !> {shrunk}");
-        assert_eq!(agent.telemetry().scale_ups, 1);
+        assert_eq!(agent.telemetry().metrics().counter("agent.scale_ups"), 1);
     }
 
     #[test]
@@ -613,7 +644,13 @@ mod tests {
         assert!(c.contains(&hot), "hot object evicted");
         assert!(!c.contains(&cold), "cold object survived periodic eviction");
         drop(c);
-        assert!(agent.telemetry().periodic_evictions >= 1);
+        assert!(
+            agent
+                .telemetry()
+                .metrics()
+                .counter("agent.periodic_evictions")
+                >= 1
+        );
     }
 
     #[test]
@@ -646,7 +683,8 @@ mod tests {
         let (agent, _cluster, mut sim) = setup(512);
         agent.start(&mut sim);
         sim.run_until(SimTime::from_secs(120));
-        let t = agent.telemetry();
-        assert!(t.cache_size.len() >= 3);
+        let m = agent.telemetry().metrics();
+        let series = m.gauge_series("agent.cache_size_bytes").expect("series");
+        assert!(series.len() >= 3);
     }
 }

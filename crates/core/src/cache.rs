@@ -11,6 +11,7 @@ use ofc_objstore::{ObjectId, Payload, StoreError};
 use ofc_rcstore::cluster::Cluster;
 use ofc_rcstore::{Key, ReadLocality, Value};
 use ofc_simtime::Sim;
+use ofc_telemetry::{Counter, Phase, Telemetry};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -60,46 +61,50 @@ impl Default for PlaneConfig {
     }
 }
 
-/// Plane telemetry (feeds Figure 7's scenario split and Table 2).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PlaneTelemetry {
-    /// Reads served from the local cache node.
-    pub local_hits: u64,
-    /// Reads served from a remote cache node.
-    pub remote_hits: u64,
-    /// Reads that fell through to the RSDS.
-    pub misses: u64,
-    /// Reads that bypassed the cache (not beneficial / too large).
-    pub bypasses: u64,
-    /// Objects inserted into the cache on miss.
-    pub fills: u64,
-    /// Shadow objects created.
-    pub shadows: u64,
-    /// Persistor completions.
-    pub persists: u64,
-    /// Cached copies invalidated by external writes.
-    pub invalidations: u64,
-    /// Pipeline intermediates deleted at pipeline end.
-    pub intermediates_dropped: u64,
-    /// Bytes of ephemeral (intermediate) data that never hit the RSDS.
-    pub ephemeral_bytes: u64,
-    /// Large objects cached as chunk stripes (extension).
-    pub chunked_objects: u64,
-    /// Reads reassembled from chunk stripes (extension).
-    pub chunked_hits: u64,
+/// Pre-registered handles for the data plane's `plane.*` metrics (feeds
+/// Figure 7's scenario split and Table 2 through the shared registry).
+#[derive(Debug, Clone)]
+struct PlaneMetrics {
+    local_hits: Counter,
+    remote_hits: Counter,
+    misses: Counter,
+    bypasses: Counter,
+    fills: Counter,
+    shadows: Counter,
+    invalidations: Counter,
+    intermediates_dropped: Counter,
+    ephemeral_bytes: Counter,
+    chunked_objects: Counter,
+    chunked_hits: Counter,
 }
 
-/// Hit ratio over all cache-eligible reads.
-impl PlaneTelemetry {
-    /// Cache hit ratio (hits over hits+misses).
-    pub fn hit_ratio(&self) -> f64 {
-        let hits = self.local_hits + self.remote_hits;
-        let total = hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            hits as f64 / total as f64
+impl PlaneMetrics {
+    fn new(t: &Telemetry) -> Self {
+        PlaneMetrics {
+            local_hits: t.counter("plane.local_hits"),
+            remote_hits: t.counter("plane.remote_hits"),
+            misses: t.counter("plane.misses"),
+            bypasses: t.counter("plane.bypasses"),
+            fills: t.counter("plane.fills"),
+            shadows: t.counter("plane.shadows"),
+            invalidations: t.counter("plane.invalidations"),
+            intermediates_dropped: t.counter("plane.intermediates_dropped"),
+            ephemeral_bytes: t.counter("plane.ephemeral_bytes"),
+            chunked_objects: t.counter("plane.chunked_objects"),
+            chunked_hits: t.counter("plane.chunked_hits"),
         }
+    }
+}
+
+/// Cache hit ratio from a metrics snapshot: `plane.*` hits over
+/// hits + misses (zero when no cache-eligible read happened).
+pub fn plane_hit_ratio(m: &ofc_telemetry::MetricsSnapshot) -> f64 {
+    let hits = m.counter("plane.local_hits") + m.counter("plane.remote_hits");
+    let total = hits + m.counter("plane.misses");
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
     }
 }
 
@@ -110,7 +115,7 @@ pub struct Persistence {
     /// Pending shadow fulfillments: key → (object id, version, size,
     /// drop-from-cache-after-persist).
     pending: HashMap<Key, (ObjectId, u64, u64, bool)>,
-    telemetry: Rc<RefCell<PlaneTelemetry>>,
+    persists: Counter,
 }
 
 impl Persistence {
@@ -127,7 +132,7 @@ impl Persistence {
                 .borrow_mut()
                 .fulfill_shadow(&id, version, Payload::Synthetic(size));
         if res.is_ok() {
-            self.telemetry.borrow_mut().persists += 1;
+            self.persists.inc();
         }
         let mut cluster = self.cluster.borrow_mut();
         cluster.mark_clean(key).ok();
@@ -155,7 +160,10 @@ pub struct OfcPlane {
     cluster: Rc<RefCell<Cluster>>,
     store: Rc<RefCell<ObjectStore>>,
     persistence: Rc<RefCell<Persistence>>,
-    telemetry: Rc<RefCell<PlaneTelemetry>>,
+    telemetry: Telemetry,
+    metrics: PlaneMetrics,
+    /// Monotonic id tagging persistor spans in the trace stream.
+    persist_seq: u64,
     /// Chunk manifests of striped large objects: key → chunk count
     /// (extension; see [`PlaneConfig::chunk_large_objects`]).
     chunks: HashMap<Key, u32>,
@@ -167,20 +175,21 @@ impl OfcPlane {
         cfg: PlaneConfig,
         cluster: Rc<RefCell<Cluster>>,
         store: Rc<RefCell<ObjectStore>>,
+        telemetry: &Telemetry,
     ) -> OfcPlane {
-        let telemetry = Rc::new(RefCell::new(PlaneTelemetry::default()));
+        let metrics = PlaneMetrics::new(telemetry);
         let persistence = Rc::new(RefCell::new(Persistence {
             store: Rc::clone(&store),
             cluster: Rc::clone(&cluster),
             pending: HashMap::new(),
-            telemetry: Rc::clone(&telemetry),
+            persists: telemetry.counter("plane.persists"),
         }));
         // Webhook interposition (§6.2): a write by an external client
         // synchronously invalidates the cached copy.
         {
             let cluster = Rc::clone(&cluster);
             let persistence = Rc::clone(&persistence);
-            let telemetry = Rc::clone(&telemetry);
+            let invalidations = metrics.invalidations.clone();
             store
                 .borrow_mut()
                 .add_write_observer(Box::new(move |id, _version, external| {
@@ -190,7 +199,7 @@ impl OfcPlane {
                     let key = rc_key(id);
                     persistence.borrow_mut().pending.remove(&key);
                     if cluster.borrow_mut().delete(&key).result.is_ok() {
-                        telemetry.borrow_mut().invalidations += 1;
+                        invalidations.inc();
                     }
                 }));
         }
@@ -199,7 +208,9 @@ impl OfcPlane {
             cluster,
             store,
             persistence,
-            telemetry,
+            telemetry: telemetry.clone(),
+            metrics,
+            persist_seq: 0,
             chunks: HashMap::new(),
         }
     }
@@ -246,7 +257,7 @@ impl OfcPlane {
         }
         drop(cluster);
         self.chunks.insert(key.clone(), n);
-        self.telemetry.borrow_mut().chunked_objects += 1;
+        self.metrics.chunked_objects.inc();
         Some(latency)
     }
 
@@ -274,7 +285,7 @@ impl OfcPlane {
                 slowest = slowest.max(t.latency);
             }
         }
-        self.telemetry.borrow_mut().chunked_hits += 1;
+        self.metrics.chunked_hits.inc();
         Some(slowest + Duration::from_micros(50) * n)
     }
 
@@ -293,9 +304,9 @@ impl OfcPlane {
         Rc::clone(&self.persistence)
     }
 
-    /// Telemetry handle.
-    pub fn telemetry(&self) -> Rc<RefCell<PlaneTelemetry>> {
-        Rc::clone(&self.telemetry)
+    /// The observability plane this data plane records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The webhook read path for external (non-FaaS) clients (§6.2): if the
@@ -350,14 +361,13 @@ impl DataPlane for OfcPlane {
         // Try the cache first — transparently (§4).
         let hit = self.cluster.borrow_mut().read(node, &key, now);
         if let Ok((value, locality)) = hit.result {
-            let mut t = self.telemetry.borrow_mut();
             let served = match locality {
                 ReadLocality::LocalHit => {
-                    t.local_hits += 1;
+                    self.metrics.local_hits.inc();
                     Served::LocalHit
                 }
                 ReadLocality::RemoteHit => {
-                    t.remote_hits += 1;
+                    self.metrics.remote_hits.inc();
                     Served::RemoteHit
                 }
             };
@@ -370,7 +380,7 @@ impl DataPlane for OfcPlane {
         // Striped large object (extension)?
         if should_cache && self.cfg.chunk_large_objects && obj.size > self.cfg.max_cached_object {
             if let Some(latency) = self.read_chunked(node, &key, now) {
-                self.telemetry.borrow_mut().local_hits += 1;
+                self.metrics.local_hits.inc();
                 return ReadOutcome {
                     latency,
                     served: Served::LocalHit,
@@ -378,7 +388,7 @@ impl DataPlane for OfcPlane {
             }
             // Stripe broken: refetch from the RSDS and re-stripe.
             let (_, store_latency) = self.store.borrow_mut().get(&obj.id);
-            self.telemetry.borrow_mut().misses += 1;
+            self.metrics.misses.inc();
             self.write_chunked(node, &key, obj.size, now);
             return ReadOutcome {
                 latency: store_latency,
@@ -391,7 +401,7 @@ impl DataPlane for OfcPlane {
         let mut latency = store_latency;
         let cacheable = should_cache && obj.size <= self.cfg.max_cached_object;
         if cacheable {
-            self.telemetry.borrow_mut().misses += 1;
+            self.metrics.misses.inc();
             if res.is_ok() {
                 let t = self.cluster.borrow_mut().write_with_dirty(
                     node,
@@ -401,12 +411,12 @@ impl DataPlane for OfcPlane {
                     false, // identical to the RSDS copy: clean
                 );
                 if t.result.is_ok() {
-                    self.telemetry.borrow_mut().fills += 1;
+                    self.metrics.fills.inc();
                     latency += t.latency;
                 }
             }
         } else {
-            self.telemetry.borrow_mut().bypasses += 1;
+            self.metrics.bypasses.inc();
         }
         ReadOutcome {
             latency,
@@ -437,13 +447,16 @@ impl DataPlane for OfcPlane {
                     let (version, shadow_latency) =
                         self.store.borrow_mut().put_shadow(&obj.id, obj.size);
                     latency += shadow_latency;
-                    self.telemetry.borrow_mut().shadows += 1;
+                    self.metrics.shadows.inc();
                     self.persistence
                         .borrow_mut()
                         .pending
                         .insert(key.clone(), (obj.id.clone(), version, obj.size, false));
                     let upload = self.store.borrow().latency().write(obj.size.max(1));
                     let delay = self.cfg.persistor_overhead + upload;
+                    self.persist_seq += 1;
+                    self.telemetry
+                        .span_at(self.persist_seq, Phase::Persist, now, delay);
                     let persistence = Rc::clone(&self.persistence);
                     let pkey = key.clone();
                     sim.schedule_in(delay, move |_| {
@@ -483,7 +496,7 @@ impl DataPlane for OfcPlane {
         if intermediate {
             // Pipeline intermediates never reach the RSDS (§6.3): they are
             // deleted from the cache when the pipeline completes.
-            self.telemetry.borrow_mut().ephemeral_bytes += obj.size;
+            self.metrics.ephemeral_bytes.add(obj.size);
             return WriteOutcome { latency };
         }
 
@@ -494,7 +507,7 @@ impl DataPlane for OfcPlane {
                 let (version, shadow_latency) =
                     self.store.borrow_mut().put_shadow(&obj.id, obj.size);
                 latency += shadow_latency;
-                self.telemetry.borrow_mut().shadows += 1;
+                self.metrics.shadows.inc();
                 self.persistence
                     .borrow_mut()
                     .pending
@@ -502,6 +515,9 @@ impl DataPlane for OfcPlane {
                 // Inject the persistor: it uploads the payload asynchronously.
                 let upload = self.store.borrow().latency().write(obj.size.max(1));
                 let delay = self.cfg.persistor_overhead + upload;
+                self.persist_seq += 1;
+                self.telemetry
+                    .span_at(self.persist_seq, Phase::Persist, now, delay);
                 let persistence = Rc::clone(&self.persistence);
                 sim.schedule_in(delay, move |_| {
                     persistence.borrow_mut().persist_now(&key);
@@ -540,11 +556,10 @@ impl DataPlane for OfcPlane {
         intermediates: &[ObjectId],
     ) {
         let mut cluster = self.cluster.borrow_mut();
-        let mut t = self.telemetry.borrow_mut();
         for id in intermediates {
             let key = rc_key(id);
             if cluster.delete(&key).result.is_ok() {
-                t.intermediates_dropped += 1;
+                self.metrics.intermediates_dropped.inc();
             }
         }
     }
@@ -572,6 +587,7 @@ mod tests {
             PlaneConfig::default(),
             Rc::clone(&cluster),
             Rc::clone(&store),
+            &Telemetry::standalone(),
         );
         (plane, cluster, store)
     }
@@ -603,7 +619,8 @@ mod tests {
         let remote = plane.read(&mut sim, 0, &obj, true);
         assert_eq!(remote.served, Served::RemoteHit);
         assert!(remote.latency > hit.latency);
-        assert!((plane.telemetry.borrow().hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        let m = plane.telemetry().metrics();
+        assert!((plane_hit_ratio(&m) - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -614,7 +631,7 @@ mod tests {
         let out = plane.read(&mut sim, 0, &obj, false);
         assert_eq!(out.served, Served::Direct);
         assert!(!cluster.borrow().contains(&rc_key(&obj.id)));
-        assert_eq!(plane.telemetry.borrow().bypasses, 1);
+        assert_eq!(plane.telemetry().metrics().counter("plane.bypasses"), 1);
     }
 
     #[test]
@@ -651,8 +668,13 @@ mod tests {
         let meta = store.borrow().head(&w.id).0.unwrap();
         assert!(!meta.is_shadow());
         assert!(!cluster.borrow().contains(&rc_key(&w.id)));
-        let t = plane.telemetry.borrow();
-        assert_eq!((t.shadows, t.persists), (1, 1));
+        let m = plane.telemetry().metrics();
+        assert_eq!(
+            (m.counter("plane.shadows"), m.counter("plane.persists")),
+            (1, 1)
+        );
+        // The persistor run shows up as a Persist span.
+        assert_eq!(plane.telemetry().trace().phase_count(Phase::Persist), 1);
     }
 
     #[test]
@@ -672,11 +694,11 @@ mod tests {
             "intermediate leaked to RSDS"
         );
         assert!(cluster.borrow().contains(&rc_key(&w.id)));
-        plane.pipeline_ended(&mut sim, 7, &[w.id.clone()]);
+        plane.pipeline_ended(&mut sim, 7, std::slice::from_ref(&w.id));
         assert!(!cluster.borrow().contains(&rc_key(&w.id)));
-        let t = plane.telemetry.borrow();
-        assert_eq!(t.intermediates_dropped, 1);
-        assert_eq!(t.ephemeral_bytes, MB);
+        let m = plane.telemetry().metrics();
+        assert_eq!(m.counter("plane.intermediates_dropped"), 1);
+        assert_eq!(m.counter("plane.ephemeral_bytes"), MB);
     }
 
     #[test]
@@ -709,7 +731,10 @@ mod tests {
             !cluster.borrow().contains(&rc_key(&obj.id)),
             "stale cached copy must be invalidated"
         );
-        assert_eq!(plane.telemetry.borrow().invalidations, 1);
+        assert_eq!(
+            plane.telemetry().metrics().counter("plane.invalidations"),
+            1
+        );
         // The store holds the new version.
         let (meta, payload) = store.borrow_mut().get(&obj.id).0.unwrap();
         assert_eq!(payload.len(), 128 * 1024);
@@ -726,6 +751,7 @@ mod tests {
             },
             Rc::clone(&cluster),
             Rc::clone(&store),
+            &Telemetry::standalone(),
         );
         let mut sim = Sim::new(0);
         let w = ObjectWrite {
@@ -753,6 +779,7 @@ mod tests {
             },
             Rc::clone(&cluster),
             Rc::clone(&store),
+            &Telemetry::standalone(),
         );
         let mut sim = Sim::new(0);
         let w = ObjectWrite {
@@ -763,7 +790,10 @@ mod tests {
         let out = plane.write(&mut sim, 0, &w, true, None);
         // Far cheaper than a ~660 ms direct Swift PUT of 25 MB.
         assert!(out.latency < Duration::from_millis(60), "{:?}", out.latency);
-        assert_eq!(plane.telemetry.borrow().chunked_objects, 1);
+        assert_eq!(
+            plane.telemetry().metrics().counter("plane.chunked_objects"),
+            1
+        );
         // Three chunk entries exist, spread across nodes.
         let key = rc_key(&w.id);
         let masters: std::collections::HashSet<_> = (0..3)
@@ -790,6 +820,7 @@ mod tests {
             },
             Rc::clone(&cluster),
             Rc::clone(&store),
+            &Telemetry::standalone(),
         );
         let mut sim = Sim::new(0);
         let w = ObjectWrite {
@@ -811,7 +842,7 @@ mod tests {
         assert_eq!(hit.served, Served::LocalHit);
         // Parallel stripes: far faster than the ~670 ms RSDS read.
         assert!(hit.latency < Duration::from_millis(40), "{:?}", hit.latency);
-        assert_eq!(plane.telemetry.borrow().chunked_hits, 1);
+        assert_eq!(plane.telemetry().metrics().counter("plane.chunked_hits"), 1);
     }
 
     #[test]
@@ -824,6 +855,7 @@ mod tests {
             },
             Rc::clone(&cluster),
             Rc::clone(&store),
+            &Telemetry::standalone(),
         );
         let mut sim = Sim::new(0);
         let w = ObjectWrite {

@@ -16,13 +16,18 @@
 //! | Proxy + rclib + Persistor + webhooks | [`cache`] |
 //! | Assembly onto OpenWhisk | [`ofc`] |
 //!
+//! Observability is unified behind the [`telemetry`] plane (re-exported
+//! from `ofc-telemetry`): every component records counters, gauges,
+//! histograms, and phase spans into one shared registry, snapshotted via
+//! [`ofc::Ofc::metrics`] and [`ofc::Ofc::trace`].
+//!
 //! # Examples
 //!
 //! Install OFC onto a platform and run a workload (see
 //! `examples/quickstart.rs` for a full walk-through):
 //!
 //! ```
-//! use ofc_core::ofc::{Ofc, OfcConfig};
+//! use ofc_core::ofc::Ofc;
 //! use ofc_faas::baselines::NoopPlane;
 //! use ofc_faas::platform::Platform;
 //! use ofc_faas::registry::Registry;
@@ -37,13 +42,12 @@
 //!     Box::new(NoopPlane),
 //! );
 //! let store = Rc::new(RefCell::new(ObjectStore::swift()));
-//! let ofc = Ofc::install(
-//!     &platform,
-//!     store,
-//!     Rc::new(|_, _, _| None),
-//!     OfcConfig::default(),
-//! );
+//! let ofc = Ofc::builder(&platform)
+//!     .store(store)
+//!     .features(Rc::new(|_, _, _| None))
+//!     .build();
 //! assert_eq!(ofc.cluster.borrow().n_nodes(), 4);
+//! assert_eq!(ofc.metrics().counter("faas.submitted"), 0);
 //! ```
 
 pub mod agent;
@@ -53,3 +57,5 @@ pub mod monitor;
 pub mod ofc;
 pub mod scheduler;
 pub mod trainer;
+
+pub use ofc_telemetry as telemetry;

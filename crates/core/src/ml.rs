@@ -21,6 +21,7 @@ use ofc_dtree::data::{AttrKind, Attribute, Dataset, Value};
 use ofc_dtree::tree::DecisionTree;
 use ofc_dtree::Classifier;
 use ofc_faas::{FunctionId, TenantId};
+use ofc_telemetry::{Counter, Telemetry};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -120,15 +121,25 @@ pub struct Observation {
     pub el_ratio: f64,
 }
 
-/// Running accuracy counters of a function's memory model (feeds Table 2).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ModelCounters {
-    /// Predictions whose allocated amount covered the actual need.
-    pub good: u64,
-    /// Predictions whose allocated amount fell short.
-    pub bad: u64,
-    /// Full retrainings performed.
-    pub retrains: u64,
+/// Telemetry handles for model accuracy (feeds Table 2): predictions whose
+/// allocated amount covered the actual need (`ml.good_predictions`), those
+/// that fell short (`ml.bad_predictions`), and full retrainings performed
+/// (`ml.retrains`), aggregated across all functions.
+#[derive(Debug)]
+struct MlMetrics {
+    good: Counter,
+    bad: Counter,
+    retrains: Counter,
+}
+
+impl MlMetrics {
+    fn new(t: &Telemetry) -> Self {
+        MlMetrics {
+            good: t.counter("ml.good_predictions"),
+            bad: t.counter("ml.bad_predictions"),
+            retrains: t.counter("ml.retrains"),
+        }
+    }
 }
 
 struct FunctionMl {
@@ -143,22 +154,35 @@ struct FunctionMl {
     mature: bool,
     /// Observation index at which the model matured, if it has.
     matured_at: Option<u64>,
-    counters: ModelCounters,
 }
 
 /// The ML engine: Predictor + ModelTrainer.
 pub struct MlEngine {
     cfg: MlConfig,
     functions: HashMap<FnKey, FunctionMl>,
+    telemetry: Telemetry,
+    metrics: MlMetrics,
 }
 
 impl MlEngine {
-    /// Creates an engine.
+    /// Creates an engine with a standalone (fully enabled) telemetry plane.
     pub fn new(cfg: MlConfig) -> Self {
+        Self::with_telemetry(cfg, &Telemetry::standalone())
+    }
+
+    /// Creates an engine recording into a shared telemetry plane.
+    pub fn with_telemetry(cfg: MlConfig, telemetry: &Telemetry) -> Self {
         MlEngine {
             cfg,
             functions: HashMap::new(),
+            telemetry: telemetry.clone(),
+            metrics: MlMetrics::new(telemetry),
         }
+    }
+
+    /// The telemetry plane this engine records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration.
@@ -193,7 +217,6 @@ impl MlEngine {
             new_since_retrain: 0,
             mature: false,
             matured_at: None,
-            counters: ModelCounters::default(),
         });
     }
 
@@ -211,14 +234,6 @@ impl MlEngine {
     /// maturation quickness), if it has.
     pub fn matured_at(&self, key: &FnKey) -> Option<u64> {
         self.functions.get(key).and_then(|f| f.matured_at)
-    }
-
-    /// Accuracy counters of a function's memory model.
-    pub fn counters(&self, key: &FnKey) -> ModelCounters {
-        self.functions
-            .get(key)
-            .map(|f| f.counters)
-            .unwrap_or_default()
     }
 
     /// Predicts memory and cache benefit for an invocation (§4's Predictor
@@ -266,9 +281,9 @@ impl MlEngine {
                 f.window.pop_front();
             }
             if cfg.allocation_for(raw) >= obs.actual_mem {
-                f.counters.good += 1;
+                self.metrics.good.inc();
             } else {
-                f.counters.bad += 1;
+                self.metrics.bad.inc();
             }
         }
 
@@ -305,7 +320,7 @@ impl MlEngine {
                 f.benefit_model = Some(C45::train(&f.benefit_dataset, &C45Params::default()));
             }
             f.new_since_retrain = 0;
-            f.counters.retrains += 1;
+            self.metrics.retrains.inc();
         }
 
         // Maturation check (§5.3.1).
@@ -500,9 +515,11 @@ mod tests {
         for i in 0..200 {
             ml.observe(&key(), learnable_obs(i));
         }
-        let c = ml.counters(&key());
-        assert!(c.good > 0);
-        assert!(c.retrains > 0);
-        assert!(c.good + c.bad <= 200);
+        let m = ml.telemetry().metrics();
+        let good = m.counter("ml.good_predictions");
+        let bad = m.counter("ml.bad_predictions");
+        assert!(good > 0);
+        assert!(m.counter("ml.retrains") > 0);
+        assert!(good + bad <= 200);
     }
 }

@@ -12,6 +12,7 @@ use crate::ml::{FnKey, MlEngine, Observation};
 use crate::scheduler::FeatureFn;
 use ofc_faas::{Completion, ExecutionMonitor, InvocationRecord, PressureAction};
 use ofc_simtime::Sim;
+use ofc_telemetry::{Counter, Telemetry};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -39,22 +40,40 @@ pub struct OfcMonitor {
     cfg: MonitorConfig,
     ml: Rc<RefCell<MlEngine>>,
     features: FeatureFn,
-    /// Cap raises performed (telemetry).
-    pub raises: u64,
-    /// OOM kills permitted (telemetry).
-    pub kills: u64,
+    telemetry: Telemetry,
+    /// Cap raises performed (`monitor.raises`).
+    raises: Counter,
+    /// OOM kills permitted (`monitor.kills`).
+    kills: Counter,
 }
 
 impl OfcMonitor {
-    /// Builds the monitor over the shared ML engine.
+    /// Builds the monitor over the shared ML engine, with a standalone
+    /// telemetry plane.
     pub fn new(cfg: MonitorConfig, ml: Rc<RefCell<MlEngine>>, features: FeatureFn) -> Self {
+        Self::with_telemetry(cfg, ml, features, &Telemetry::standalone())
+    }
+
+    /// Builds the monitor recording into a shared telemetry plane.
+    pub fn with_telemetry(
+        cfg: MonitorConfig,
+        ml: Rc<RefCell<MlEngine>>,
+        features: FeatureFn,
+        telemetry: &Telemetry,
+    ) -> Self {
         OfcMonitor {
             cfg,
             ml,
             features,
-            raises: 0,
-            kills: 0,
+            telemetry: telemetry.clone(),
+            raises: telemetry.counter("monitor.raises"),
+            kills: telemetry.counter("monitor.kills"),
         }
+    }
+
+    /// The telemetry plane this monitor records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 
@@ -69,7 +88,7 @@ impl ExecutionMonitor for OfcMonitor {
         // Short invocations are not monitored (§5.3.1): the OOM killer
         // fires and the platform retries at the booked size.
         if elapsed < self.cfg.min_runtime {
-            self.kills += 1;
+            self.kills.inc();
             return PressureAction::Kill;
         }
         // Raise to the next interval boundary above the need, bounded by
@@ -79,7 +98,7 @@ impl ExecutionMonitor for OfcMonitor {
             .saturating_mul(self.cfg.interval_bytes)
             .max(record.mem_limit)
             .min(record.mem_booked.max(needed));
-        self.raises += 1;
+        self.raises.inc();
         PressureAction::RaiseTo(target)
     }
 
@@ -169,7 +188,7 @@ mod tests {
             Duration::from_secs(1),
         );
         assert_eq!(a, PressureAction::Kill);
-        assert_eq!(m.kills, 1);
+        assert_eq!(m.telemetry().metrics().counter("monitor.kills"), 1);
     }
 
     #[test]
@@ -190,7 +209,7 @@ mod tests {
             }
             PressureAction::Kill => panic!("long invocation must be raised"),
         }
-        assert_eq!(m.raises, 1);
+        assert_eq!(m.telemetry().metrics().counter("monitor.raises"), 1);
     }
 
     #[test]

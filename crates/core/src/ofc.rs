@@ -1,7 +1,7 @@
 //! Assembly: installs OFC onto an OpenWhisk-model platform (§4's
 //! architecture diagram).
 //!
-//! [`Ofc::install`] wires every component into the platform's seams:
+//! [`Ofc::builder`] wires every component into the platform's seams:
 //!
 //! * Predictor + ModelTrainer → [`crate::scheduler::OfcScheduler`] and
 //!   [`crate::monitor::OfcMonitor`],
@@ -9,19 +9,40 @@
 //! * Proxy/rclib + persistors + webhooks → the data plane,
 //! * the RAMCloud-model cluster (one storage node per invoker) and the
 //!   locality oracle → the load balancer.
+//!
+//! Every component records into one shared [`Telemetry`] plane, so a
+//! single [`Ofc::metrics`] / [`Ofc::trace`] pair replaces the per-subsystem
+//! snapshot methods of earlier revisions:
+//!
+//! ```no_run
+//! # use ofc_core::ofc::Ofc;
+//! # let (platform, store, features): (ofc_faas::platform::PlatformHandle,
+//! #     std::rc::Rc<std::cell::RefCell<ofc_objstore::store::ObjectStore>>,
+//! #     ofc_core::scheduler::FeatureFn) = unimplemented!();
+//! let ofc = Ofc::builder(&platform)
+//!     .store(store)
+//!     .features(features)
+//!     .replication(2)
+//!     .build();
+//! // ... run the simulation ...
+//! let m = ofc.metrics();
+//! println!("hits: {}", m.counter("plane.local_hits"));
+//! println!("{}", ofc.trace().to_json());
+//! ```
 
-use crate::agent::{AgentConfig, AgentHandle, AgentTelemetry, CacheAgent};
-use crate::cache::{rc_key, OfcPlane, Persistence, PlaneConfig, PlaneTelemetry};
-use crate::ml::{FnKey, MlConfig, MlEngine, ModelCounters};
+use crate::agent::{AgentConfig, AgentHandle, CacheAgent};
+use crate::cache::{rc_key, OfcPlane, Persistence, PlaneConfig};
+use crate::ml::{FnKey, MlConfig, MlEngine};
 use crate::monitor::{MonitorConfig, OfcMonitor};
 use crate::scheduler::{FeatureFn, OfcScheduler};
 use ofc_dtree::data::Attribute;
 use ofc_faas::platform::PlatformHandle;
 use ofc_faas::{FunctionId, TenantId};
 use ofc_objstore::store::ObjectStore;
-use ofc_rcstore::cluster::{Cluster, ClusterCounters};
+use ofc_rcstore::cluster::Cluster;
 use ofc_rcstore::ClusterConfig;
 use ofc_simtime::Sim;
+use ofc_telemetry::{MetricsSnapshot, Telemetry, TelemetryConfig, TraceHandle};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -45,34 +66,117 @@ pub struct OfcConfig {
     /// Overrides the initial per-node cache pool (contention studies);
     /// `None` uses all node memory beyond the slack pool.
     pub cache_pool_override: Option<u64>,
+    /// Recording level of the shared observability plane.
+    pub telemetry: TelemetryConfig,
 }
 
-/// A fully installed OFC instance with handles to every subsystem.
-pub struct Ofc {
-    /// The shared Predictor/ModelTrainer.
-    pub ml: Rc<RefCell<MlEngine>>,
-    /// The cache store cluster.
-    pub cluster: Rc<RefCell<Cluster>>,
-    /// The cache agent.
-    pub agent: AgentHandle,
-    /// Data-plane telemetry.
-    pub plane_telemetry: Rc<RefCell<PlaneTelemetry>>,
-    /// Pending write-back state (webhook and reclamation paths).
-    pub persistence: Rc<RefCell<Persistence>>,
+/// Fluent assembly of an [`Ofc`] instance onto a platform.
+///
+/// Obtained from [`Ofc::builder`]; every knob defaults sensibly, and only
+/// [`OfcBuilder::store`] and [`OfcBuilder::features`] are mandatory.
+#[must_use = "an OfcBuilder does nothing until .build() is called"]
+pub struct OfcBuilder {
+    platform: PlatformHandle,
+    store: Option<Rc<RefCell<ObjectStore>>>,
+    features: Option<FeatureFn>,
+    cfg: OfcConfig,
 }
 
-impl Ofc {
-    /// Installs OFC onto `platform`, interposing on `store`.
+impl OfcBuilder {
+    /// The backing object store OFC interposes on (mandatory).
+    pub fn store(mut self, store: Rc<RefCell<ObjectStore>>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The ML feature extractor (mandatory).
+    pub fn features(mut self, features: FeatureFn) -> Self {
+        self.features = Some(features);
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, cfg: OfcConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// ML engine tunables.
+    pub fn ml(mut self, ml: MlConfig) -> Self {
+        self.cfg.ml = ml;
+        self
+    }
+
+    /// Cache-agent tunables.
+    pub fn agent(mut self, agent: AgentConfig) -> Self {
+        self.cfg.agent = agent;
+        self
+    }
+
+    /// Data-plane tunables.
+    pub fn plane(mut self, plane: PlaneConfig) -> Self {
+        self.cfg.plane = plane;
+        self
+    }
+
+    /// Monitor tunables.
+    pub fn monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.cfg.monitor = monitor;
+        self
+    }
+
+    /// Replication factor of the cache store (paper testbed: 2).
+    pub fn replication(mut self, factor: usize) -> Self {
+        self.cfg.replication_factor = factor;
+        self
+    }
+
+    /// Recording level of the shared observability plane.
+    pub fn telemetry(mut self, level: TelemetryConfig) -> Self {
+        self.cfg.telemetry = level;
+        self
+    }
+
+    /// Ablation: disable the cache-benefit gate (cache everything).
+    pub fn disable_benefit_gate(mut self) -> Self {
+        self.cfg.disable_benefit_gate = true;
+        self
+    }
+
+    /// Ablation: disable locality-aware routing (§6.5).
+    pub fn disable_locality_routing(mut self) -> Self {
+        self.cfg.disable_locality_routing = true;
+        self
+    }
+
+    /// Overrides the initial per-node cache pool (contention studies).
+    pub fn cache_pool(mut self, bytes: u64) -> Self {
+        self.cfg.cache_pool_override = Some(bytes);
+        self
+    }
+
+    /// Wires everything onto the platform.
     ///
     /// The cache cluster gets one storage node per invoker; each node's
     /// initial pool is the node memory minus the initial slack (sandboxes
     /// then claim memory through the broker).
-    pub fn install(
-        platform: &PlatformHandle,
-        store: Rc<RefCell<ObjectStore>>,
-        features: FeatureFn,
-        cfg: OfcConfig,
-    ) -> Ofc {
+    ///
+    /// # Panics
+    ///
+    /// When [`OfcBuilder::store`] or [`OfcBuilder::features`] was not set.
+    pub fn build(self) -> Ofc {
+        let OfcBuilder {
+            platform,
+            store,
+            features,
+            cfg,
+        } = self;
+        let store = store.expect("OfcBuilder: .store(..) is mandatory");
+        let features = features.expect("OfcBuilder: .features(..) is mandatory");
+
+        let telemetry = Telemetry::new(cfg.telemetry);
+        platform.bind_telemetry(&telemetry);
+
         let pcfg = platform.config();
         let nodes = pcfg.nodes;
         let replication = if cfg.replication_factor == 0 {
@@ -80,7 +184,7 @@ impl Ofc {
         } else {
             cfg.replication_factor.min(nodes.saturating_sub(1))
         };
-        let cluster = Rc::new(RefCell::new(Cluster::new(ClusterConfig {
+        let mut cluster = Cluster::new(ClusterConfig {
             nodes,
             replication_factor: replication,
             node_pool_bytes: cfg
@@ -89,16 +193,27 @@ impl Ofc {
             max_object_bytes: cfg.plane.max_cached_object,
             segment_bytes: (cfg.plane.max_cached_object * 2).max(16 << 20),
             ..ClusterConfig::default()
-        })));
+        });
+        cluster.bind_telemetry(&telemetry);
+        let cluster = Rc::new(RefCell::new(cluster));
 
         // Data plane (Proxy + rclib + persistors + webhooks).
-        let plane = OfcPlane::new(cfg.plane.clone(), Rc::clone(&cluster), Rc::clone(&store));
+        let plane = OfcPlane::new(
+            cfg.plane.clone(),
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+            &telemetry,
+        );
         let persistence = plane.persistence();
-        let plane_telemetry = plane.telemetry();
         platform.set_dataplane(Box::new(plane));
 
         // Cache agent (broker seam) with the write-back hook.
-        let agent = CacheAgent::new(cfg.agent.clone(), Rc::clone(&cluster), Rc::clone(&store));
+        let agent = CacheAgent::new(
+            cfg.agent.clone(),
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+            &telemetry,
+        );
         {
             let persistence = Rc::clone(&persistence);
             agent.0.borrow_mut().set_writeback(Box::new(move |key| {
@@ -108,15 +223,20 @@ impl Ofc {
         platform.set_broker(Box::new(agent.clone()));
 
         // ML engine behind the scheduler and monitor seams.
-        let ml = Rc::new(RefCell::new(MlEngine::new(cfg.ml.clone())));
-        let mut scheduler = OfcScheduler::new(Rc::clone(&ml), Rc::clone(&features));
+        let ml = Rc::new(RefCell::new(MlEngine::with_telemetry(
+            cfg.ml.clone(),
+            &telemetry,
+        )));
+        let mut scheduler =
+            OfcScheduler::with_telemetry(Rc::clone(&ml), Rc::clone(&features), &telemetry);
         scheduler.benefit_gate = !cfg.disable_benefit_gate;
         scheduler.locality_routing = !cfg.disable_locality_routing;
         platform.set_scheduler(Box::new(scheduler));
-        platform.set_monitor(Box::new(OfcMonitor::new(
+        platform.set_monitor(Box::new(OfcMonitor::with_telemetry(
             cfg.monitor.clone(),
             Rc::clone(&ml),
             features,
+            &telemetry,
         )));
 
         // Locality oracle (§6.5): the load balancer asks the coordinator
@@ -131,8 +251,33 @@ impl Ofc {
             ml,
             cluster,
             agent,
-            plane_telemetry,
             persistence,
+            telemetry,
+        }
+    }
+}
+
+/// A fully installed OFC instance with handles to every subsystem.
+pub struct Ofc {
+    /// The shared Predictor/ModelTrainer.
+    pub ml: Rc<RefCell<MlEngine>>,
+    /// The cache store cluster.
+    pub cluster: Rc<RefCell<Cluster>>,
+    /// The cache agent.
+    pub agent: AgentHandle,
+    /// Pending write-back state (webhook and reclamation paths).
+    pub persistence: Rc<RefCell<Persistence>>,
+    telemetry: Telemetry,
+}
+
+impl Ofc {
+    /// Starts assembling OFC onto `platform`.
+    pub fn builder(platform: &PlatformHandle) -> OfcBuilder {
+        OfcBuilder {
+            platform: platform.clone(),
+            store: None,
+            features: None,
+            cfg: OfcConfig::default(),
         }
     }
 
@@ -156,25 +301,21 @@ impl Ofc {
         self.ml.borrow_mut().register(key, schema);
     }
 
-    /// Cache-store counters.
-    pub fn cluster_counters(&self) -> ClusterCounters {
-        self.cluster.borrow().counters()
+    /// The shared observability plane every subsystem records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
-    /// Agent telemetry snapshot.
-    pub fn agent_telemetry(&self) -> AgentTelemetry {
-        self.agent.telemetry()
+    /// A point-in-time snapshot of every registered metric, across all
+    /// subsystems (`rcstore.*`, `agent.*`, `plane.*`, `ml.*`, `monitor.*`,
+    /// `sched.*`, `faas.*`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.telemetry.metrics()
     }
 
-    /// Data-plane telemetry snapshot.
-    pub fn plane_snapshot(&self) -> PlaneTelemetry {
-        *self.plane_telemetry.borrow()
-    }
-
-    /// Model accuracy counters for one function.
-    pub fn model_counters(&self, tenant: &str, function: &str) -> ModelCounters {
-        self.ml
-            .borrow()
-            .counters(&(TenantId::from(tenant), FunctionId::from(function)))
+    /// A point-in-time snapshot of the span stream and per-phase duration
+    /// statistics.
+    pub fn trace(&self) -> TraceHandle {
+        self.telemetry.trace()
     }
 }

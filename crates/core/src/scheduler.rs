@@ -6,6 +6,7 @@ use ofc_dtree::data::Value;
 use ofc_faas::{
     Args, FunctionId, RoutingContext, RoutingDecision, SandboxView, Scheduler, TenantId,
 };
+use ofc_telemetry::{Counter, Telemetry};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -14,10 +15,32 @@ use std::time::Duration;
 /// is unknown to the extractor (prediction is skipped).
 pub type FeatureFn = Rc<dyn Fn(&TenantId, &FunctionId, &Args) -> Option<Vec<Value>>>;
 
+/// Routing counters (`sched.*`): how requests were placed and whether the
+/// Predictor's sizing was used.
+#[derive(Debug)]
+struct SchedMetrics {
+    warm_routes: Counter,
+    cold_routes: Counter,
+    predicted_sizes: Counter,
+    booked_fallbacks: Counter,
+}
+
+impl SchedMetrics {
+    fn new(t: &Telemetry) -> Self {
+        SchedMetrics {
+            warm_routes: t.counter("sched.warm_routes"),
+            cold_routes: t.counter("sched.cold_routes"),
+            predicted_sizes: t.counter("sched.predicted_sizes"),
+            booked_fallbacks: t.counter("sched.booked_fallbacks"),
+        }
+    }
+}
+
 /// The OFC routing policy.
 pub struct OfcScheduler {
     ml: Rc<RefCell<MlEngine>>,
     features: FeatureFn,
+    metrics: SchedMetrics,
     /// Predictor + Sizer critical-path overhead (~6 ms, §7.2.1).
     overhead: Duration,
     /// Whether the cache-benefit gate is consulted (§5.2); `false` caches
@@ -29,11 +52,22 @@ pub struct OfcScheduler {
 }
 
 impl OfcScheduler {
-    /// Builds the scheduler over the shared ML engine.
+    /// Builds the scheduler over the shared ML engine, with a standalone
+    /// telemetry plane.
     pub fn new(ml: Rc<RefCell<MlEngine>>, features: FeatureFn) -> Self {
+        Self::with_telemetry(ml, features, &Telemetry::standalone())
+    }
+
+    /// Builds the scheduler recording into a shared telemetry plane.
+    pub fn with_telemetry(
+        ml: Rc<RefCell<MlEngine>>,
+        features: FeatureFn,
+        telemetry: &Telemetry,
+    ) -> Self {
         OfcScheduler {
             ml,
             features,
+            metrics: SchedMetrics::new(telemetry),
             overhead: Duration::from_millis(6),
             benefit_gate: true,
             locality_routing: true,
@@ -80,6 +114,11 @@ impl Scheduler for OfcScheduler {
             // Unknown function: booked memory, cache conservatively.
             None => (ctx.booked_mem, true),
         };
+        if mem_limit == ctx.booked_mem {
+            self.metrics.booked_fallbacks.inc();
+        } else {
+            self.metrics.predicted_sizes.inc();
+        }
         let should_cache = should_cache || !self.benefit_gate;
         let ctx_master = if self.locality_routing {
             ctx.input_master
@@ -92,6 +131,7 @@ impl Scheduler for OfcScheduler {
         };
 
         if let Some((node, sandbox)) = Self::pick_warm(ctx, &ctx.warm, mem_limit) {
+            self.metrics.warm_routes.inc();
             return RoutingDecision {
                 node,
                 sandbox: Some(sandbox),
@@ -121,6 +161,7 @@ impl Scheduler for OfcScheduler {
                     .map(|n| n.node)
             })
             .unwrap_or(ctx.home);
+        self.metrics.cold_routes.inc();
         RoutingDecision {
             node,
             sandbox: None,

@@ -218,7 +218,7 @@ fn evaluate_numeric(
         let gain = base_entropy - cond;
         let threshold = (v + points[i].0) / 2.0;
         let split_info = entropy(&[left_w, right_w]);
-        if best.map_or(true, |(g, _, _)| gain > g) {
+        if best.is_none_or(|(g, _, _)| gain > g) {
             best = Some((gain, threshold, split_info));
         }
     }

@@ -217,7 +217,7 @@ impl LeafStats {
                     let cond = (lw / total) * crate::c45::entropy(&left)
                         + (rw / total) * crate::c45::entropy(&right);
                     let gain = base - cond;
-                    if best.map_or(true, |(g, _)| gain > g) {
+                    if best.is_none_or(|(g, _)| gain > g) {
                         best = Some((gain, x));
                     }
                 }

@@ -112,7 +112,7 @@ fn grow(
     let mut best: Option<crate::c45::Split> = None;
     for (examined, &attr) in order.iter().enumerate() {
         if let Some(s) = evaluate_attr(data, idx, attr, base, params.min_leaf) {
-            if best.as_ref().map_or(true, |b| s.gain() > b.gain()) {
+            if best.as_ref().is_none_or(|b| s.gain() > b.gain()) {
                 best = Some(s);
             }
         }

@@ -17,6 +17,7 @@ use crate::{
 };
 use ofc_objstore::ObjectId;
 use ofc_simtime::{Sim, SimTime};
+use ofc_telemetry::{Counter, Phase, Telemetry};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -75,6 +76,35 @@ pub struct PlatformCounters {
     pub resizes: u64,
 }
 
+/// Telemetry mirrors of [`PlatformCounters`] (`faas.*`), so the unified
+/// observability plane sees platform lifecycle events alongside the cache
+/// and ML metrics.
+struct FaasMetrics {
+    submitted: Counter,
+    completed: Counter,
+    oom_kills: Counter,
+    retries: Counter,
+    unschedulable: Counter,
+    cold_starts: Counter,
+    warm_starts: Counter,
+    resizes: Counter,
+}
+
+impl FaasMetrics {
+    fn new(t: &Telemetry) -> Self {
+        FaasMetrics {
+            submitted: t.counter("faas.submitted"),
+            completed: t.counter("faas.completed"),
+            oom_kills: t.counter("faas.oom_kills"),
+            retries: t.counter("faas.retries"),
+            unschedulable: t.counter("faas.unschedulable"),
+            cold_starts: t.counter("faas.cold_starts"),
+            warm_starts: t.counter("faas.warm_starts"),
+            resizes: t.counter("faas.resizes"),
+        }
+    }
+}
+
 struct Inflight {
     record: InvocationRecord,
     request: InvocationRequest,
@@ -97,6 +127,9 @@ struct PipelineRun {
     failed: bool,
 }
 
+/// Maps an object to the node caching its master copy, if any (§6.5).
+pub type LocalityOracle = Rc<dyn Fn(&ObjectId) -> Option<NodeId>>;
+
 /// The FaaS platform. Construct with [`Platform::build`], which returns a
 /// shared handle usable from event closures.
 pub struct Platform {
@@ -107,12 +140,14 @@ pub struct Platform {
     broker: Box<dyn MemoryBroker>,
     dataplane: Box<dyn DataPlane>,
     monitor: Box<dyn ExecutionMonitor>,
-    locality_oracle: Option<Rc<dyn Fn(&ObjectId) -> Option<NodeId>>>,
+    locality_oracle: Option<LocalityOracle>,
     inflight: HashMap<InvocationId, Inflight>,
     pipelines: HashMap<PipelineId, PipelineRun>,
     records: Vec<InvocationRecord>,
     pipeline_records: Vec<PipelineRecord>,
     counters: PlatformCounters,
+    telemetry: Telemetry,
+    metrics: FaasMetrics,
     next_inv: InvocationId,
     next_pipe: PipelineId,
 }
@@ -132,6 +167,8 @@ impl Platform {
         let invokers = (0..cfg.nodes)
             .map(|n| Invoker::new(n, cfg.node_mem))
             .collect();
+        let telemetry = Telemetry::standalone();
+        let metrics = FaasMetrics::new(&telemetry);
         PlatformHandle(Rc::new(RefCell::new(Platform {
             cfg,
             registry,
@@ -146,6 +183,8 @@ impl Platform {
             records: Vec::new(),
             pipeline_records: Vec::new(),
             counters: PlatformCounters::default(),
+            telemetry,
+            metrics,
             next_inv: 0,
             next_pipe: 0,
         })))
@@ -218,8 +257,21 @@ impl PlatformHandle {
     }
 
     /// Installs the cache-locality oracle used for routing (§6.5).
-    pub fn set_locality_oracle(&self, f: Rc<dyn Fn(&ObjectId) -> Option<NodeId>>) {
+    pub fn set_locality_oracle(&self, f: LocalityOracle) {
         self.0.borrow_mut().locality_oracle = Some(f);
+    }
+
+    /// Rebinds the platform onto a shared telemetry plane, re-registering
+    /// its `faas.*` counters there.
+    pub fn bind_telemetry(&self, t: &Telemetry) {
+        let mut p = self.0.borrow_mut();
+        p.telemetry = t.clone();
+        p.metrics = FaasMetrics::new(t);
+    }
+
+    /// The telemetry plane the platform records into.
+    pub fn telemetry(&self) -> Telemetry {
+        self.0.borrow().telemetry.clone()
     }
 
     /// Registers a function.
@@ -362,6 +414,7 @@ impl PlatformHandle {
         let p = &mut *p;
         if attempt == 0 {
             p.counters.submitted += 1;
+            p.metrics.submitted.inc();
         }
         let inv_id = p.next_inv;
         p.next_inv += 1;
@@ -421,11 +474,15 @@ impl PlatformHandle {
                 }
                 if resized {
                     p.counters.resizes += 1;
+                    p.metrics.resizes.inc();
                     if !p.cfg.async_resize {
                         setup += p.cfg.resize_cost;
+                        p.telemetry
+                            .span_at(inv_id, Phase::Resize, now, p.cfg.resize_cost);
                     }
                 }
                 p.counters.warm_starts += 1;
+                p.metrics.warm_starts.inc();
                 sb
             }
             _ => {
@@ -445,6 +502,7 @@ impl PlatformHandle {
                     Some(delay) => setup += delay,
                     None => {
                         p.counters.unschedulable += 1;
+                        p.metrics.unschedulable.inc();
                         let mut record = new_record(
                             inv_id,
                             &req,
@@ -457,14 +515,15 @@ impl PlatformHandle {
                         record.end = now;
                         p.monitor.on_complete(sim, &record);
                         p.records.push(record);
-                        if req.pipeline.is_some() {
-                            drop_pipeline_member(p, sim, self, req.pipeline.expect("checked"));
+                        if let Some(pipeline) = req.pipeline {
+                            drop_pipeline_member(p, sim, self, pipeline);
                         }
                         return inv_id;
                     }
                 }
                 cold = true;
                 p.counters.cold_starts += 1;
+                p.metrics.cold_starts.inc();
                 setup += p.cfg.cold_start;
                 p.invokers[node].create_sandbox(
                     req.function.clone(),
@@ -494,6 +553,17 @@ impl PlatformHandle {
                 compute_started: now,
             },
         );
+
+        // The setup window, from arrival to Extract, is the cold/warm start
+        // phase; the scheduler's critical-path overhead is the Predict phase.
+        p.telemetry
+            .span_at(inv_id, Phase::Predict, now, decision.overhead);
+        let start_phase = if cold {
+            Phase::ColdStart
+        } else {
+            Phase::WarmStart
+        };
+        p.telemetry.span_at(inv_id, start_phase, now, setup);
 
         let handle = self.clone();
         sim.schedule_in(setup, move |sim| handle.exec_start(sim, inv_id));
@@ -530,6 +600,7 @@ impl PlatformHandle {
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             fl.record.e_time = e_time;
             fl.record.reads_served = served;
+            p.telemetry.span_at(inv_id, Phase::Extract, now, e_time);
             (e_time, fl.node)
         };
         let _ = node;
@@ -619,6 +690,7 @@ impl PlatformHandle {
             let p = &mut *p;
             let mut fl = p.inflight.remove(&inv_id).expect("inflight");
             p.counters.oom_kills += 1;
+            p.metrics.oom_kills.inc();
             // The OOM killer destroys the container; its memory returns to
             // the pool.
             if let Some(freed) = p.invokers[fl.node].destroy(fl.sandbox) {
@@ -636,6 +708,7 @@ impl PlatformHandle {
             p.records.push(fl.record);
             if attempt < p.cfg.max_retries {
                 p.counters.retries += 1;
+                p.metrics.retries.inc();
                 Some((request, attempt + 1, booked))
             } else {
                 if let Some(pipe) = request.pipeline {
@@ -651,6 +724,7 @@ impl PlatformHandle {
     }
 
     fn transform_done(&self, sim: &mut Sim, inv_id: InvocationId) {
+        let now = sim.now();
         let l_time = {
             let mut p = self.0.borrow_mut();
             let p = &mut *p;
@@ -659,6 +733,8 @@ impl PlatformHandle {
             let should_cache = fl.record.should_cache;
             let node = fl.node;
             let pipeline = fl.record.pipeline;
+            let compute = fl.behavior.compute;
+            let compute_started = fl.compute_started;
             let mut l_time = Duration::ZERO;
             for w in &writes {
                 let out = p.dataplane.write(sim, node, w, should_cache, pipeline);
@@ -667,6 +743,9 @@ impl PlatformHandle {
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             fl.record.t_time = fl.behavior.compute;
             fl.record.l_time = l_time;
+            p.telemetry
+                .span_at(inv_id, Phase::Transform, compute_started, compute);
+            p.telemetry.span_at(inv_id, Phase::Load, now, l_time);
             l_time
         };
         let handle = self.clone();
@@ -682,6 +761,7 @@ impl PlatformHandle {
             fl.record.completion = Completion::Success;
             fl.record.end = now;
             p.counters.completed += 1;
+            p.metrics.completed.inc();
 
             // Sandbox idles under keep-alive.
             p.invokers[fl.node].release(fl.sandbox, now);

@@ -4,30 +4,43 @@
 use crate::node::StorageNode;
 use crate::{AccessStats, ClusterConfig, Key, NodeId, RcError, ReadLocality, Timed, Value};
 use ofc_simtime::SimTime;
+use ofc_telemetry::{Counter, Histogram, Phase, Telemetry};
 use std::collections::HashMap;
 use std::time::Duration;
 
-/// Cluster-wide counters for telemetry (feeds Table 2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ClusterCounters {
-    /// Reads served from the requesting node.
-    pub local_hits: u64,
-    /// Reads served from a remote master.
-    pub remote_hits: u64,
-    /// Reads that found no cached copy.
-    pub misses: u64,
-    /// Writes accepted.
-    pub writes: u64,
-    /// Objects evicted.
-    pub evictions: u64,
-    /// Masterships migrated by backup promotion.
-    pub promotions: u64,
-    /// Pool scale-up operations.
-    pub scale_ups: u64,
-    /// Pool scale-down operations.
-    pub scale_downs: u64,
-    /// Objects lost during recovery (no surviving replica).
-    pub lost_objects: u64,
+/// Pre-registered recording handles for the store's `rcstore.*` metrics
+/// (feeds Table 2 through [`ofc_telemetry::MetricsSnapshot`]).
+#[derive(Debug)]
+struct ClusterMetrics {
+    local_hits: Counter,
+    remote_hits: Counter,
+    misses: Counter,
+    writes: Counter,
+    evictions: Counter,
+    promotions: Counter,
+    scale_ups: Counter,
+    scale_downs: Counter,
+    lost_objects: Counter,
+    migrate_nanos: Histogram,
+    recovery_nanos: Histogram,
+}
+
+impl ClusterMetrics {
+    fn new(t: &Telemetry) -> Self {
+        ClusterMetrics {
+            local_hits: t.counter("rcstore.local_hits"),
+            remote_hits: t.counter("rcstore.remote_hits"),
+            misses: t.counter("rcstore.misses"),
+            writes: t.counter("rcstore.writes"),
+            evictions: t.counter("rcstore.evictions"),
+            promotions: t.counter("rcstore.promotions"),
+            scale_ups: t.counter("rcstore.scale_ups"),
+            scale_downs: t.counter("rcstore.scale_downs"),
+            lost_objects: t.counter("rcstore.lost_objects"),
+            migrate_nanos: t.histogram("rcstore.migrate_nanos"),
+            recovery_nanos: t.histogram("rcstore.recovery_nanos"),
+        }
+    }
 }
 
 /// The distributed cache store. See the crate docs for an example.
@@ -42,7 +55,8 @@ pub struct Cluster {
     /// Coordinator-side version counters: bumped by every committed write,
     /// delete, or eviction of a key (transaction validation, [`crate::txn`]).
     versions: HashMap<Key, u64>,
-    counters: ClusterCounters,
+    telemetry: Telemetry,
+    metrics: ClusterMetrics,
 }
 
 impl Cluster {
@@ -67,13 +81,16 @@ impl Cluster {
         let nodes = (0..cfg.nodes)
             .map(|id| StorageNode::new(id, cfg.segment_bytes, cfg.node_pool_bytes))
             .collect();
+        let telemetry = Telemetry::standalone();
+        let metrics = ClusterMetrics::new(&telemetry);
         Cluster {
             cfg,
             nodes,
             tablet: HashMap::new(),
             replicas: HashMap::new(),
             versions: HashMap::new(),
-            counters: ClusterCounters::default(),
+            telemetry,
+            metrics,
         }
     }
 
@@ -82,9 +99,17 @@ impl Cluster {
         &self.cfg
     }
 
-    /// Cluster counters so far.
-    pub fn counters(&self) -> ClusterCounters {
-        self.counters
+    /// Rebinds the store onto a shared observability plane, re-registering
+    /// every `rcstore.*` metric there. Call before the first operation so
+    /// no samples land on the discarded standalone plane.
+    pub fn bind_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.metrics = ClusterMetrics::new(&self.telemetry);
+    }
+
+    /// The observability plane this store records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of nodes (up or down).
@@ -207,7 +232,7 @@ impl Cluster {
         self.tablet.insert(key.clone(), master);
         self.replicas.insert(key.clone(), backups);
         *self.versions.entry(key.clone()).or_insert(0) += 1;
-        self.counters.writes += 1;
+        self.metrics.writes.inc();
         let latency = self.cfg.latency.write(size, master != home);
         Timed::new(Ok(master), latency)
     }
@@ -220,19 +245,19 @@ impl Cluster {
         now: SimTime,
     ) -> Timed<Result<(Value, ReadLocality), RcError>> {
         let Some(&master) = self.tablet.get(key) else {
-            self.counters.misses += 1;
+            self.metrics.misses.inc();
             return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
         };
         let Some(obj) = self.nodes[master].read_master(key, now) else {
-            self.counters.misses += 1;
+            self.metrics.misses.inc();
             return Timed::new(Err(RcError::NodeUnavailable(master)), Duration::ZERO);
         };
         let value = obj.value.clone();
         let locality = if master == from {
-            self.counters.local_hits += 1;
+            self.metrics.local_hits.inc();
             ReadLocality::LocalHit
         } else {
-            self.counters.remote_hits += 1;
+            self.metrics.remote_hits.inc();
             ReadLocality::RemoteHit
         };
         let latency = self
@@ -262,7 +287,7 @@ impl Cluster {
             return Timed::new(Err(RcError::Dirty(key.clone())), Duration::ZERO);
         }
         let size = self.remove_entry(key);
-        self.counters.evictions += 1;
+        self.metrics.evictions.inc();
         Timed::new(Ok(size), self.cfg.latency.delete_base)
     }
 
@@ -320,8 +345,12 @@ impl Cluster {
             .map(|b| if b == new_master { old_master } else { b })
             .collect();
         self.replicas.insert(key.clone(), new_backups);
-        self.counters.promotions += 1;
-        Timed::new(Ok(new_master), self.cfg.latency.promote(size))
+        self.metrics.promotions.inc();
+        let latency = self.cfg.latency.promote(size);
+        self.metrics.migrate_nanos.record_duration(latency);
+        self.telemetry
+            .span_at(new_master as u64, Phase::Migrate, now, latency);
+        Timed::new(Ok(new_master), latency)
     }
 
     /// Resizes a node's memory pool (vertical scaling).
@@ -346,9 +375,9 @@ impl Cluster {
         let over = self.nodes[node].set_pool_bytes(bytes);
         debug_assert!(!over, "live data fits, so the cleaner must succeed");
         if growing {
-            self.counters.scale_ups += 1;
+            self.metrics.scale_ups.inc();
         } else {
-            self.counters.scale_downs += 1;
+            self.metrics.scale_downs.inc();
         }
         Timed::new(Ok(()), self.cfg.latency.rescale(false))
     }
@@ -463,7 +492,8 @@ impl Cluster {
             self.replicas.insert(key, backups);
         }
 
-        self.counters.lost_objects += lost as u64;
+        self.metrics.lost_objects.add(lost as u64);
+        self.metrics.recovery_nanos.record_duration(latency);
         Timed::new(lost, latency)
     }
 
@@ -599,7 +629,7 @@ impl Cluster {
         // crash path already knows how to restore replication.
         let t = self.crash_node(node);
         latency += t.latency;
-        self.counters.lost_objects += lost as u64;
+        self.metrics.lost_objects.add(lost as u64);
         Timed::new(lost + t.result, latency)
     }
 
@@ -712,15 +742,21 @@ mod tests {
         assert_eq!(local.result.unwrap().1, ReadLocality::LocalHit);
         assert_eq!(remote.result.unwrap().1, ReadLocality::RemoteHit);
         assert!(remote.latency > local.latency);
-        let counters = c.counters();
-        assert_eq!((counters.local_hits, counters.remote_hits), (1, 1));
+        let m = c.telemetry().metrics();
+        assert_eq!(
+            (
+                m.counter("rcstore.local_hits"),
+                m.counter("rcstore.remote_hits")
+            ),
+            (1, 1)
+        );
     }
 
     #[test]
     fn miss_reported() {
         let mut c = cluster();
         assert!(c.read(0, &key("nope"), SimTime::ZERO).result.is_err());
-        assert_eq!(c.counters().misses, 1);
+        assert_eq!(c.telemetry().metrics().counter("rcstore.misses"), 1);
     }
 
     #[test]
@@ -791,7 +827,8 @@ mod tests {
         assert_eq!(c.live_replicas(&key("hot")), 2);
         assert!(c.node(1).has_backup(&key("hot")));
         assert!(!c.node(1).has_master(&key("hot")));
-        assert_eq!(c.counters().promotions, 1);
+        assert_eq!(c.telemetry().metrics().counter("rcstore.promotions"), 1);
+        assert_eq!(c.telemetry().trace().phase_count(Phase::Migrate), 1);
     }
 
     #[test]
@@ -841,8 +878,14 @@ mod tests {
         c.resize_pool(0, 100).result.unwrap();
         assert_eq!(c.node(0).pool_bytes(), 100);
         // The refused shrink is not counted; only the successful one is.
-        let counters = c.counters();
-        assert_eq!((counters.scale_ups, counters.scale_downs), (0, 1));
+        let m = c.telemetry().metrics();
+        assert_eq!(
+            (
+                m.counter("rcstore.scale_ups"),
+                m.counter("rcstore.scale_downs")
+            ),
+            (0, 1)
+        );
     }
 
     #[test]
@@ -887,7 +930,7 @@ mod tests {
         let lost = c.crash_node(0);
         assert_eq!(lost.result, 1);
         assert!(!c.contains(&key("a")));
-        assert_eq!(c.counters().lost_objects, 1);
+        assert_eq!(c.telemetry().metrics().counter("rcstore.lost_objects"), 1);
     }
 
     #[test]

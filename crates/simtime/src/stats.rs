@@ -142,7 +142,7 @@ impl TimeSeries {
     /// Appends a point; instants should be non-decreasing.
     pub fn push(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(t, _)| t <= at),
+            self.points.last().is_none_or(|&(t, _)| t <= at),
             "time series must be appended in order"
         );
         self.points.push((at, value));

@@ -1,0 +1,381 @@
+//! The metrics registry and its typed recording handles.
+//!
+//! Handles are obtained once on the cold path ([`crate::Telemetry::counter`]
+//! and friends) and record by bumping a shared cell — no lookups, no
+//! allocation. Each handle carries a pre-computed `on` flag so disabled
+//! planes pay one predictable branch per record call.
+
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+use ofc_simtime::stats::TimeSeries;
+use ofc_simtime::SimTime;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds zero values,
+/// bucket `i` holds values with `i` significant bits (so `2^(i-1) ..= 2^i - 1`).
+pub(crate) const BUCKETS: usize = 65;
+
+/// Bucket index for a value under the power-of-two bucketing scheme.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Rc<Cell<u64>>,
+    on: bool,
+}
+
+impl Counter {
+    pub(crate) fn new(cell: Rc<Cell<u64>>, on: bool) -> Self {
+        Counter { cell, on }
+    }
+
+    pub(crate) fn detached() -> Self {
+        Counter {
+            cell: Rc::new(Cell::new(0)),
+            on: false,
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.on {
+            self.cell.set(self.cell.get().wrapping_add(n));
+        }
+    }
+
+    /// Current value (zero while detached).
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("on", &self.on)
+            .field("value", &self.cell.get())
+            .finish()
+    }
+}
+
+pub(crate) struct GaugeCell {
+    pub(crate) value: Cell<f64>,
+    pub(crate) series: RefCell<TimeSeries>,
+}
+
+/// A sampled instantaneous value with a full time series behind it, so
+/// plots like the Figure 10 cache-size timeline fall out of a snapshot.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Rc<GaugeCell>,
+    on: bool,
+}
+
+impl Gauge {
+    pub(crate) fn new(cell: Rc<GaugeCell>, on: bool) -> Self {
+        Gauge { cell, on }
+    }
+
+    pub(crate) fn detached() -> Self {
+        Gauge {
+            cell: Rc::new(GaugeCell {
+                value: Cell::new(0.0),
+                series: RefCell::new(TimeSeries::default()),
+            }),
+            on: false,
+        }
+    }
+
+    /// Records the gauge value `v` observed at virtual instant `now`.
+    #[inline]
+    pub fn set(&self, now: SimTime, v: f64) {
+        if self.on {
+            self.cell.value.set(v);
+            self.cell.series.borrow_mut().push(now, v);
+        }
+    }
+
+    /// Last recorded value (zero while detached or before the first set).
+    pub fn get(&self) -> f64 {
+        self.cell.value.get()
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("on", &self.on)
+            .field("value", &self.cell.value.get())
+            .finish()
+    }
+}
+
+pub(crate) struct HistCell {
+    pub(crate) buckets: RefCell<[u64; BUCKETS]>,
+    pub(crate) count: Cell<u64>,
+    pub(crate) sum: Cell<u64>,
+    pub(crate) min: Cell<u64>,
+    pub(crate) max: Cell<u64>,
+}
+
+impl HistCell {
+    pub(crate) fn empty() -> Self {
+        HistCell {
+            buckets: RefCell::new([0; BUCKETS]),
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            min: Cell::new(u64::MAX),
+            max: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets.borrow_mut()[bucket_index(v)] += 1;
+        self.count.set(self.count.get() + 1);
+        self.sum.set(self.sum.get().saturating_add(v));
+        if v < self.min.get() {
+            self.min.set(v);
+        }
+        if v > self.max.get() {
+            self.max.set(v);
+        }
+    }
+}
+
+/// A distribution over `u64` samples in power-of-two buckets.
+///
+/// Durations are recorded as nanoseconds, so a histogram's `sum` is the
+/// exact total time spent in the measured phase (Table 2's time columns).
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Rc<HistCell>,
+    on: bool,
+}
+
+impl Histogram {
+    pub(crate) fn new(cell: Rc<HistCell>, on: bool) -> Self {
+        Histogram { cell, on }
+    }
+
+    pub(crate) fn detached() -> Self {
+        Histogram {
+            cell: Rc::new(HistCell::empty()),
+            on: false,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.on {
+            self.cell.record(v);
+        }
+    }
+
+    /// Records a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.cell.count.get()
+    }
+
+    /// Sum of all samples recorded so far.
+    pub fn sum(&self) -> u64 {
+        self.cell.sum.get()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("on", &self.on)
+            .field("count", &self.cell.count.get())
+            .finish()
+    }
+}
+
+/// A metric's identity: name plus a (sorted-by-insertion) label set.
+#[derive(Clone, PartialEq, Eq)]
+pub(crate) struct MetricKey {
+    pub(crate) name: &'static str,
+    pub(crate) labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &'static str, labels: &[(&str, &str)]) -> Self {
+        MetricKey {
+            name,
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// The cold-path store behind [`crate::Telemetry`]: registration dedupes by
+/// key so clones of a handle share one cell; snapshots walk these vectors.
+///
+/// Linear scans are fine here — registration happens once per site, and the
+/// workspace registers a few dozen metrics, not thousands.
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: Vec<(MetricKey, Rc<Cell<u64>>)>,
+    gauges: Vec<(MetricKey, Rc<GaugeCell>)>,
+    histograms: Vec<(MetricKey, Rc<HistCell>)>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&mut self, name: &'static str, labels: &[(&str, &str)]) -> Rc<Cell<u64>> {
+        let key = MetricKey::new(name, labels);
+        if let Some((_, cell)) = self.counters.iter().find(|(k, _)| *k == key) {
+            return Rc::clone(cell);
+        }
+        let cell = Rc::new(Cell::new(0));
+        self.counters.push((key, Rc::clone(&cell)));
+        cell
+    }
+
+    pub(crate) fn gauge(&mut self, name: &'static str, labels: &[(&str, &str)]) -> Rc<GaugeCell> {
+        let key = MetricKey::new(name, labels);
+        if let Some((_, cell)) = self.gauges.iter().find(|(k, _)| *k == key) {
+            return Rc::clone(cell);
+        }
+        let cell = Rc::new(GaugeCell {
+            value: Cell::new(0.0),
+            series: RefCell::new(TimeSeries::default()),
+        });
+        self.gauges.push((key, Rc::clone(&cell)));
+        cell
+    }
+
+    pub(crate) fn histogram(
+        &mut self,
+        name: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Rc<HistCell> {
+        let key = MetricKey::new(name, labels);
+        if let Some((_, cell)) = self.histograms.iter().find(|(k, _)| *k == key) {
+            return Rc::clone(cell);
+        }
+        let cell = Rc::new(HistCell::empty());
+        self.histograms.push((key, Rc::clone(&cell)));
+        cell
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, c)| CounterSnapshot {
+                    name: k.name.to_string(),
+                    labels: k.labels.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(_, c)| !c.series.borrow().is_empty())
+                .map(|(k, c)| GaugeSnapshot {
+                    name: k.name.to_string(),
+                    labels: k.labels.clone(),
+                    value: c.value.get(),
+                    series: c.series.borrow().clone(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, c)| HistogramSnapshot {
+                    name: k.name.to_string(),
+                    labels: k.labels.clone(),
+                    count: c.count.get(),
+                    sum: c.sum.get(),
+                    min: if c.count.get() == 0 { 0 } else { c.min.get() },
+                    max: c.max.get(),
+                    buckets: *c.buckets.borrow(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_follows_significant_bits() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Every bucket i >= 1 covers exactly [2^(i-1), 2^i - 1].
+        for i in 1..64usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            assert_eq!(bucket_index(hi + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let h = HistCell::empty();
+        for v in [5u64, 1, 9, 0, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count.get(), 5);
+        assert_eq!(h.sum.get(), 1015);
+        assert_eq!(h.min.get(), 0);
+        assert_eq!(h.max.get(), 1000);
+        let buckets = h.buckets.borrow();
+        assert_eq!(buckets.iter().sum::<u64>(), 5);
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[3], 1); // 5
+        assert_eq!(buckets[4], 1); // 9
+        assert_eq!(buckets[10], 1); // 1000
+    }
+
+    #[test]
+    fn registry_dedupes_by_name_and_labels() {
+        let mut r = Registry::default();
+        let a = r.counter("c", &[]);
+        let b = r.counter("c", &[]);
+        assert!(Rc::ptr_eq(&a, &b));
+        let l0 = r.counter("c", &[("n", "0")]);
+        assert!(!Rc::ptr_eq(&a, &l0));
+        assert_eq!(r.counters.len(), 2);
+    }
+}

@@ -1,0 +1,474 @@
+//! Phase-span tracing on the virtual clock.
+//!
+//! A span is one phase of one entity (an invocation, pipeline, node, or
+//! store operation). The tracer records spans two ways at once:
+//!
+//! * a bounded **ring buffer** of [`SpanEvent`]s (enter/exit pairs) for
+//!   timeline reconstruction — e.g. Figure 7's per-stage ETL breakdown,
+//! * per-phase **duration histograms**, so aggregate counts and time
+//!   totals (Table 2) survive even after the ring wraps.
+//!
+//! Nesting is per-entity LIFO: exits match the innermost open span of the
+//! same phase. Unmatched exits are counted and suppressed, so the emitted
+//! event stream is always balanced.
+
+use crate::json::JsonWriter;
+use crate::metrics::HistCell;
+use ofc_simtime::SimTime;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Default bound on the span event ring buffer.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// A lifecycle phase recorded by the observability plane.
+///
+/// These cover the OFC data path end to end: sandbox startup, the memory
+/// predictor, the Extract/Transform/Load stages of a data-bound function,
+/// and the cache plane's persistence, migration, eviction, and scaling
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Sandbox created from scratch (full startup latency).
+    ColdStart,
+    /// Invocation reused an idle sandbox.
+    WarmStart,
+    /// Memory-predictor inference ahead of scheduling.
+    Predict,
+    /// Sandbox memory allocation resized after a misprediction.
+    Resize,
+    /// Function read its input objects (E of ETL).
+    Extract,
+    /// Function compute stage (T of ETL).
+    Transform,
+    /// Function wrote its outputs (L of ETL).
+    Load,
+    /// Dirty cached object written back to durable storage.
+    Persist,
+    /// Object migrated between cache nodes.
+    Migrate,
+    /// Object evicted from the cache pool.
+    Evict,
+    /// Cache pool grown on a node.
+    ScaleUp,
+    /// Cache pool shrunk on a node.
+    ScaleDown,
+    /// Lost replicas re-created after a node failure.
+    Recovery,
+}
+
+impl Phase {
+    /// Every phase, in declaration order (indexes match [`Phase::index`]).
+    pub const ALL: [Phase; 13] = [
+        Phase::ColdStart,
+        Phase::WarmStart,
+        Phase::Predict,
+        Phase::Resize,
+        Phase::Extract,
+        Phase::Transform,
+        Phase::Load,
+        Phase::Persist,
+        Phase::Migrate,
+        Phase::Evict,
+        Phase::ScaleUp,
+        Phase::ScaleDown,
+        Phase::Recovery,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = Phase::ALL.len();
+
+    /// Stable dense index for per-phase arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in JSON export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::ColdStart => "cold_start",
+            Phase::WarmStart => "warm_start",
+            Phase::Predict => "predict",
+            Phase::Resize => "resize",
+            Phase::Extract => "extract",
+            Phase::Transform => "transform",
+            Phase::Load => "load",
+            Phase::Persist => "persist",
+            Phase::Migrate => "migrate",
+            Phase::Evict => "evict",
+            Phase::ScaleUp => "scale_up",
+            Phase::ScaleDown => "scale_down",
+            Phase::Recovery => "recovery",
+        }
+    }
+}
+
+/// Whether a [`SpanEvent`] opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The span opened at this instant.
+    Enter,
+    /// The span closed at this instant.
+    Exit,
+}
+
+/// One entry in the span event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Strictly increasing emission order (survives ring wrap-around).
+    pub seq: u64,
+    /// The entity (invocation, node, operation) the span belongs to.
+    pub id: u64,
+    /// The phase being timed.
+    pub phase: Phase,
+    /// Enter or exit.
+    pub kind: SpanKind,
+    /// Virtual instant of the event.
+    pub at: SimTime,
+}
+
+pub(crate) struct Tracer {
+    seq: Cell<u64>,
+    capacity: Cell<usize>,
+    ring: RefCell<VecDeque<SpanEvent>>,
+    dropped: Cell<u64>,
+    mismatches: Cell<u64>,
+    /// Open-span stacks, per entity: (phase, enter instant).
+    open: RefCell<HashMap<u64, Vec<(Phase, SimTime)>>>,
+    /// Per-phase duration histograms (nanoseconds).
+    durations: [HistCell; Phase::COUNT],
+}
+
+impl Tracer {
+    pub(crate) fn new() -> Self {
+        Tracer {
+            seq: Cell::new(0),
+            capacity: Cell::new(DEFAULT_RING_CAPACITY),
+            ring: RefCell::new(VecDeque::new()),
+            dropped: Cell::new(0),
+            mismatches: Cell::new(0),
+            open: RefCell::new(HashMap::new()),
+            durations: std::array::from_fn(|_| HistCell::empty()),
+        }
+    }
+
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        self.capacity.set(capacity.max(2));
+        let mut ring = self.ring.borrow_mut();
+        while ring.len() > self.capacity.get() {
+            ring.pop_front();
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+
+    fn push(&self, id: u64, phase: Phase, kind: SpanKind, at: SimTime) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let mut ring = self.ring.borrow_mut();
+        if ring.len() == self.capacity.get() {
+            ring.pop_front();
+            self.dropped.set(self.dropped.get() + 1);
+        }
+        ring.push_back(SpanEvent {
+            seq,
+            id,
+            phase,
+            kind,
+            at,
+        });
+    }
+
+    pub(crate) fn enter(&self, id: u64, phase: Phase, now: SimTime, events: bool) {
+        self.open
+            .borrow_mut()
+            .entry(id)
+            .or_default()
+            .push((phase, now));
+        if events {
+            self.push(id, phase, SpanKind::Enter, now);
+        }
+    }
+
+    pub(crate) fn exit(&self, id: u64, phase: Phase, now: SimTime, events: bool) {
+        let mut open = self.open.borrow_mut();
+        let matched = match open.get_mut(&id) {
+            Some(stack) if stack.last().map(|(p, _)| *p) == Some(phase) => stack.pop(),
+            _ => None,
+        };
+        if let Some(stack) = open.get(&id) {
+            if stack.is_empty() {
+                open.remove(&id);
+            }
+        }
+        drop(open);
+        match matched {
+            Some((_, started)) => {
+                let dur = now.saturating_since(started);
+                self.durations[phase.index()]
+                    .record(dur.as_nanos().min(u128::from(u64::MAX)) as u64);
+                if events {
+                    self.push(id, phase, SpanKind::Exit, now);
+                }
+            }
+            None => self.mismatches.set(self.mismatches.get() + 1),
+        }
+    }
+
+    /// Emits a complete already-measured span: adjacent enter/exit events
+    /// plus a duration sample, without touching the open-span stacks.
+    pub(crate) fn span_at(
+        &self,
+        id: u64,
+        phase: Phase,
+        start: SimTime,
+        dur: Duration,
+        events: bool,
+    ) {
+        self.durations[phase.index()].record(dur.as_nanos().min(u128::from(u64::MAX)) as u64);
+        if events {
+            self.push(id, phase, SpanKind::Enter, start);
+            self.push(id, phase, SpanKind::Exit, start + dur);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> TraceHandle {
+        TraceHandle {
+            events: self.ring.borrow().iter().copied().collect(),
+            dropped: self.dropped.get(),
+            mismatches: self.mismatches.get(),
+            open_spans: self.open.borrow().values().map(Vec::len).sum(),
+            phases: std::array::from_fn(|i| {
+                let h = &self.durations[i];
+                PhaseStats {
+                    count: h.count.get(),
+                    total: Duration::from_nanos(h.sum.get()),
+                    min: Duration::from_nanos(if h.count.get() == 0 { 0 } else { h.min.get() }),
+                    max: Duration::from_nanos(h.max.get()),
+                }
+            }),
+        }
+    }
+}
+
+/// Aggregate duration statistics for one [`Phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Completed spans of this phase.
+    pub count: u64,
+    /// Total time spent in this phase across all spans.
+    pub total: Duration,
+    /// Shortest span.
+    pub min: Duration,
+    /// Longest span.
+    pub max: Duration,
+}
+
+impl PhaseStats {
+    /// Mean span duration, or zero if no spans completed.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// A point-in-time view of the span stream, returned by
+/// [`crate::Telemetry::trace`].
+#[derive(Clone)]
+pub struct TraceHandle {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+    mismatches: u64,
+    open_spans: usize,
+    phases: [PhaseStats; Phase::COUNT],
+}
+
+impl TraceHandle {
+    /// The buffered span events, oldest first.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Events evicted from the ring buffer because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exit calls that matched no open span (suppressed from the stream).
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// Spans entered but not yet exited at snapshot time.
+    pub fn open_spans(&self) -> usize {
+        self.open_spans
+    }
+
+    /// Duration statistics for one phase.
+    pub fn phase(&self, phase: Phase) -> PhaseStats {
+        self.phases[phase.index()]
+    }
+
+    /// Completed spans of `phase`.
+    pub fn phase_count(&self, phase: Phase) -> u64 {
+        self.phases[phase.index()].count
+    }
+
+    /// Total time spent in `phase` across all completed spans.
+    pub fn phase_total(&self, phase: Phase) -> Duration {
+        self.phases[phase.index()].total
+    }
+
+    /// Serializes the trace (phase stats + buffered events) to JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_u64("dropped", self.dropped);
+        w.field_u64("mismatches", self.mismatches);
+        w.field_u64("open_spans", self.open_spans as u64);
+        w.begin_object_field("phases");
+        for p in Phase::ALL {
+            let s = self.phase(p);
+            if s.count == 0 {
+                continue;
+            }
+            w.begin_object_field(p.as_str());
+            w.field_u64("count", s.count);
+            w.field_f64("total_s", s.total.as_secs_f64());
+            w.field_f64("mean_s", s.mean().as_secs_f64());
+            w.field_f64("min_s", s.min.as_secs_f64());
+            w.field_f64("max_s", s.max.as_secs_f64());
+            w.end_object();
+        }
+        w.end_object();
+        w.begin_array_field("events");
+        for e in &self.events {
+            let mut ew = JsonWriter::object();
+            ew.field_u64("seq", e.seq);
+            ew.field_u64("id", e.id);
+            ew.field_str("phase", e.phase.as_str());
+            ew.field_str(
+                "kind",
+                match e.kind {
+                    SpanKind::Enter => "enter",
+                    SpanKind::Exit => "exit",
+                },
+            );
+            ew.field_f64("at_s", e.at.as_secs_f64());
+            w.array_raw(&ew.finish());
+        }
+        w.end_array();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> crate::Telemetry {
+        crate::Telemetry::standalone()
+    }
+
+    #[test]
+    fn nested_spans_match_lifo() {
+        let t = full();
+        // ColdStart wraps Extract for the same invocation.
+        t.span_enter(1, Phase::ColdStart, SimTime::from_millis(0));
+        t.span_enter(1, Phase::Extract, SimTime::from_millis(10));
+        t.span_exit(1, Phase::Extract, SimTime::from_millis(30));
+        t.span_exit(1, Phase::ColdStart, SimTime::from_millis(50));
+        let tr = t.trace();
+        assert_eq!(tr.mismatches(), 0);
+        assert_eq!(tr.open_spans(), 0);
+        assert_eq!(tr.phase_total(Phase::Extract), Duration::from_millis(20));
+        assert_eq!(tr.phase_total(Phase::ColdStart), Duration::from_millis(50));
+        let kinds: Vec<_> = tr.events().iter().map(|e| (e.phase, e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (Phase::ColdStart, SpanKind::Enter),
+                (Phase::Extract, SpanKind::Enter),
+                (Phase::Extract, SpanKind::Exit),
+                (Phase::ColdStart, SpanKind::Exit),
+            ]
+        );
+    }
+
+    #[test]
+    fn entities_nest_independently() {
+        let t = full();
+        t.span_enter(1, Phase::Extract, SimTime::from_millis(0));
+        t.span_enter(2, Phase::Extract, SimTime::from_millis(1));
+        t.span_exit(1, Phase::Extract, SimTime::from_millis(5));
+        t.span_exit(2, Phase::Extract, SimTime::from_millis(9));
+        let tr = t.trace();
+        assert_eq!(tr.phase_count(Phase::Extract), 2);
+        assert_eq!(tr.phase_total(Phase::Extract), Duration::from_millis(13));
+        assert_eq!(tr.mismatches(), 0);
+    }
+
+    #[test]
+    fn unmatched_exit_is_suppressed() {
+        let t = full();
+        t.span_exit(9, Phase::Load, SimTime::from_millis(1));
+        t.span_enter(9, Phase::Extract, SimTime::from_millis(2));
+        t.span_exit(9, Phase::Load, SimTime::from_millis(3)); // wrong phase
+        let tr = t.trace();
+        assert_eq!(tr.mismatches(), 2);
+        assert_eq!(tr.open_spans(), 1);
+        // The stream contains only the one legitimate enter.
+        assert_eq!(tr.events().len(), 1);
+        assert_eq!(tr.events()[0].kind, SpanKind::Enter);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let t = full();
+        t.set_ring_capacity(4);
+        for i in 0..6u64 {
+            t.span_at(
+                i,
+                Phase::Evict,
+                SimTime::from_millis(i),
+                Duration::from_micros(1),
+            );
+        }
+        let tr = t.trace();
+        assert_eq!(tr.events().len(), 4);
+        assert_eq!(tr.dropped(), 8); // 12 events emitted, 4 kept
+        assert_eq!(tr.phase_count(Phase::Evict), 6, "durations survive wrap");
+        // seq stays strictly increasing across the wrap.
+        let seqs: Vec<_> = tr.events().iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn span_at_emits_adjacent_pair() {
+        let t = full();
+        t.span_at(
+            3,
+            Phase::Persist,
+            SimTime::from_secs(1),
+            Duration::from_millis(250),
+        );
+        let tr = t.trace();
+        let ev = tr.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, SpanKind::Enter);
+        assert_eq!(ev[0].at, SimTime::from_secs(1));
+        assert_eq!(ev[1].kind, SpanKind::Exit);
+        assert_eq!(ev[1].at, SimTime::from_secs(1) + Duration::from_millis(250));
+        assert_eq!(tr.phase(Phase::Persist).mean(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        for p in Phase::ALL {
+            assert!(!p.as_str().is_empty());
+            assert_eq!(Phase::ALL[p.index()], p);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based invariants of the span tracer: for any in-time-order
+//! sequence of enter/exit calls the emitted event stream stays balanced,
+//! sequence numbers are strictly increasing, timestamps never run
+//! backwards, and every completed span's duration is non-negative.
+
+use ofc_simtime::SimTime;
+use ofc_telemetry::{Phase, SpanKind, Telemetry};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Call {
+    Enter { id: u64, phase: usize },
+    Exit { id: u64, phase: usize },
+    Advance { by_us: u32 },
+}
+
+fn call_strategy() -> impl Strategy<Value = Call> {
+    prop_oneof![
+        (0..4u64, 0..Phase::COUNT).prop_map(|(id, phase)| Call::Enter { id, phase }),
+        (0..4u64, 0..Phase::COUNT).prop_map(|(id, phase)| Call::Exit { id, phase }),
+        (1..10_000u32).prop_map(|by_us| Call::Advance { by_us }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive the tracer with arbitrary enter/exit calls issued in
+    /// non-decreasing virtual time (as real instrumentation does — the
+    /// clock never rewinds within a call sequence) and check the stream
+    /// invariants.
+    #[test]
+    fn span_stream_is_balanced_and_monotone(calls in prop::collection::vec(call_strategy(), 1..200)) {
+        let t = Telemetry::standalone();
+        let mut now = SimTime::ZERO;
+        let mut enters = 0u64;
+        let mut legit_exits = 0u64;
+        let mut bogus_exits = 0u64;
+        // Shadow model of the open-span stacks.
+        let mut open: HashMap<u64, Vec<usize>> = HashMap::new();
+
+        for call in &calls {
+            match *call {
+                Call::Advance { by_us } => {
+                    now += std::time::Duration::from_micros(u64::from(by_us));
+                }
+                Call::Enter { id, phase } => {
+                    t.span_enter(id, Phase::ALL[phase], now);
+                    open.entry(id).or_default().push(phase);
+                    enters += 1;
+                }
+                Call::Exit { id, phase } => {
+                    t.span_exit(id, Phase::ALL[phase], now);
+                    let stack = open.entry(id).or_default();
+                    if stack.last() == Some(&phase) {
+                        stack.pop();
+                        legit_exits += 1;
+                    } else {
+                        bogus_exits += 1;
+                    }
+                }
+            }
+        }
+
+        let trace = t.trace();
+        let events = trace.events();
+
+        // Mismatched exits are counted, not emitted.
+        prop_assert_eq!(trace.mismatches(), bogus_exits);
+        prop_assert_eq!(events.len() as u64, enters + legit_exits);
+        prop_assert_eq!(
+            trace.open_spans() as u64,
+            open.values().map(|s| s.len() as u64).sum::<u64>()
+        );
+
+        // Enter/exit events balance per (id, phase): exits never outnumber
+        // enters at any prefix, and completed-span totals agree.
+        let mut depth: HashMap<(u64, Phase), i64> = HashMap::new();
+        for e in events {
+            let d = depth.entry((e.id, e.phase)).or_insert(0);
+            match e.kind {
+                SpanKind::Enter => *d += 1,
+                SpanKind::Exit => *d -= 1,
+            }
+            prop_assert!(*d >= 0, "exit without matching enter in stream");
+        }
+        let completed: u64 = Phase::ALL.iter().map(|&p| trace.phase_count(p)).sum();
+        prop_assert_eq!(completed, legit_exits);
+
+        // seq strictly increasing, timestamps non-decreasing.
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].seq < pair[1].seq);
+            prop_assert!(pair[0].at <= pair[1].at);
+        }
+
+        // Every phase's aggregate duration is internally consistent.
+        for &p in &Phase::ALL {
+            let s = trace.phase(p);
+            if s.count > 0 {
+                prop_assert!(s.min <= s.max);
+                prop_assert!(s.total >= s.min);
+                let cap = s.count.min(u64::from(u32::MAX)) as u32;
+                prop_assert!(s.total <= s.max.saturating_mul(cap));
+            }
+        }
+    }
+}

@@ -636,7 +636,14 @@ mod tests {
     fn argument_modulates_memory_and_compute() {
         let p = profile("wand_blur").unwrap();
         let mut r = rng(2);
-        let img = gen_image(&mut r);
+        // Pin the bitmap to a mid-size image: a degenerate (tiny) sample
+        // would let the ±6 MB allocator-noise term clamp both memory
+        // readings to the base and mask the argument's effect.
+        let mut img = gen_image(&mut r);
+        img.width = 1600;
+        img.height = 1200;
+        img.channels = 3;
+        img.bytes = ((img.raw_bytes() as f64) * img.ratio) as u64;
         let low = p.memory(&img, Some(0.3), 7);
         let high = p.memory(&img, Some(6.0), 7);
         assert!(high > low);
@@ -709,7 +716,13 @@ mod tests {
         let catalog = Catalog::new();
         let mut r = rng(5);
         let id = ObjectId::new("in", "img1");
-        let img = gen_image(&mut r);
+        // Pin to a large bitmap so the >28 MB working-set bound below is
+        // about the model (buffers × raw size), not the sampled input.
+        let mut img = gen_image(&mut r);
+        img.width = 2400;
+        img.height = 1800;
+        img.channels = 3;
+        img.bytes = ((img.raw_bytes() as f64) * img.ratio) as u64;
         let stored = img.bytes;
         catalog.insert(id.clone(), img);
         let model = MultimediaModel::new(profile("wand_resize").unwrap(), catalog);

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example image_pipeline`
 
-use ofc::core::ofc::{Ofc, OfcConfig};
+use ofc::core::ofc::Ofc;
 use ofc::faas::baselines::{DirectPlane, NoopPlane};
 use ofc::faas::platform::{Platform, PlatformHandle};
 use ofc::faas::registry::Registry;
@@ -37,21 +37,20 @@ fn build(with_ofc: bool) -> Setup {
             Registry::new(),
             Box::new(NoopPlane),
         );
-        let ofc = Ofc::install(
-            &platform,
-            Rc::clone(&store),
-            // Stage functions: features are the input volume and fan-out.
-            {
-                let catalog = catalog.clone();
-                Rc::new(
-                    move |_t: &TenantId, f: &ofc::faas::FunctionId, args: &ofc::faas::Args| {
-                        ofc::workloads::pipelines::stage_profile(f.as_ref())
-                            .map(|sp| sp.features(args, &catalog))
-                    },
-                )
-            },
-            OfcConfig::default(),
-        );
+        // Stage functions: features are the input volume and fan-out.
+        let features = {
+            let catalog = catalog.clone();
+            Rc::new(
+                move |_t: &TenantId, f: &ofc::faas::FunctionId, args: &ofc::faas::Args| {
+                    ofc::workloads::pipelines::stage_profile(f.as_ref())
+                        .map(|sp| sp.features(args, &catalog))
+                },
+            )
+        };
+        let ofc = Ofc::builder(&platform)
+            .store(Rc::clone(&store))
+            .features(features)
+            .build();
         ofc.start(&mut sim);
         (platform, Some(ofc))
     } else {
@@ -103,12 +102,12 @@ fn run_both(
         let wall = pipes[0].end.saturating_since(pipes[0].start).as_secs_f64();
         walls.push(wall);
         if let Some(ofc) = &s.ofc {
-            let t = ofc.plane_snapshot();
+            let m = ofc.metrics();
             println!(
                 "  OFC run: {:5.2}s  ({} intermediates kept out of the RSDS, {:.1} MB ephemeral, dropped at pipeline end)",
                 wall,
-                t.intermediates_dropped,
-                t.ephemeral_bytes as f64 / (1 << 20) as f64
+                m.counter("plane.intermediates_dropped"),
+                m.counter("plane.ephemeral_bytes") as f64 / (1 << 20) as f64
             );
         } else {
             println!("  OWK-Swift run: {wall:5.2}s");

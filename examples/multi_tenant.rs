@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --example multi_tenant`
 
-use ofc::core::ofc::{Ofc, OfcConfig};
+use ofc::core::cache::plane_hit_ratio;
+use ofc::core::ofc::Ofc;
 use ofc::faas::baselines::NoopPlane;
 use ofc::faas::platform::Platform;
 use ofc::faas::registry::Registry;
@@ -43,7 +44,10 @@ fn main() {
                 .map(|sp| sp.features(args, &catalog))
         })
     };
-    let ofc = Ofc::install(&platform, Rc::clone(&store), features, OfcConfig::default());
+    let ofc = Ofc::builder(&platform)
+        .store(Rc::clone(&store))
+        .features(features)
+        .build();
     let mut sim = Sim::new(99);
     ofc.start(&mut sim);
 
@@ -83,9 +87,12 @@ fn main() {
     // Report: per-tenant completions and the cache-size time series.
     let records = platform.drain_records();
     println!("\n{} invocations completed", records.len());
-    let agent = ofc.agent_telemetry();
+    let m = ofc.metrics();
     println!("\ncache size over time:");
-    let points = agent.cache_size.downsample(12);
+    let points = m
+        .gauge_series("agent.cache_size_bytes")
+        .map(|s| s.downsample(12))
+        .unwrap_or_default();
     let max = points.iter().map(|&(_, v)| v).fold(1.0, f64::max);
     for (t, v) in points {
         let bar = "#".repeat((v / max * 40.0) as usize);
@@ -95,12 +102,13 @@ fn main() {
             v / (1u64 << 30) as f64
         );
     }
-    let plane = ofc.plane_snapshot();
     println!(
         "\nhit ratio {:.1}%  |  scale-ups {}  scale-downs {}  |  {} sandbox resizes absorbed",
-        100.0 * plane.hit_ratio(),
-        agent.scale_ups,
-        agent.scale_downs_plain + agent.scale_downs_migration + agent.scale_downs_eviction,
+        100.0 * plane_hit_ratio(&m),
+        m.counter("agent.scale_ups"),
+        m.counter("agent.scale_downs_plain")
+            + m.counter("agent.scale_downs_migration")
+            + m.counter("agent.scale_downs_eviction"),
         platform.counters().resizes,
     );
 }

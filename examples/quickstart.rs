@@ -3,7 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ofc::core::ofc::{Ofc, OfcConfig};
+use ofc::core::cache::plane_hit_ratio;
+use ofc::core::ofc::Ofc;
 use ofc::faas::baselines::NoopPlane;
 use ofc::faas::platform::Platform;
 use ofc::faas::registry::{FunctionSpec, Registry};
@@ -41,7 +42,10 @@ fn main() {
             Some(p.features(&catalog.get(&input)?, args))
         })
     };
-    let ofc = Ofc::install(&platform, Rc::clone(&store), features, OfcConfig::default());
+    let ofc = Ofc::builder(&platform)
+        .store(Rc::clone(&store))
+        .features(features)
+        .build();
     let mut sim = Sim::new(42);
     ofc.start(&mut sim);
 
@@ -102,14 +106,14 @@ fn main() {
             r.reads_served,
         );
     }
-    let t = ofc.plane_snapshot();
+    let m = ofc.metrics();
     println!(
         "\ncache: {} local hit(s), {} miss(es), {} fill(s), {} shadow write(s), hit ratio {:.0}%",
-        t.local_hits,
-        t.misses,
-        t.fills,
-        t.shadows,
-        100.0 * t.hit_ratio()
+        m.counter("plane.local_hits"),
+        m.counter("plane.misses"),
+        m.counter("plane.fills"),
+        m.counter("plane.shadows"),
+        100.0 * plane_hit_ratio(&m)
     );
     assert!(
         records[1].etl() < records[0].etl(),

@@ -28,6 +28,7 @@ fn setup() -> (OfcPlane, Rc<RefCell<Cluster>>, Rc<RefCell<ObjectStore>>) {
         PlaneConfig::default(),
         Rc::clone(&cluster),
         Rc::clone(&store),
+        &ofc::core::telemetry::Telemetry::standalone(),
     );
     (plane, cluster, store)
 }

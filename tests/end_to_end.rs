@@ -1,7 +1,7 @@
 //! End-to-end integration tests across all crates: the full OFC stack vs
 //! baselines, pipelines, OOM handling, fault injection, maturation gating.
 
-use ofc::core::ofc::{Ofc, OfcConfig};
+use ofc::core::ofc::Ofc;
 use ofc::faas::baselines::{DirectPlane, NoopPlane};
 use ofc::faas::platform::{Platform, PlatformHandle};
 use ofc::faas::registry::{FunctionSpec, Registry};
@@ -49,12 +49,10 @@ fn stack(with_ofc: bool, seed: u64) -> Stack {
             Registry::new(),
             Box::new(NoopPlane),
         );
-        let ofc = Ofc::install(
-            &platform,
-            Rc::clone(&store),
-            features_for(&catalog),
-            OfcConfig::default(),
-        );
+        let ofc = Ofc::builder(&platform)
+            .store(Rc::clone(&store))
+            .features(features_for(&catalog))
+            .build();
         ofc.start(&mut sim);
         (platform, Some(ofc))
     } else {
@@ -172,9 +170,14 @@ fn outputs_are_persisted_despite_write_back() {
         "persistor must have fulfilled the shadow"
     );
     let ofc = s.ofc.as_ref().unwrap();
-    let t = ofc.plane_snapshot();
-    assert_eq!(t.shadows, 1);
-    assert_eq!(t.persists, 1);
+    let m = ofc.metrics();
+    assert_eq!(m.counter("plane.shadows"), 1);
+    assert_eq!(m.counter("plane.persists"), 1);
+    assert_eq!(
+        ofc.trace()
+            .phase_count(ofc::core::telemetry::Phase::Persist),
+        1
+    );
     assert!(!ofc
         .cluster
         .borrow()

@@ -69,7 +69,7 @@ proptest! {
         let mut now = SimTime::ZERO;
 
         for op in ops {
-            now = now + std::time::Duration::from_millis(10);
+            now += std::time::Duration::from_millis(10);
             match op {
                 Op::Write { key, size_kb, node } => {
                     let key = key_of(key);

@@ -125,7 +125,12 @@ proptest! {
             ..ClusterConfig::default()
         })));
         let store = Rc::new(RefCell::new(ObjectStore::swift()));
-        let agent = CacheAgent::new(AgentConfig::default(), Rc::clone(&cluster), store);
+        let agent = CacheAgent::new(
+            AgentConfig::default(),
+            Rc::clone(&cluster),
+            store,
+            &ofc::core::telemetry::Telemetry::standalone(),
+        );
         let mut sim = Sim::new(0);
         let mut committed: u64 = 0;
         for (grow, chunk_64mb) in ops {

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Provides deterministic seeded generators under the ChaCha type names.
+//! The simulation only needs determinism per seed, not the actual ChaCha
+//! stream, so the core is xoshiro256** (small, fast, and high quality)
+//! seeded from the 32-byte ChaCha-shaped seed.
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Re-export module mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+macro_rules! chacha_like {
+    ($name:ident) => {
+        /// Deterministic seeded generator (xoshiro256** core) under the
+        /// corresponding ChaCha name.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            s: [u64; 4],
+        }
+
+        impl rand::SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> $name {
+                let mut s = [0u64; 4];
+                for (i, chunk) in seed.chunks(8).enumerate() {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(chunk);
+                    s[i] = u64::from_le_bytes(b);
+                }
+                // xoshiro must not start from the all-zero state.
+                if s == [0; 4] {
+                    s = [
+                        0x9E37_79B9_7F4A_7C15,
+                        0xBF58_476D_1CE4_E5B9,
+                        0x94D0_49BB_1331_11EB,
+                        0x2545_F491_4F6C_DD1D,
+                    ];
+                }
+                $name { s }
+            }
+        }
+
+        impl rand::RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                let s = &mut self.s;
+                let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+                let t = s[1] << 17;
+                s[2] ^= s[0];
+                s[3] ^= s[1];
+                s[1] ^= s[2];
+                s[0] ^= s[3];
+                s[2] ^= t;
+                s[3] = s[3].rotate_left(45);
+                result
+            }
+        }
+    };
+}
+
+chacha_like!(ChaCha8Rng);
+chacha_like!(ChaCha12Rng);
+chacha_like!(ChaCha20Rng);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

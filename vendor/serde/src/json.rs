@@ -1,0 +1,103 @@
+//! The in-memory JSON tree shared by the `serde` and `serde_json`
+//! stand-ins.
+
+/// A JSON value. Object keys keep insertion order (derive order), which
+/// keeps rendered output stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (kept exact; JSON number on output).
+    U64(u64),
+    /// Signed integer (kept exact; JSON number on output).
+    I64(i64),
+    /// Floating-point number. Non-finite values render as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Numeric view widened to `f64` (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(f) => Some(*f),
+            Json::I64(i) => Some(*i as f64),
+            Json::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view (accepts exact integers and integral floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(u) => Some(*u),
+            Json::I64(i) => u64::try_from(*i).ok(),
+            Json::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed view (accepts exact integers and integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::I64(i) => Some(*i),
+            Json::U64(u) => i64::try_from(*u).ok(),
+            Json::F64(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object view (ordered pairs).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string into a JSON string literal (including quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the item's token stream is walked directly and the impl
+//! is rendered as a string. Supports the shapes this workspace uses:
+//!
+//! * structs with named fields (any visibility),
+//! * enums with unit, newtype, tuple, and struct variants,
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! The generated representation matches real serde's externally-tagged
+//! default: structs → objects, unit variants → strings, data variants →
+//! single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+/// The data shape of a variant.
+enum Shape {
+    Unit,
+    /// `(T0, …, Tn-1)` with the field count.
+    Tuple(usize),
+    /// `{ a, b, … }` with the field names.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_json(&self.{f}))"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_json(&self) -> serde::json::Json {{\n\
+                     serde::json::Json::Obj(vec![{}])\n\
+                   }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => serde::json::Json::Str(\"{vn}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::json::Json::Obj(vec![(\"{vn}\".to_string(), serde::Serialize::to_json(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::json::Json::Obj(vec![(\"{vn}\".to_string(), serde::json::Json::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_json({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::json::Json::Obj(vec![(\"{vn}\".to_string(), serde::json::Json::Obj(vec![{}]))]),",
+                                fields.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_json(&self) -> serde::json::Json {{\n\
+                     match self {{\n{}\n}}\n\
+                   }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_json(serde::obj_field(pairs, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_json(v: &serde::json::Json) -> Result<Self, serde::DeError> {{\n\
+                     let pairs = v.as_obj().ok_or_else(|| serde::DeError::new(\"expected object for {name}\"))?;\n\
+                     Ok({name} {{ {} }})\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "serde::json::Json::Str(s) if s == \"{vn}\" => return Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_json(inner)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!(
+                                "serde::Deserialize::from_json(arr.get({i}).ok_or_else(|| serde::DeError::new(\"tuple variant too short\"))?)?"
+                            ))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let arr = inner.as_arr().ok_or_else(|| serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                               return Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: serde::Deserialize::from_json(serde::obj_field(pairs, \"{f}\")?)?"
+                            ))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let pairs = inner.as_obj().ok_or_else(|| serde::DeError::new(\"expected object for {name}::{vn}\"))?;\n\
+                               return Ok({name}::{vn} {{ {} }});\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_json(v: &serde::json::Json) -> Result<Self, serde::DeError> {{\n\
+                     match v {{\n\
+                       {unit_arms}\n\
+                       serde::json::Json::Obj(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = (&pairs[0].0, &pairs[0].1);\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                           {tagged_arms}\n\
+                           other => return Err(serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                       _ => {{}}\n\
+                     }}\n\
+                     Err(serde::DeError::new(format!(\"invalid value for {name}: {{v:?}}\")))\n\
+                   }}\n\
+                 }}",
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parse
+
+/// Walks the item tokens into an [`Item`].
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic types (deriving {name})");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive stand-in does not support tuple structs (deriving {name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("no body found deriving {name}"),
+        }
+    };
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips attributes (`#[...]`, doc comments included) and visibility
+/// (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `name: Type, …` field lists, returning the names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` until a comma at angle-bracket depth 0. Parens,
+        // brackets, and braces are single group tokens, so only `<...>`
+        // nesting needs explicit tracking.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses enum variants.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the next top-level comma (also skips `= discr`).
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+/// Counts comma-separated fields of a tuple variant at angle depth 0.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    saw_trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_trailing_comma = false;
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}

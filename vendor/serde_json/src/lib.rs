@@ -1,0 +1,151 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders the `serde` stand-in's JSON tree to text and parses text back
+//! into it. Supports `to_string`, `to_string_pretty`, and `from_str` —
+//! the surface this workspace uses.
+
+use serde::json::{escape_into, Json};
+use serde::{DeError, Deserialize, Serialize};
+
+mod parse;
+
+pub use serde::json::Json as Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let tree = parse::parse(s).map_err(Error)?;
+    T::from_json(&tree).map_err(Error::from)
+}
+
+/// Renders one value; `indent = None` is compact, `Some(n)` pretty-prints
+/// with `n`-space steps.
+fn render(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(u) => {
+            out.push_str(&u.to_string());
+        }
+        Json::I64(i) => {
+            out.push_str(&i.to_string());
+        }
+        Json::F64(f) => {
+            if f.is_finite() {
+                // `{}` gives the shortest round-trippable repr; force a
+                // decimal point so integral floats stay floats on re-read
+                // by readers that distinguish (harmless for ours).
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => escape_into(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                render(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        let v: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let f: f64 = from_str("-1.25e2").unwrap();
+        assert_eq!(f, -125.0);
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v: Vec<(String, Option<u64>)> = from_str(r#"[["a", 1], ["b", null]]"#).unwrap();
+        assert_eq!(v, vec![("a".into(), Some(1)), ("b".into(), None)]);
+        let s = to_string(&v).unwrap();
+        let back: Vec<(String, Option<u64>)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}
