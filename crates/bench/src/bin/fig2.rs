@@ -24,8 +24,8 @@ fn main() {
         if bucket.is_empty() {
             continue;
         }
-        let lo = bucket.iter().cloned().fold(f64::MAX, f64::min);
-        let hi = bucket.iter().cloned().fold(0.0, f64::max);
+        let lo = bucket.iter().copied().fold(f64::MAX, f64::min);
+        let hi = bucket.iter().copied().fold(0.0, f64::max);
         println!(
             "  input {decade:>5.2}–{:<6.1} MB -> mem {lo:>6.0}–{hi:<6.0} MB  (n={})",
             decade * 10.0,
@@ -42,8 +42,8 @@ fn main() {
         if bucket.is_empty() {
             continue;
         }
-        let lo = bucket.iter().cloned().fold(f64::MAX, f64::min);
-        let hi = bucket.iter().cloned().fold(0.0, f64::max);
+        let lo = bucket.iter().copied().fold(f64::MAX, f64::min);
+        let hi = bucket.iter().copied().fold(0.0, f64::max);
         println!(
             "  sigma {s}–{} -> mem {lo:>6.0}–{hi:<6.0} MB  (n={})",
             s + 1,

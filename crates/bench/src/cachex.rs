@@ -652,6 +652,7 @@ pub fn run_macro_full(
                 .into_iter()
                 .map(|(t, v)| (t.as_secs_f64() / 60.0, v / (1u64 << 30) as f64))
                 .collect();
+            // ofc-lint: allow(telemetry) reason=helper forwards literal registry names from the call sites below
             let hist_secs = |name: &str| m.histogram(name).map_or(0.0, |h| h.sum as f64 / 1e9);
             (
                 series,

@@ -486,7 +486,7 @@ fn estimated_errors(n: f64, e: f64, z: f64) -> f64 {
 
 fn leaf_errors(dist: &[f64]) -> (f64, f64) {
     let n: f64 = dist.iter().sum();
-    let correct = dist.iter().cloned().fold(0.0, f64::max);
+    let correct = dist.iter().copied().fold(0.0, f64::max);
     (n, n - correct)
 }
 

@@ -361,6 +361,7 @@ impl PlatformHandle {
             Some(reqs) if !reqs.is_empty() => {
                 {
                     let mut p = self.0.borrow_mut();
+                    // ofc-lint: allow(panic) reason=pipeline runs outlive their stage callbacks; ids are platform-issued
                     let run = p.pipelines.get_mut(&pipe_id).expect("pipeline exists");
                     run.stage = stage;
                     run.outstanding = reqs.len();
@@ -379,6 +380,7 @@ impl PlatformHandle {
     fn finish_pipeline(&self, sim: &mut Sim, pipe_id: PipelineId, stages: usize) {
         let (intermediates, record) = {
             let mut p = self.0.borrow_mut();
+            // ofc-lint: allow(panic) reason=pipeline runs outlive their stage callbacks; ids are platform-issued
             let run = p.pipelines.remove(&pipe_id).expect("pipeline exists");
             let record = PipelineRecord {
                 id: pipe_id,
@@ -420,6 +422,7 @@ impl PlatformHandle {
         p.next_inv += 1;
 
         let Some(spec) = p.registry.get(&req.tenant, &req.function).cloned() else {
+            // ofc-lint: allow(panic) reason=invoking an unregistered function is caller API misuse; fail loudly at submit
             panic!(
                 "invoking unregistered function {}/{}",
                 req.tenant, req.function
@@ -449,6 +452,7 @@ impl PlatformHandle {
                     matches!(s.state, crate::sandbox::SandboxState::Idle { .. })
                 }) =>
             {
+                // ofc-lint: allow(panic) reason=the match guard above just checked this sandbox exists
                 let current = p.invokers[node].sandbox(sb).expect("checked").mem_limit;
                 if decision.mem_limit > current {
                     let delta = decision.mem_limit - current;
@@ -575,10 +579,12 @@ impl PlatformHandle {
         let (e_time, node) = {
             let mut p = self.0.borrow_mut();
             let p = &mut *p;
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             let spec = p
                 .registry
                 .get(&fl.request.tenant, &fl.request.function)
+                // ofc-lint: allow(panic) reason=submit_attempt resolved this spec from the registry; specs are never unregistered mid-run
                 .expect("registered")
                 .clone();
             fl.behavior = spec.model.behavior(&fl.request.args, fl.request.seed);
@@ -597,6 +603,7 @@ impl PlatformHandle {
                 e_time += out.latency;
                 served.push(out.served);
             }
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             fl.record.e_time = e_time;
             fl.record.reads_served = served;
@@ -612,6 +619,7 @@ impl PlatformHandle {
         let now = sim.now();
         let (fits, compute, limit, needed) = {
             let mut p = self.0.borrow_mut();
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             fl.compute_started = now;
             let limit = fl.record.mem_limit;
@@ -635,6 +643,7 @@ impl PlatformHandle {
         let (action, remaining) = {
             let mut p = self.0.borrow_mut();
             let p = &mut *p;
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             let elapsed = now.saturating_since(fl.record.exec_start);
             let needed = fl.behavior.mem_bytes;
@@ -648,6 +657,7 @@ impl PlatformHandle {
                 let ok = {
                     let mut p = self.0.borrow_mut();
                     let p = &mut *p;
+                    // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
                     let fl = p.inflight.get_mut(&inv_id).expect("inflight");
                     let node = fl.node;
                     let sandbox = fl.sandbox;
@@ -663,6 +673,7 @@ impl PlatformHandle {
                             Some(_delay) => {
                                 p.invokers[node].resize(sandbox, new_limit);
                                 p.counters.resizes += 1;
+                                // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
                                 let fl = p.inflight.get_mut(&inv_id).expect("inflight");
                                 fl.record.mem_limit = new_limit;
                                 fl.record.resized = true;
@@ -688,6 +699,7 @@ impl PlatformHandle {
         let retry = {
             let mut p = self.0.borrow_mut();
             let p = &mut *p;
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let mut fl = p.inflight.remove(&inv_id).expect("inflight");
             p.counters.oom_kills += 1;
             p.metrics.oom_kills.inc();
@@ -728,6 +740,7 @@ impl PlatformHandle {
         let l_time = {
             let mut p = self.0.borrow_mut();
             let p = &mut *p;
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             let writes = fl.behavior.writes.clone();
             let should_cache = fl.record.should_cache;
@@ -740,6 +753,7 @@ impl PlatformHandle {
                 let out = p.dataplane.write(sim, node, w, should_cache, pipeline);
                 l_time += out.latency;
             }
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             fl.record.t_time = fl.behavior.compute;
             fl.record.l_time = l_time;
@@ -757,6 +771,7 @@ impl PlatformHandle {
         let pipeline_step = {
             let mut p = self.0.borrow_mut();
             let p = &mut *p;
+            // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let mut fl = p.inflight.remove(&inv_id).expect("inflight");
             fl.record.completion = Completion::Success;
             fl.record.end = now;
@@ -797,6 +812,7 @@ impl PlatformHandle {
             p.records.push(fl.record);
 
             pipeline.map(|pipe| {
+                // ofc-lint: allow(panic) reason=pipeline runs outlive their stage callbacks; ids are platform-issued
                 let run = p.pipelines.get_mut(&pipe).expect("pipeline exists");
                 run.stage_outputs.extend(outputs);
                 run.intermediates.extend(intermediates);

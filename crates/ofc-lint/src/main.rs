@@ -1,0 +1,172 @@
+//! CLI driver: `cargo run -p ofc-lint -- --workspace`.
+//!
+//! Exit codes: `0` no findings (after baseline filtering), `1` findings,
+//! `2` usage/config/IO error.
+
+use ofc_lint::{config::Config, report, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ofc-lint: OFC workspace static analysis (determinism, lock order, telemetry hygiene, panic paths)
+
+USAGE:
+    ofc-lint --workspace [OPTIONS]
+
+OPTIONS:
+    --workspace               Analyze the whole workspace (finds the root
+                              by walking up to the workspace Cargo.toml)
+    --root <dir>              Use <dir> as the workspace root instead
+    --config <file>           Config file (default: <root>/ofc-lint.toml,
+                              built-in defaults if absent)
+    --format <text|json>      Report format (default: text)
+    --baseline <file>         Only fail on findings not in the baseline
+    --write-baseline <file>   Record current findings as the baseline and
+                              exit 0
+    --quiet                   Suppress the summary line on success
+    --help                    Show this help
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    format_json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        format_json: false,
+        baseline: None,
+        write_baseline: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {} // default behavior; kept as the documented entry point
+            "--root" => args.root = Some(next_path(&mut it, "--root")?),
+            "--config" => args.config = Some(next_path(&mut it, "--config")?),
+            "--format" => {
+                args.format_json = match it.next().as_deref() {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => return Err(format!("--format expects text|json, got {other:?}")),
+                }
+            }
+            "--baseline" => args.baseline = Some(next_path(&mut it, "--baseline")?),
+            "--write-baseline" => {
+                args.write_baseline = Some(next_path(&mut it, "--write-baseline")?)
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// directory whose Cargo.toml declares `[workspace]`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ofc-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = args.root.or_else(find_root) else {
+        eprintln!("ofc-lint: could not find the workspace root (no Cargo.toml with [workspace])");
+        return ExitCode::from(2);
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("ofc-lint.toml"));
+    let cfg = if config_path.exists() {
+        match Config::load(&config_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ofc-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+
+    let findings = match ofc_lint::run_workspace(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ofc-lint: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = args.write_baseline {
+        if let Err(e) = std::fs::write(&path, report::write_baseline(&findings)) {
+            eprintln!("ofc-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ofc-lint: baseline of {} finding(s) written to {}",
+            findings.len(),
+            workspace::relative(&root, &path)
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = match args.baseline {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => report::filter_regressions(findings, &report::parse_baseline(&text)),
+            Err(e) => {
+                eprintln!("ofc-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => findings,
+    };
+
+    if args.format_json {
+        println!("{}", report::format_json(&findings));
+    } else {
+        print!("{}", report::format_text(&findings));
+    }
+    if findings.is_empty() {
+        if !args.quiet && !args.format_json {
+            println!("ofc-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !args.format_json {
+            eprintln!("ofc-lint: {} finding(s)", findings.len());
+        }
+        ExitCode::FAILURE
+    }
+}

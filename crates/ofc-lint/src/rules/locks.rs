@@ -1,0 +1,429 @@
+//! Rule D2 — lock order and double-borrows.
+//!
+//! The simulation is single-threaded over `RefCell`s today, but a
+//! re-entrant `borrow_mut` panics at runtime exactly like a deadlock
+//! hangs a threaded build — and the agent/cluster liveness argument in
+//! the paper assumes neither ever happens. This rule:
+//!
+//! * extracts every `Mutex`/`RwLock`/`RefCell` acquisition
+//!   (`.lock()`, `.read()`, `.write()`, `.borrow()`, `.borrow_mut()` with
+//!   empty argument lists) per function, tracking guard lifetimes
+//!   (let-bound guards live to end of block or `drop(..)`; temporaries
+//!   die at the end of their statement);
+//! * reports a **double-borrow** when a lock is re-acquired while already
+//!   held and either acquisition is exclusive (`D2-DOUBLE-BORROW`);
+//! * builds an inter-procedural **lock graph** — an edge `A -> B` means
+//!   "B acquired while A held", including locks reached through calls to
+//!   other workspace functions — and reports every cycle
+//!   (`D2-LOCK-ORDER`).
+//!
+//! Lock identity is the receiver field name, scoped per file by default
+//! (`cache::store`), since each subsystem struct lives in its own file.
+//! Test code is skipped: tests exercise panics deliberately and run
+//! single-threaded under the harness anyway.
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::{Function, SourceFile};
+use crate::tokenizer::TokKind;
+use crate::workspace::matches_prefix;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pragma group for this rule.
+pub const PRAGMA: &str = "lock";
+/// Rule id for lock-order cycles.
+pub const RULE_ORDER: &str = "D2-LOCK-ORDER";
+/// Rule id for re-acquisition while held.
+pub const RULE_DOUBLE: &str = "D2-DOUBLE-BORROW";
+
+const EXCLUSIVE: [&str; 3] = ["borrow_mut", "lock", "write"];
+const SHARED: [&str; 2] = ["borrow", "read"];
+
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Scoped lock identity (e.g. `cache::store`).
+    id: String,
+    /// Bare receiver name.
+    name: String,
+    exclusive: bool,
+    /// Brace depth at acquisition (relative to function body).
+    depth: usize,
+    /// `let` binding holding the guard, if the statement binds it.
+    binding: Option<String>,
+    /// Temporaries die at the end of their statement.
+    temporary: bool,
+    line: u32,
+}
+
+#[derive(Debug, Clone)]
+struct FnLocks {
+    /// Lock ids acquired directly in this function.
+    acquired: BTreeSet<String>,
+    /// Calls made: (callee name, lock ids held at the call, line).
+    calls: Vec<(String, Vec<String>, u32)>,
+}
+
+/// Runs D2 across the whole workspace at once (the lock graph is global).
+pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    // name -> (file index, function index) for call resolution.
+    let mut fn_sites: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if matches_prefix(&file.path, &cfg.locks_allow) {
+            continue;
+        }
+        for (gi, func) in file.functions.iter().enumerate() {
+            if !func.in_test {
+                fn_sites
+                    .entry(func.name.as_str())
+                    .or_default()
+                    .push((fi, gi));
+            }
+        }
+    }
+
+    // Edges A -> B with first witness (path, line).
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    // Per (file, fn) lock summary for the inter-procedural pass.
+    let mut summaries: BTreeMap<(usize, usize), FnLocks> = BTreeMap::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        if matches_prefix(&file.path, &cfg.locks_allow) {
+            continue;
+        }
+        for (gi, func) in file.functions.iter().enumerate() {
+            if func.in_test {
+                continue;
+            }
+            let summary = walk_function(file, func, cfg, &mut edges, findings);
+            summaries.insert((fi, gi), summary);
+        }
+    }
+
+    interprocedural_edges(files, &fn_sites, &summaries, &mut edges);
+    report_cycles(&edges, findings);
+}
+
+/// Scoped lock identity for receiver `name` in `file`.
+fn lock_id(cfg: &Config, file_path: &str, name: &str) -> String {
+    if cfg.lock_scope_per_file {
+        let stem = file_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(file_path)
+            .trim_end_matches(".rs");
+        format!("{stem}::{name}")
+    } else {
+        name.to_string()
+    }
+}
+
+/// Walks one function body: tracks guard lifetimes, emits double-borrow
+/// findings and intra-procedural edges, returns the call/lock summary.
+fn walk_function(
+    file: &SourceFile,
+    func: &Function,
+    cfg: &Config,
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+    findings: &mut Vec<Finding>,
+) -> FnLocks {
+    let toks = &file.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut summary = FnLocks {
+        acquired: BTreeSet::new(),
+        calls: Vec::new(),
+    };
+    let mut depth = 0usize;
+    let mut stmt_binding: Option<String> = None;
+    let mut i = func.body.0 + 1;
+    while i < func.body.1 {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            TokKind::Punct(';') => {
+                guards.retain(|g| !(g.temporary && g.depth == depth));
+                stmt_binding = None;
+            }
+            TokKind::Ident(id) if id == "let" => {
+                // First plain identifier after `let` (skipping `mut`/`ref`)
+                // approximates the binding name.
+                let mut j = i + 1;
+                while toks
+                    .get(j)
+                    .and_then(|t| t.kind.ident())
+                    .is_some_and(|x| x == "mut" || x == "ref")
+                {
+                    j += 1;
+                }
+                stmt_binding = toks.get(j).and_then(|t| t.kind.ident()).map(String::from);
+            }
+            // `drop(binding)` releases the named guard.
+            TokKind::Ident(id)
+                if id == "drop" && toks.get(i + 1).is_some_and(|t| t.kind.is_punct('(')) =>
+            {
+                if let Some(b) = toks.get(i + 2).and_then(|t| t.kind.ident()) {
+                    if toks.get(i + 3).is_some_and(|t| t.kind.is_punct(')')) {
+                        guards.retain(|g| g.binding.as_deref() != Some(b) && g.name != b);
+                    }
+                }
+            }
+            TokKind::Ident(id)
+                if (EXCLUSIVE.contains(&id.as_str()) || SHARED.contains(&id.as_str()))
+                    && i > 0
+                    && toks[i - 1].kind.is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|t| t.kind.is_punct(')')) =>
+            {
+                // `recv.method()` — receiver is the identifier before the dot.
+                let recv = if i >= 2 {
+                    toks[i - 2].kind.ident()
+                } else {
+                    None
+                };
+                if let Some(recv) = recv.filter(|r| *r != "self") {
+                    let exclusive = EXCLUSIVE.contains(&id.as_str());
+                    let new_id = lock_id(cfg, &file.path, recv);
+                    let line = t.line;
+                    for g in &guards {
+                        if g.id == new_id {
+                            if (g.exclusive || exclusive) && !file.suppressed(PRAGMA, line) {
+                                findings.push(Finding {
+                                    rule: RULE_DOUBLE,
+                                    path: file.path.clone(),
+                                    line,
+                                    message: format!(
+                                        "`{recv}` re-acquired via `.{id}()` while already held (since line {}) — RefCell panic / lock deadlock",
+                                        g.line
+                                    ),
+                                });
+                            }
+                        } else if !file.suppressed(PRAGMA, line) {
+                            edges
+                                .entry((g.id.clone(), new_id.clone()))
+                                .or_insert((file.path.clone(), line));
+                        }
+                    }
+                    summary.acquired.insert(new_id.clone());
+                    // Guard is let-bound if the acquisition ends the
+                    // initializer (`let g = x.borrow_mut();`).
+                    let bound = stmt_binding.is_some()
+                        && toks.get(i + 3).is_some_and(|t| t.kind.is_punct(';'));
+                    guards.push(Guard {
+                        id: new_id,
+                        name: recv.to_string(),
+                        exclusive,
+                        depth,
+                        binding: if bound { stmt_binding.clone() } else { None },
+                        temporary: !bound,
+                        line,
+                    });
+                }
+            }
+            TokKind::Ident(callee)
+                if toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+                    && (i == 0
+                        || !(toks[i - 1].kind.is_punct('.') || toks[i - 1].kind.is_punct(':')))
+                    && *callee != func.name =>
+            {
+                summary.calls.push((
+                    callee.clone(),
+                    guards.iter().map(|g| g.id.clone()).collect(),
+                    t.line,
+                ));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    summary
+}
+
+/// Adds edges for locks reached through calls: if `A` is held at a call
+/// to `f`, every lock `B` acquired anywhere in `f`'s transitive callees
+/// gets an edge `A -> B`.
+fn interprocedural_edges(
+    files: &[SourceFile],
+    fn_sites: &BTreeMap<&str, Vec<(usize, usize)>>,
+    summaries: &BTreeMap<(usize, usize), FnLocks>,
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+) {
+    // Fixpoint: locks reachable from each function through resolved calls.
+    let mut reach: BTreeMap<(usize, usize), BTreeSet<String>> = summaries
+        .iter()
+        .map(|(k, s)| (*k, s.acquired.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (site, summary) in summaries {
+            let mut add = BTreeSet::new();
+            for (callee, _, _) in &summary.calls {
+                for target in resolve(callee, site.0, fn_sites) {
+                    if let Some(r) = reach.get(&target) {
+                        add.extend(r.iter().cloned());
+                    }
+                }
+            }
+            let cur = reach.entry(*site).or_default();
+            let before = cur.len();
+            cur.extend(add);
+            changed |= cur.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (site, summary) in summaries {
+        for (callee, held, line) in &summary.calls {
+            if held.is_empty() {
+                continue;
+            }
+            for target in resolve(callee, site.0, fn_sites) {
+                if let Some(reached) = reach.get(&target) {
+                    for b in reached {
+                        for a in held {
+                            if a != b {
+                                edges
+                                    .entry((a.clone(), b.clone()))
+                                    .or_insert((files[site.0].path.clone(), *line));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Resolves a bare call name: same-file functions win; otherwise a unique
+/// global match; ambiguous names are skipped (better silent than wrong).
+fn resolve(
+    callee: &str,
+    file_idx: usize,
+    fn_sites: &BTreeMap<&str, Vec<(usize, usize)>>,
+) -> Vec<(usize, usize)> {
+    let Some(sites) = fn_sites.get(callee) else {
+        return Vec::new();
+    };
+    let local: Vec<(usize, usize)> = sites
+        .iter()
+        .copied()
+        .filter(|(f, _)| *f == file_idx)
+        .collect();
+    if !local.is_empty() {
+        return local;
+    }
+    if sites.len() == 1 {
+        return sites.clone();
+    }
+    Vec::new()
+}
+
+/// Reports one finding per strongly connected component of size >= 2 in
+/// the lock graph (self-loops are double-borrows, handled elsewhere).
+fn report_cycles(edges: &BTreeMap<(String, String), (String, u32)>, findings: &mut Vec<Finding>) {
+    let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        graph.entry(a).or_default().insert(b);
+        graph.entry(b).or_default();
+    }
+    for scc in sccs(&graph) {
+        if scc.len() < 2 {
+            continue;
+        }
+        let members: BTreeSet<&str> = scc.iter().copied().collect();
+        let mut witnesses: Vec<String> = edges
+            .iter()
+            .filter(|((a, b), _)| members.contains(a.as_str()) && members.contains(b.as_str()))
+            .map(|((a, b), (p, l))| format!("{a} -> {b} at {p}:{l}"))
+            .collect();
+        witnesses.sort();
+        let first = edges
+            .iter()
+            .filter(|((a, b), _)| members.contains(a.as_str()) && members.contains(b.as_str()))
+            .map(|(_, w)| w.clone())
+            .min()
+            .unwrap_or_default();
+        let mut names: Vec<&str> = members.iter().copied().collect();
+        names.sort_unstable();
+        findings.push(Finding {
+            rule: RULE_ORDER,
+            path: first.0,
+            line: first.1,
+            message: format!(
+                "lock-order cycle between {}: {}",
+                names
+                    .iter()
+                    .map(|n| format!("`{n}`"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                witnesses.join("; ")
+            ),
+        });
+    }
+}
+
+/// Kosaraju strongly-connected components over a string graph.
+fn sccs<'a>(graph: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Vec<Vec<&'a str>> {
+    let mut order = Vec::new();
+    let mut visited = BTreeSet::new();
+    for &n in graph.keys() {
+        dfs_order(n, graph, &mut visited, &mut order);
+    }
+    let mut reversed: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (&a, bs) in graph {
+        reversed.entry(a).or_default();
+        for &b in bs {
+            reversed.entry(b).or_default().insert(a);
+        }
+    }
+    let mut out = Vec::new();
+    let mut assigned = BTreeSet::new();
+    for &n in order.iter().rev() {
+        if assigned.contains(n) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            if !assigned.insert(x) {
+                continue;
+            }
+            comp.push(x);
+            if let Some(preds) = reversed.get(x) {
+                stack.extend(preds.iter().copied());
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+fn dfs_order<'a>(
+    node: &'a str,
+    graph: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    visited: &mut BTreeSet<&'a str>,
+    order: &mut Vec<&'a str>,
+) {
+    // Iterative post-order DFS.
+    let mut stack: Vec<(&str, bool)> = vec![(node, false)];
+    while let Some((n, processed)) = stack.pop() {
+        if processed {
+            order.push(n);
+            continue;
+        }
+        if !visited.insert(n) {
+            continue;
+        }
+        stack.push((n, true));
+        if let Some(nexts) = graph.get(n) {
+            for &m in nexts {
+                if !visited.contains(m) {
+                    stack.push((m, false));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Rule D4 — panic paths.
+//!
+//! The cache, scheduler, and cluster hot paths must not abort: a panic in
+//! the write-back or recovery machinery is exactly the crash whose
+//! handling the paper's correctness story depends on. In the configured
+//! hot-path files, non-test code may not call `unwrap()`/`expect()` or
+//! invoke `panic!`/`unreachable!`/`todo!`/`unimplemented!` unless the
+//! site carries `// ofc-lint: allow(panic) reason=...` documenting the
+//! invariant that makes it unreachable.
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::SourceFile;
+use crate::workspace::matches_prefix;
+
+/// Pragma group for this rule.
+pub const PRAGMA: &str = "panic";
+/// Rule id.
+pub const RULE: &str = "D4-PANIC";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs D4 over one file.
+pub fn check(file: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
+    if !matches_prefix(&file.path, &cfg.panic_hot_paths) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let Some(id) = toks[i].kind.ident() else {
+            continue;
+        };
+        let line = toks[i].line;
+        let method_call = (id == "unwrap" || id == "expect")
+            && i > 0
+            && toks[i - 1].kind.is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+        let macro_call =
+            PANIC_MACROS.contains(&id) && toks.get(i + 1).is_some_and(|t| t.kind.is_punct('!'));
+        if !(method_call || macro_call) {
+            continue;
+        }
+        if file.in_test(i) || file.enclosing_fn(i).is_some_and(|f| f.in_test) {
+            continue;
+        }
+        if file.suppressed(PRAGMA, line) {
+            continue;
+        }
+        let what = if macro_call {
+            format!("`{id}!`")
+        } else {
+            format!("`.{id}()`")
+        };
+        findings.push(Finding {
+            rule: RULE,
+            path: file.path.clone(),
+            line,
+            message: format!(
+                "{what} in hot path — propagate the error, or annotate `// ofc-lint: allow(panic) reason=...` with the invariant"
+            ),
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Rule D3 — telemetry hygiene.
+//!
+//! Metric names are the join key between instrumentation sites, the
+//! benchmark harness, and every figure script downstream: a typo does not
+//! fail anything at runtime, it silently splits a time series in two. So
+//! every name used at a record or snapshot-read site in the target crates
+//! must be declared in the central registry module
+//! (`crates/telemetry/src/names.rs`), and label values must be string
+//! literals — dynamic values are unbounded cardinality.
+//!
+//! Checked call shapes (both the recording `Telemetry` handle and the
+//! reading `MetricsSnapshot` side use the same method names):
+//! `.counter("...")`, `.counter_labeled("...", &[("k", "v")])`,
+//! `.gauge("...")`, `.gauge_series("...")`, `.histogram("...")`.
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::SourceFile;
+use crate::tokenizer::TokKind;
+use crate::workspace::matches_prefix;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pragma group for this rule.
+pub const PRAGMA: &str = "telemetry";
+/// Rule id.
+pub const RULE: &str = "D3-TELEMETRY";
+
+const METRIC_METHODS: [&str; 5] = [
+    "counter",
+    "counter_labeled",
+    "gauge",
+    "gauge_series",
+    "histogram",
+];
+
+/// The parsed registry: constant name -> metric name string.
+pub struct NameRegistry {
+    /// `pub const FOO: &str = "foo.bar";` pairs from the registry module.
+    pub consts: BTreeMap<String, String>,
+}
+
+impl NameRegistry {
+    /// Extracts `const NAME: ... = "value";` declarations from the
+    /// registry module's token stream.
+    pub fn parse(file: &SourceFile) -> NameRegistry {
+        let toks = &file.tokens;
+        let mut consts = BTreeMap::new();
+        for i in 0..toks.len() {
+            if !toks[i].kind.is_ident("const") {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) else {
+                continue;
+            };
+            // Scan to `=` then expect a string literal.
+            for j in i + 2..(i + 12).min(toks.len()) {
+                if toks[j].kind.is_punct('=') {
+                    if let Some(TokKind::Str(v)) = toks.get(j + 1).map(|t| &t.kind) {
+                        consts.insert(name.to_string(), v.clone());
+                    }
+                    break;
+                }
+                if toks[j].kind.is_punct(';') {
+                    break;
+                }
+            }
+        }
+        NameRegistry { consts }
+    }
+
+    /// Whether `name` is a registered metric name.
+    pub fn has_name(&self, name: &str) -> bool {
+        self.consts.values().any(|v| v == name)
+    }
+
+    /// Whether `ident` is one of the registry's constant identifiers.
+    pub fn has_const(&self, ident: &str) -> bool {
+        self.consts.contains_key(ident)
+    }
+
+    /// All registered metric names.
+    pub fn names(&self) -> BTreeSet<&str> {
+        self.consts.values().map(String::as_str).collect()
+    }
+}
+
+/// Runs D3 over one file.
+pub fn check(
+    file: &SourceFile,
+    cfg: &Config,
+    registry: &NameRegistry,
+    findings: &mut Vec<Finding>,
+) {
+    if !matches_prefix(&file.path, &cfg.telemetry_paths) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let Some(method) = toks[i].kind.ident() else {
+            continue;
+        };
+        if !METRIC_METHODS.contains(&method)
+            || i == 0
+            || !toks[i - 1].kind.is_punct('.')
+            || !toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+        {
+            continue;
+        }
+        let line = toks[i].line;
+        if file.suppressed(PRAGMA, line) {
+            continue;
+        }
+        // First argument: the metric name.
+        match toks.get(i + 2).map(|t| &t.kind) {
+            Some(TokKind::Str(name)) if !registry.has_name(name) => {
+                findings.push(Finding {
+                    rule: RULE,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "metric name \"{name}\" is not declared in the registry ({}) — typo or unregistered metric",
+                        file_hint(cfg)
+                    ),
+                });
+            }
+            Some(TokKind::Ident(_)) => {
+                // A path or variable: resolve the last identifier before
+                // the argument ends; registry constants are fine.
+                if let Some(last) = last_path_ident(toks, i + 2) {
+                    if !registry.has_const(&last) {
+                        findings.push(Finding {
+                            rule: RULE,
+                            path: file.path.clone(),
+                            line,
+                            message: format!(
+                                "dynamic metric name `{last}` — metric names must be string literals or registry constants"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        if method == "counter_labeled" {
+            check_labels(file, i, findings);
+        }
+    }
+}
+
+fn file_hint(cfg: &Config) -> String {
+    cfg.telemetry_registry.clone()
+}
+
+/// For an argument starting at `start` with an identifier, returns the
+/// final identifier of the path before `,` or `)` — e.g. `names ::
+/// PLANE_LOCAL_HITS` resolves to `PLANE_LOCAL_HITS`.
+fn last_path_ident(toks: &[crate::tokenizer::Token], start: usize) -> Option<String> {
+    let mut last = None;
+    let mut depth = 0i32;
+    for t in toks.iter().skip(start) {
+        match &t.kind {
+            TokKind::Ident(id) => last = Some(id.clone()),
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') if depth == 0 => break,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct(',') if depth == 0 => break,
+            TokKind::Punct(':') | TokKind::Punct('&') | TokKind::Punct('.') => {}
+            _ => break,
+        }
+    }
+    last
+}
+
+/// Validates the label-set argument of `counter_labeled`: every
+/// `("key", value)` tuple must have a string-literal value, otherwise the
+/// label is unbounded-cardinality.
+fn check_labels(file: &SourceFile, method_idx: usize, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    // Walk the call's parenthesized argument list.
+    let open = method_idx + 1;
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('(') => {
+                depth += 1;
+                // A tuple inside the label slice sits at depth 2:
+                // counter_labeled( &[ ("k", v) ] ) — brackets don't nest parens.
+                if depth == 2 {
+                    if let Some(TokKind::Str(key)) = toks.get(i + 1).map(|t| &t.kind) {
+                        if toks.get(i + 2).is_some_and(|t| t.kind.is_punct(',')) {
+                            let value_is_literal =
+                                matches!(toks.get(i + 3).map(|t| &t.kind), Some(TokKind::Str(_)))
+                                    && toks.get(i + 4).is_some_and(|t| t.kind.is_punct(')'));
+                            let line = toks[i].line;
+                            if !value_is_literal && !file.suppressed(PRAGMA, line) {
+                                findings.push(Finding {
+                                    rule: RULE,
+                                    path: file.path.clone(),
+                                    line,
+                                    message: format!(
+                                        "dynamic value for label \"{key}\" — label values must be string literals (unbounded cardinality otherwise)"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,72 @@
+//! Workspace discovery: which `.rs` files get analyzed.
+
+use std::path::{Path, PathBuf};
+
+/// Walks `root` and returns every `.rs` file not excluded by `exclude`
+/// path prefixes, as sorted workspace-relative forward-slash paths.
+pub fn discover(root: &Path, exclude: &[String]) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, exclude, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, exclude: &[String], out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = relative(root, &path);
+        // Never descend into VCS or build output, regardless of config.
+        if rel.starts_with(".git/") || rel == ".git" {
+            continue;
+        }
+        if is_excluded(&rel, exclude) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, exclude, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.trim_start_matches("./").to_string()
+}
+
+/// Whether `rel` (or the directory chain above it) matches an exclude
+/// prefix. Directory prefixes in config end with `/`; exact file paths
+/// match verbatim.
+pub fn is_excluded(rel: &str, exclude: &[String]) -> bool {
+    exclude.iter().any(|e| {
+        rel == e.trim_end_matches('/') || rel.starts_with(e) || format!("{rel}/").starts_with(e)
+    })
+}
+
+/// Whether `rel` starts with any of the `prefixes` (rule allow/target
+/// lists use the same matching as excludes).
+pub fn matches_prefix(rel: &str, prefixes: &[String]) -> bool {
+    is_excluded(rel, prefixes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusion_matches_prefixes_and_exact_files() {
+        let ex = vec!["vendor/".to_string(), "crates/a/src/gen.rs".to_string()];
+        assert!(is_excluded("vendor/rand/src/lib.rs", &ex));
+        assert!(is_excluded("vendor", &ex));
+        assert!(is_excluded("crates/a/src/gen.rs", &ex));
+        assert!(!is_excluded("crates/a/src/lib.rs", &ex));
+        assert!(!is_excluded("vendored/file.rs", &ex));
+    }
+}

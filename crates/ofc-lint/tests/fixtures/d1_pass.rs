@@ -1,0 +1,23 @@
+//! D1 fixture (pass): deterministic export paths.
+//!
+//! The export path iterates an ordered map; the HashMap is only touched
+//! in a non-export function, where hash order is harmless.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Plane {
+    hits: BTreeMap<u64, u64>,
+    scratch: HashMap<u64, u64>,
+}
+
+impl Plane {
+    /// Export path: iterates the ordered map only.
+    pub fn snapshot_counters(&self) -> Vec<(u64, u64)> {
+        self.hits.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Not an export path: hash-order aggregation is fine here.
+    pub fn running_total(&self) -> u64 {
+        self.scratch.values().sum()
+    }
+}

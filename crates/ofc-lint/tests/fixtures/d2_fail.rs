@@ -1,0 +1,32 @@
+//! D2 fixture (fail): a lock-order cycle that only appears through a
+//! helper call, plus a straight re-borrow while held.
+
+use std::cell::RefCell;
+
+pub struct State {
+    pub queue: RefCell<u64>,
+    pub table: RefCell<u64>,
+}
+
+pub fn fill(s: &State) {
+    let q = s.queue.borrow_mut();
+    let t = s.table.borrow_mut();
+    let _ = (*q, *t);
+}
+
+pub fn drain(s: &State) {
+    let t = s.table.borrow_mut();
+    touch_queue(s);
+    let _ = *t;
+}
+
+fn touch_queue(s: &State) {
+    let q = s.queue.borrow_mut();
+    let _ = *q;
+}
+
+pub fn double(s: &State) {
+    let a = s.queue.borrow_mut();
+    let b = s.queue.borrow();
+    let _ = (*a, *b);
+}

@@ -1,0 +1,22 @@
+//! D2 fixture (pass): every function acquires in the same order, and a
+//! guard is dropped before its cell is borrowed again.
+
+use std::cell::RefCell;
+
+pub struct Pair {
+    pub left: RefCell<u64>,
+    pub right: RefCell<u64>,
+}
+
+pub fn ordered_sum(p: &Pair) -> u64 {
+    let l = p.left.borrow();
+    let r = p.right.borrow();
+    *l + *r
+}
+
+pub fn reuse_after_drop(p: &Pair) -> u64 {
+    let first = p.left.borrow_mut();
+    drop(first);
+    let second = p.left.borrow_mut();
+    *second
+}

@@ -1,0 +1,8 @@
+//! D3 fixture (fail): a typo'd name, a dynamic name, and a dynamic label
+//! value.
+
+pub fn record(t: &Telemetry, which: &str, node: String) {
+    t.counter("cache.hit").inc();
+    t.counter(which).inc();
+    t.counter_labeled("cache.misses", &[("node", node)]).inc();
+}

@@ -1,0 +1,8 @@
+//! D3 fixture (pass): registered literals, registry constants, and a
+//! literal label value.
+
+pub fn record(t: &Telemetry) {
+    t.counter("cache.hits").inc();
+    t.counter(names::CACHE_HITS).inc();
+    t.counter_labeled("cache.misses", &[("kind", "cold")]).inc();
+}

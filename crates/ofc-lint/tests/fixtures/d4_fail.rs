@@ -1,0 +1,17 @@
+//! D4 fixture (fail): aborts in hot-path code, including one behind a
+//! reasonless (and therefore invalid) pragma.
+
+pub fn head(v: &[u64]) -> u64 {
+    // ofc-lint: allow(panic)
+    v.first().copied().unwrap()
+}
+
+pub fn pick(x: Option<u64>) -> u64 {
+    x.expect("always present")
+}
+
+pub fn never(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

@@ -1,0 +1,20 @@
+//! D4 fixture (pass): errors propagate; the one unwrap documents its
+//! invariant; tests may unwrap freely.
+
+pub fn lookup(map: &std::collections::BTreeMap<u64, u64>, key: u64) -> Option<u64> {
+    map.get(&key).copied()
+}
+
+pub fn first(v: &[u64]) -> u64 {
+    // ofc-lint: allow(panic) reason=callers check is_empty first
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Mini metric-name registry used by the fixture tests (stands in for
+//! `crates/telemetry/src/names.rs`).
+
+/// Cache lookups served locally.
+pub const CACHE_HITS: &str = "cache.hits";
+/// Cache lookups that missed.
+pub const CACHE_MISSES: &str = "cache.misses";

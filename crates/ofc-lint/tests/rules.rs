@@ -1,0 +1,152 @@
+//! Fixture-driven integration tests: one passing and one failing fixture
+//! per rule (D1–D4), plus a golden test pinning the exact report format.
+//!
+//! The fixtures under `tests/fixtures/` are lint inputs, not compiled
+//! code — they are excluded from workspace analysis by the shipped
+//! config and read here as plain text.
+//!
+//! To regenerate the golden report after an intentional format change:
+//! `BLESS=1 cargo test -p ofc-lint --test rules`.
+
+use ofc_lint::config::Config;
+use ofc_lint::report;
+use ofc_lint::source::SourceFile;
+use ofc_lint::Finding;
+use std::path::{Path, PathBuf};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture(name: &str) -> SourceFile {
+    let src = std::fs::read_to_string(fixture_path(name)).expect("fixture exists");
+    SourceFile::parse(name.to_string(), &src)
+}
+
+/// Fixture config: the default rule set, retargeted at the fixture files.
+fn cfg() -> Config {
+    let mut c = Config::default();
+    c.determinism_allow.clear();
+    c.telemetry_paths = vec!["d3_pass.rs".into(), "d3_fail.rs".into()];
+    c.panic_hot_paths = vec!["d4_pass.rs".into(), "d4_fail.rs".into()];
+    c
+}
+
+fn lint(names: &[&str]) -> Vec<Finding> {
+    let files: Vec<SourceFile> = names.iter().map(|n| fixture(n)).collect();
+    let registry = std::fs::read_to_string(fixture_path("registry.rs")).expect("registry fixture");
+    ofc_lint::analyze(&files, &cfg(), Some(&registry))
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn all_pass_fixtures_are_clean_together() {
+    let f = lint(&["d1_pass.rs", "d2_pass.rs", "d3_pass.rs", "d4_pass.rs"]);
+    assert!(
+        f.is_empty(),
+        "expected clean, got:\n{}",
+        report::format_text(&f)
+    );
+}
+
+#[test]
+fn d1_fail_flags_wall_clock_and_hash_export() {
+    let f = lint(&["d1_fail.rs"]);
+    assert!(f.iter().all(|x| x.rule == "D1-DETERMINISM"));
+    // `Instant` appears at the use and at the call site.
+    assert_eq!(
+        f.iter().filter(|x| x.message.contains("`Instant`")).count(),
+        2
+    );
+    // The HashMap-backed field is flagged inside the export path.
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("`hits`") && x.message.contains("snapshot_counters")));
+}
+
+#[test]
+fn d2_fail_flags_cycle_and_double_borrow() {
+    let f = lint(&["d2_fail.rs"]);
+    let cycle = f
+        .iter()
+        .find(|x| x.rule == "D2-LOCK-ORDER")
+        .expect("lock-order cycle reported");
+    // The cycle crosses the helper call: queue -> table directly in
+    // `fill`, table -> queue inter-procedurally through `touch_queue`.
+    assert!(cycle.message.contains("`d2_fail::queue`"));
+    assert!(cycle.message.contains("`d2_fail::table`"));
+    let double = f
+        .iter()
+        .find(|x| x.rule == "D2-DOUBLE-BORROW")
+        .expect("double borrow reported");
+    assert!(double.message.contains("`queue`"));
+}
+
+#[test]
+fn d3_fail_flags_typo_dynamic_name_and_dynamic_label() {
+    let f = lint(&["d3_fail.rs"]);
+    assert_eq!(rules(&f), vec!["D3-TELEMETRY"; 3]);
+    assert!(f.iter().any(|x| x.message.contains("\"cache.hit\"")));
+    assert!(f.iter().any(|x| x.message.contains("`which`")));
+    assert!(f.iter().any(|x| x.message.contains("label \"node\"")));
+}
+
+#[test]
+fn d4_fail_flags_aborts_and_reasonless_pragma() {
+    let f = lint(&["d4_fail.rs"]);
+    // The reasonless pragma is itself a finding AND fails to suppress.
+    assert_eq!(
+        rules(&f),
+        vec!["D0-PRAGMA", "D4-PANIC", "D4-PANIC", "D4-PANIC"]
+    );
+    assert!(f.iter().any(|x| x.message.contains("`.unwrap()`")));
+    assert!(f.iter().any(|x| x.message.contains("`.expect()`")));
+    assert!(f.iter().any(|x| x.message.contains("`panic!`")));
+}
+
+#[test]
+fn failing_fixtures_match_golden_report() {
+    let f = lint(&["d1_fail.rs", "d2_fail.rs", "d3_fail.rs", "d4_fail.rs"]);
+    let text = report::format_text(&f);
+    let golden = fixture_path("golden.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden, &text).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(&golden).expect("golden fixture (BLESS=1 to create)");
+    assert_eq!(
+        text, expected,
+        "report format drifted; if intentional, regenerate with BLESS=1"
+    );
+}
+
+#[test]
+fn json_format_is_stable() {
+    let f = vec![Finding {
+        rule: "D3-TELEMETRY",
+        path: "a.rs".into(),
+        line: 7,
+        message: "metric name \"x\" unknown".into(),
+    }];
+    assert_eq!(
+        report::format_json(&f),
+        r#"[{"rule":"D3-TELEMETRY","path":"a.rs","line":7,"message":"metric name \"x\" unknown"}]"#
+    );
+}
+
+#[test]
+fn baseline_tolerates_old_findings_but_fails_regressions() {
+    let old = lint(&["d4_fail.rs"]);
+    let baseline = report::parse_baseline(&report::write_baseline(&old));
+    // Same tree relinted: nothing escapes the baseline.
+    assert!(report::filter_regressions(lint(&["d4_fail.rs"]), &baseline).is_empty());
+    // A new failing file: only its findings are regressions.
+    let grown = lint(&["d4_fail.rs", "d3_fail.rs"]);
+    let regressions = report::filter_regressions(grown, &baseline);
+    assert!(!regressions.is_empty());
+    assert!(regressions.iter().all(|f| f.path == "d3_fail.rs"));
+}

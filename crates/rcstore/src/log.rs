@@ -164,17 +164,18 @@ impl Log {
                 available: self.budget.saturating_sub(self.live_bytes()),
             });
         }
-        if !self.head_fits(size) {
+        if self.fitting_head(size).is_none() {
             // Prefer compaction over growing the physical footprint when
             // fragmentation has accumulated.
             if self.allocated_bytes() > self.live_bytes() + self.segment_bytes {
                 self.clean();
             }
-            if !self.head_fits(size) {
-                self.open_head_unchecked();
-            }
         }
-        let head = self.head.expect("head opened above");
+        let head = match self.fitting_head(size) {
+            Some(h) => h,
+            None => self.open_head_unchecked(),
+        };
+        // ofc-lint: allow(panic) reason=fitting_head/open_head_unchecked only return allocated slots
         let seg = self.segments[head].as_mut().expect("head is allocated");
         seg.used += size;
         seg.live.insert(key.clone(), size);
@@ -187,7 +188,9 @@ impl Log {
         let seg_idx = self.locations.remove(key)?;
         let seg = self.segments[seg_idx]
             .as_mut()
+            // ofc-lint: allow(panic) reason=locations only ever points at allocated segments
             .expect("location points at an allocated segment");
+        // ofc-lint: allow(panic) reason=segment live maps mirror locations; a miss is heap corruption
         let size = seg.live.remove(key).expect("location is consistent");
         // A fully dead, non-head segment is freed immediately.
         if seg.live.is_empty() && self.head != Some(seg_idx) {
@@ -250,13 +253,14 @@ impl Log {
             for (key, size) in seg.live {
                 self.locations.remove(&key);
                 stats.bytes_relocated += size;
-                if !self.head_fits(size) {
+                let head = match self.fitting_head(size) {
+                    Some(h) => h,
                     // Relocation may transiently exceed the budget (the
                     // cleaner's reserved segment); net allocation still
                     // shrinks because only fragmented segments are cleaned.
-                    self.open_head_unchecked();
-                }
-                let head = self.head.expect("head exists");
+                    None => self.open_head_unchecked(),
+                };
+                // ofc-lint: allow(panic) reason=fitting_head/open_head_unchecked only return allocated slots
                 let h = self.segments[head].as_mut().expect("head allocated");
                 h.used += size;
                 h.live.insert(key.clone(), size);
@@ -266,18 +270,16 @@ impl Log {
         stats
     }
 
-    fn head_fits(&self, size: u64) -> bool {
-        match self.head {
-            Some(h) => match &self.segments[h] {
-                Some(seg) => seg.used + size <= self.segment_bytes,
-                None => false,
-            },
-            None => false,
-        }
+    /// The head segment's index, if it is allocated and `size` fits.
+    fn fitting_head(&self, size: u64) -> Option<usize> {
+        let h = self.head?;
+        let seg = self.segments[h].as_ref()?;
+        (seg.used + size <= self.segment_bytes).then_some(h)
     }
 
-    /// Opens a head segment without consulting the budget (cleaner use).
-    fn open_head_unchecked(&mut self) {
+    /// Opens a head segment without consulting the budget (cleaner use);
+    /// returns the freshly allocated slot.
+    fn open_head_unchecked(&mut self) -> usize {
         let slot = self
             .segments
             .iter()
@@ -288,6 +290,7 @@ impl Log {
             });
         self.segments[slot] = Some(Segment::default());
         self.head = Some(slot);
+        slot
     }
 }
 

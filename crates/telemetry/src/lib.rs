@@ -42,6 +42,7 @@
 
 mod json;
 mod metrics;
+pub mod names;
 mod snapshot;
 mod trace;
 

@@ -16,7 +16,7 @@ use crate::json::JsonWriter;
 use crate::metrics::HistCell;
 use ofc_simtime::SimTime;
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 /// Default bound on the span event ring buffer.
@@ -134,8 +134,9 @@ pub(crate) struct Tracer {
     ring: RefCell<VecDeque<SpanEvent>>,
     dropped: Cell<u64>,
     mismatches: Cell<u64>,
-    /// Open-span stacks, per entity: (phase, enter instant).
-    open: RefCell<HashMap<u64, Vec<(Phase, SimTime)>>>,
+    /// Open-span stacks, per entity: (phase, enter instant). Ordered so
+    /// any future export of open spans walks entities deterministically.
+    open: RefCell<BTreeMap<u64, Vec<(Phase, SimTime)>>>,
     /// Per-phase duration histograms (nanoseconds).
     durations: [HistCell; Phase::COUNT],
 }
@@ -148,7 +149,7 @@ impl Tracer {
             ring: RefCell::new(VecDeque::new()),
             dropped: Cell::new(0),
             mismatches: Cell::new(0),
-            open: RefCell::new(HashMap::new()),
+            open: RefCell::new(BTreeMap::new()),
             durations: std::array::from_fn(|_| HistCell::empty()),
         }
     }

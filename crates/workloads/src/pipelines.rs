@@ -520,11 +520,11 @@ mod tests {
         let recs = platform.drain_records();
         assert_eq!(recs.len(), 10);
         // The reducer's output is the only final one.
-        let finals: Vec<_> = recs
+        let finals = recs
             .iter()
             .filter(|r| r.function.as_ref() == "wc_reduce")
-            .collect();
-        assert_eq!(finals.len(), 1);
+            .count();
+        assert_eq!(finals, 1);
     }
 
     #[test]
