@@ -1,0 +1,259 @@
+//! Chaos experiment: the Figure 9 macro workload under a deterministic
+//! fault schedule — node crash/restart, slow nodes, transient store
+//! errors, persistor failures — comparing hit ratio and latency against a
+//! fault-free baseline and asserting durability (zero data loss, all
+//! accepted write-backs eventually landed in the RSDS).
+//!
+//! `OFC_CHAOS_SEED` picks the schedule seed (default 42); `OFC_MACRO_MINS`
+//! shortens the observation window. Output is deterministic per seed:
+//! running twice with the same environment produces byte-identical
+//! `results/chaos.json`.
+
+use ofc_bench::cachex::{run_macro, run_macro_hooked, MacroResult};
+use ofc_bench::report;
+use ofc_bench::scenario::{PlaneKind, Testbed, WORKER_NODES};
+use ofc_chaos::{ChaosSchedule, FaultKind, FaultTemplate, Recurring};
+use ofc_core::cache::Persistence;
+use ofc_core::ofc::OfcConfig;
+use ofc_rcstore::cluster::Cluster;
+use ofc_simtime::SimTime;
+use ofc_telemetry::Telemetry;
+use ofc_workloads::faasload::TenantProfile;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Handles stashed by the pre-run hook for post-run durability checks.
+struct Handles {
+    cluster: Rc<RefCell<Cluster>>,
+    persistence: Rc<RefCell<Persistence>>,
+    telemetry: Telemetry,
+}
+
+#[derive(Debug, Serialize)]
+struct ChaosReport {
+    seed: u64,
+    minutes: u64,
+    // Fault schedule actually injected.
+    faults_injected: u64,
+    node_crashes: u64,
+    node_restarts: u64,
+    slowdowns: u64,
+    transient_bursts: u64,
+    persistor_failures: u64,
+    // Degradation machinery.
+    degraded_bypasses: u64,
+    persist_retries: u64,
+    persist_dead_letters: u64,
+    rcstore_transient_errors: u64,
+    // Hit-ratio / latency deltas vs the fault-free baseline.
+    baseline_hit_pct: f64,
+    chaos_hit_pct: f64,
+    hit_delta_pct: f64,
+    baseline_total_s: f64,
+    chaos_total_s: f64,
+    latency_inflation_pct: f64,
+    // Durability.
+    objects_lost: u64,
+    pending_after: usize,
+    dead_after: usize,
+}
+
+fn total_s(m: &MacroResult) -> f64 {
+    m.per_function_total_s.values().sum()
+}
+
+fn main() {
+    let seed = env_u64("OFC_CHAOS_SEED", 42);
+    let minutes = env_u64("OFC_MACRO_MINS", 10);
+    let dur = Duration::from_secs(60 * minutes);
+
+    let baseline = run_macro(PlaneKind::Ofc, TenantProfile::Normal, 1, dur, seed);
+
+    // Fault window: [60 s, dur - 60 s] so every fault ceases well before
+    // the 600 s settle phase — durability is judged on a quiet system.
+    let window_end = SimTime::ZERO + dur.saturating_sub(Duration::from_secs(60));
+    let schedule = ChaosSchedule::new(WORKER_NODES)
+        .one_shot(SimTime::from_secs(90), FaultKind::NodeCrash(1))
+        .one_shot(SimTime::from_secs(240), FaultKind::NodeRestart(1))
+        .recurring(Recurring {
+            template: FaultTemplate::Transient { ops: 8 },
+            mean_interval: Duration::from_secs(120),
+            from: SimTime::from_secs(60),
+            until: window_end,
+        })
+        .recurring(Recurring {
+            template: FaultTemplate::Slow {
+                factor: 6.0,
+                duration: Duration::from_secs(45),
+            },
+            mean_interval: Duration::from_secs(180),
+            from: SimTime::from_secs(60),
+            until: window_end,
+        })
+        .recurring(Recurring {
+            template: FaultTemplate::PersistorFail { count: 3 },
+            mean_interval: Duration::from_secs(150),
+            from: SimTime::from_secs(60),
+            until: window_end,
+        });
+    let events = schedule.generate(seed);
+    eprintln!(
+        "[chaos: {} fault events over {} min]",
+        events.len(),
+        minutes
+    );
+
+    let handles: Rc<RefCell<Option<Handles>>> = Rc::new(RefCell::new(None));
+    let stash = Rc::clone(&handles);
+    let chaos = run_macro_hooked(
+        PlaneKind::Ofc,
+        TenantProfile::Normal,
+        1,
+        dur,
+        seed,
+        OfcConfig::default(),
+        64 << 30,
+        move |tb: &mut Testbed| {
+            let ofc = tb.ofc.as_ref().expect("ofc testbed");
+            let cluster = Rc::clone(&ofc.cluster);
+            let persistence = Rc::clone(&ofc.persistence);
+            let telemetry = ofc.telemetry().clone();
+            *stash.borrow_mut() = Some(Handles {
+                cluster: Rc::clone(&cluster),
+                persistence: Rc::clone(&persistence),
+                telemetry: telemetry.clone(),
+            });
+            let sink: ofc_chaos::FaultSink = Rc::new(move |sim, kind| {
+                let now = sim.now();
+                let mut c = cluster.borrow_mut();
+                match kind {
+                    FaultKind::NodeCrash(n) => {
+                        // Never take the last node down: the macro load
+                        // keeps running and a zero-node cluster is not a
+                        // scenario OFC claims to survive.
+                        if c.live_nodes() > 1 {
+                            c.crash_node(*n, now);
+                        }
+                    }
+                    FaultKind::NodeRestart(n) => c.restart_node(*n),
+                    FaultKind::SlowNode { node, factor } => c.set_node_slowdown(*node, *factor),
+                    FaultKind::RestoreNodeSpeed { node } => c.clear_node_slowdown(*node),
+                    FaultKind::TransientStoreErrors { ops } => c.inject_transient_errors(*ops),
+                    FaultKind::PersistorFailure { count } => {
+                        persistence.borrow_mut().inject_persist_failures(*count)
+                    }
+                }
+            });
+            ofc_chaos::install(&mut tb.sim, events, &telemetry, sink);
+        },
+    );
+
+    let handles = handles.borrow_mut().take().expect("hook ran");
+    let m = handles.telemetry.metrics();
+    let pending_after = handles.persistence.borrow().pending_count();
+    let dead_after = handles.persistence.borrow().dead_letter_count();
+    // Any leftover injected-fault budget would make the counts below
+    // depend on post-run accounting; clear it for hygiene.
+    handles.cluster.borrow_mut().clear_faults();
+
+    let baseline_total = total_s(&baseline);
+    let chaos_total = total_s(&chaos);
+    let report = ChaosReport {
+        seed,
+        minutes,
+        faults_injected: m.counter("chaos.faults_injected"),
+        node_crashes: m.counter("chaos.node_crashes"),
+        node_restarts: m.counter("chaos.node_restarts"),
+        slowdowns: m.counter("chaos.slowdowns"),
+        transient_bursts: m.counter("chaos.transient_bursts"),
+        persistor_failures: m.counter("chaos.persistor_failures"),
+        degraded_bypasses: m.counter("plane.degraded_bypasses"),
+        persist_retries: m.counter("persist.retries"),
+        persist_dead_letters: m.counter("persist.dead_letters"),
+        rcstore_transient_errors: m.counter("rcstore.transient_errors"),
+        baseline_hit_pct: baseline.table2.hit_ratio_pct,
+        chaos_hit_pct: chaos.table2.hit_ratio_pct,
+        hit_delta_pct: baseline.table2.hit_ratio_pct - chaos.table2.hit_ratio_pct,
+        baseline_total_s: baseline_total,
+        chaos_total_s: chaos_total,
+        latency_inflation_pct: if baseline_total > 0.0 {
+            100.0 * (chaos_total / baseline_total - 1.0)
+        } else {
+            0.0
+        },
+        objects_lost: m.counter("rcstore.objects_lost"),
+        pending_after,
+        dead_after,
+    };
+
+    println!("Chaos — Fig 9 macro workload under a fault schedule (seed {seed})\n");
+    println!(
+        "{}",
+        report::table(
+            &["metric", "baseline", "chaos"],
+            &[
+                vec![
+                    "hit ratio".into(),
+                    format!("{:.1}%", report.baseline_hit_pct),
+                    format!("{:.1}%", report.chaos_hit_pct),
+                ],
+                vec![
+                    "total exec time".into(),
+                    report::fmt_secs(report.baseline_total_s),
+                    report::fmt_secs(report.chaos_total_s),
+                ],
+                vec![
+                    "faults injected".into(),
+                    "0".into(),
+                    report.faults_injected.to_string(),
+                ],
+                vec![
+                    "degraded bypasses".into(),
+                    "0".into(),
+                    report.degraded_bypasses.to_string(),
+                ],
+                vec![
+                    "persist retries".into(),
+                    "0".into(),
+                    report.persist_retries.to_string(),
+                ],
+                vec![
+                    "dead letters".into(),
+                    "0".into(),
+                    report.persist_dead_letters.to_string(),
+                ],
+            ],
+        )
+    );
+    report::save_json("chaos", &report);
+
+    let mut failures = Vec::new();
+    if report.objects_lost != 0 {
+        failures.push(format!(
+            "{} objects lost (replication should cover every crash)",
+            report.objects_lost
+        ));
+    }
+    if report.pending_after != 0 || report.dead_after != 0 {
+        failures.push(format!(
+            "{} pending / {} dead-lettered write-backs never reached the RSDS",
+            report.pending_after, report.dead_after
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("DURABILITY FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nDurability: zero data loss; every accepted write-back landed in the RSDS.");
+}

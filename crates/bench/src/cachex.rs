@@ -539,6 +539,33 @@ pub fn run_macro_full(
     ofc_cfg: OfcConfig,
     node_mem: u64,
 ) -> MacroResult {
+    run_macro_hooked(
+        kind,
+        profile_kind,
+        tenants_per_function,
+        duration,
+        seed,
+        ofc_cfg,
+        node_mem,
+        |_| {},
+    )
+}
+
+/// [`run_macro_full`] with a hook invoked after setup, just before the
+/// simulation runs. The chaos bench uses it to install a fault schedule
+/// against the assembled testbed (and to stash handles for post-run
+/// durability checks); everything else passes a no-op.
+#[allow(clippy::too_many_arguments)] // The full knob set of one experiment.
+pub fn run_macro_hooked(
+    kind: PlaneKind,
+    profile_kind: TenantProfile,
+    tenants_per_function: usize,
+    duration: Duration,
+    seed: u64,
+    ofc_cfg: OfcConfig,
+    node_mem: u64,
+    hook: impl FnOnce(&mut Testbed),
+) -> MacroResult {
     assert!(
         kind != PlaneKind::Redis,
         "the macro experiment compares Swift and OFC"
@@ -593,6 +620,8 @@ pub fn run_macro_full(
             m.counter("ml.bad_predictions"),
         );
     }
+
+    hook(&mut tb);
 
     tb.sim
         .run_until(SimTime::ZERO + duration + Duration::from_secs(600));

@@ -1,0 +1,471 @@
+//! Deterministic fault injection for the OFC stack.
+//!
+//! OFC's value proposition rests on the cache being *safe to lose*: RSDS
+//! consistency via shadow objects and persistors (§6.2), crash recovery by
+//! backup promotion (§5), and OOM retry at the booked size (§4). This crate
+//! provides the machinery to exercise those guarantees mid-workload:
+//!
+//! * a **fault taxonomy** ([`FaultKind`]) covering node crashes and
+//!   restarts, slow-node latency inflation, transient store-op errors, and
+//!   persistor failures,
+//! * a **seeded schedule** ([`ChaosSchedule`]) mixing one-shot events with
+//!   Poisson-recurring ones — [`ChaosSchedule::generate`] expands it into a
+//!   concrete, sorted event list that is bit-for-bit reproducible per seed,
+//! * a **driver** ([`install`]) that plants the events on the simulator,
+//!   counts them on the shared telemetry plane (`chaos.*`), and hands each
+//!   one to a caller-supplied sink (the wiring to the cache cluster and the
+//!   persistence plane lives with the caller, keeping this crate free of
+//!   upward dependencies),
+//! * the **[`RetryPolicy`]** abstraction (bounded attempts, exponential
+//!   backoff with a cap) shared by the persistor retry path in `ofc-core`
+//!   and the OOM-retry path in `ofc-faas`.
+//!
+//! Faults only make sense over virtual time, so everything here layers on
+//! `ofc-simtime`; no wall clocks, no ambient RNG.
+
+use ofc_simtime::{Sim, SimTime};
+use ofc_telemetry::{Counter, Telemetry};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// A bounded retry schedule with exponential backoff.
+///
+/// `attempt` is 1-based and counts attempts already made: after the first
+/// failure the caller asks for `delay(1)`, after the second for `delay(2)`,
+/// and so on. [`RetryPolicy::delay`] returns `None` once the attempt budget
+/// is exhausted — the caller then escalates (dead-letter set, permanent
+/// failure record).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first one.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per further retry.
+    pub factor: f64,
+    /// Upper bound on any single backoff (`ZERO` disables the cap).
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(200),
+            factor: 2.0,
+            cap: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries immediately (zero backoff) up to
+    /// `max_attempts` total attempts — the paper's OOM-retry behavior.
+    pub fn immediate(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base: Duration::ZERO,
+            factor: 1.0,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// The unbounded backoff schedule: delay before retry number
+    /// `attempt` (1-based), ignoring the attempt budget.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(63);
+        let d = self.base.mul_f64(self.factor.powi(exp as i32).max(1.0));
+        if self.cap.is_zero() {
+            d
+        } else {
+            d.min(self.cap)
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based), or `None` when the
+    /// attempt budget is exhausted.
+    pub fn delay(&self, attempt: u32) -> Option<Duration> {
+        if attempt >= self.max_attempts {
+            None
+        } else {
+            Some(self.backoff(attempt))
+        }
+    }
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop crash of a storage node; recovery (promotion +
+    /// re-replication) runs immediately, as in RAMCloud.
+    NodeCrash(usize),
+    /// A crashed node rejoins empty.
+    NodeRestart(usize),
+    /// Inflate the node's store-op latency by `factor` until a matching
+    /// [`FaultKind::RestoreNodeSpeed`] fires.
+    SlowNode {
+        /// The degraded node.
+        node: usize,
+        /// Latency multiplier (> 1.0).
+        factor: f64,
+    },
+    /// End of a [`FaultKind::SlowNode`] episode.
+    RestoreNodeSpeed {
+        /// The node returning to full speed.
+        node: usize,
+    },
+    /// The next `ops` client store operations fail with a transient,
+    /// retryable error.
+    TransientStoreErrors {
+        /// Number of operations to fail.
+        ops: u32,
+    },
+    /// The next `count` asynchronous persistor runs fail (the persistor
+    /// function crashes before uploading).
+    PersistorFailure {
+        /// Number of persistor runs to fail.
+        count: u32,
+    },
+}
+
+/// A fault pinned to a virtual-time instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Template for recurring faults; concrete nodes are drawn per occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTemplate {
+    /// Crash a uniformly drawn node.
+    Crash,
+    /// Restart a uniformly drawn node.
+    Restart,
+    /// Slow a uniformly drawn node by `factor` for `duration`.
+    Slow {
+        /// Latency multiplier.
+        factor: f64,
+        /// Episode length; a matching restore event is emitted.
+        duration: Duration,
+    },
+    /// Fail the next `ops` store operations.
+    Transient {
+        /// Number of operations to fail.
+        ops: u32,
+    },
+    /// Fail the next `count` persistor runs.
+    PersistorFail {
+        /// Number of persistor runs to fail.
+        count: u32,
+    },
+}
+
+/// A Poisson-recurring fault source: occurrences arrive with exponential
+/// inter-arrival times of mean `mean_interval` within `[from, until]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recurring {
+    /// What recurs.
+    pub template: FaultTemplate,
+    /// Mean inter-arrival time of the Poisson process.
+    pub mean_interval: Duration,
+    /// First instant an occurrence may fire.
+    pub from: SimTime,
+    /// Last instant an occurrence may fire (restore events of a
+    /// [`FaultTemplate::Slow`] episode may land later so no node stays
+    /// degraded forever).
+    pub until: SimTime,
+}
+
+/// A seeded, schedulable fault source.
+///
+/// Build with one-shot events and recurring templates, then expand with
+/// [`ChaosSchedule::generate`]: the same seed always yields the same event
+/// list, so every chaos run replays bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSchedule {
+    nodes: usize,
+    one_shots: Vec<FaultEvent>,
+    recurring: Vec<Recurring>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule over a cluster of `nodes` storage nodes.
+    pub fn new(nodes: usize) -> Self {
+        ChaosSchedule {
+            nodes,
+            one_shots: Vec::new(),
+            recurring: Vec::new(),
+        }
+    }
+
+    /// Adds a one-shot fault at `at`.
+    pub fn one_shot(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.one_shots.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Adds a Poisson-recurring fault source.
+    pub fn recurring(mut self, r: Recurring) -> Self {
+        self.recurring.push(r);
+        self
+    }
+
+    /// Expands the schedule into a concrete, time-sorted event list.
+    ///
+    /// Deterministic: each recurring source draws from its own
+    /// seed-derived `ChaCha8Rng` stream, so adding a source never perturbs
+    /// the arrivals of the others.
+    pub fn generate(&self, seed: u64) -> Vec<FaultEvent> {
+        let mut events = self.one_shots.clone();
+        for (i, r) in self.recurring.iter().enumerate() {
+            let stream = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1);
+            let mut rng = ChaCha8Rng::seed_from_u64(stream);
+            let mean = r.mean_interval.as_secs_f64().max(1e-9);
+            let mut t = r.from.as_secs_f64();
+            loop {
+                let u: f64 = rng.gen();
+                t += -mean * (1.0 - u).ln();
+                let at = SimTime::from_secs_f64(t);
+                if at > r.until {
+                    break;
+                }
+                match &r.template {
+                    FaultTemplate::Crash => {
+                        let node = rng.gen_range(0..self.nodes.max(1));
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::NodeCrash(node),
+                        });
+                    }
+                    FaultTemplate::Restart => {
+                        let node = rng.gen_range(0..self.nodes.max(1));
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::NodeRestart(node),
+                        });
+                    }
+                    FaultTemplate::Slow { factor, duration } => {
+                        let node = rng.gen_range(0..self.nodes.max(1));
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::SlowNode {
+                                node,
+                                factor: *factor,
+                            },
+                        });
+                        events.push(FaultEvent {
+                            at: at + *duration,
+                            kind: FaultKind::RestoreNodeSpeed { node },
+                        });
+                    }
+                    FaultTemplate::Transient { ops } => {
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::TransientStoreErrors { ops: *ops },
+                        });
+                    }
+                    FaultTemplate::PersistorFail { count } => {
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::PersistorFailure { count: *count },
+                        });
+                    }
+                }
+            }
+        }
+        // Stable sort: same-instant events keep insertion order.
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+/// Pre-registered handles for the `chaos.*` injection counters.
+#[derive(Debug)]
+struct ChaosMetrics {
+    injected: Counter,
+    crashes: Counter,
+    restarts: Counter,
+    slowdowns: Counter,
+    transient_bursts: Counter,
+    persistor_failures: Counter,
+}
+
+impl ChaosMetrics {
+    fn new(t: &Telemetry) -> Self {
+        ChaosMetrics {
+            injected: t.counter("chaos.faults_injected"),
+            crashes: t.counter("chaos.node_crashes"),
+            restarts: t.counter("chaos.node_restarts"),
+            slowdowns: t.counter("chaos.slowdowns"),
+            transient_bursts: t.counter("chaos.transient_bursts"),
+            persistor_failures: t.counter("chaos.persistor_failures"),
+        }
+    }
+
+    fn count(&self, kind: &FaultKind) {
+        match kind {
+            FaultKind::NodeCrash(_) => {
+                self.injected.inc();
+                self.crashes.inc();
+            }
+            FaultKind::NodeRestart(_) => {
+                self.injected.inc();
+                self.restarts.inc();
+            }
+            FaultKind::SlowNode { .. } => {
+                self.injected.inc();
+                self.slowdowns.inc();
+            }
+            // The paired restore is the end of a slowdown, not a fault.
+            FaultKind::RestoreNodeSpeed { .. } => {}
+            FaultKind::TransientStoreErrors { .. } => {
+                self.injected.inc();
+                self.transient_bursts.inc();
+            }
+            FaultKind::PersistorFailure { .. } => {
+                self.injected.inc();
+                self.persistor_failures.inc();
+            }
+        }
+    }
+}
+
+/// Receives each fault as it fires; wires the fault plane to the stack
+/// under test (cache cluster, persistence plane, platform).
+pub type FaultSink = Rc<dyn Fn(&mut Sim, &FaultKind)>;
+
+/// Plants `events` on the simulator: at each event's instant the fault is
+/// counted on `telemetry` (`chaos.*`) and handed to `sink`.
+pub fn install(sim: &mut Sim, events: Vec<FaultEvent>, telemetry: &Telemetry, sink: FaultSink) {
+    let metrics = Rc::new(ChaosMetrics::new(telemetry));
+    for ev in events {
+        let metrics = Rc::clone(&metrics);
+        let sink = Rc::clone(&sink);
+        sim.schedule_at(ev.at, move |sim| {
+            metrics.count(&ev.kind);
+            sink(sim, &ev.kind);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn retry_policy_backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(100),
+            factor: 2.0,
+            cap: Duration::from_millis(350),
+        };
+        assert_eq!(p.delay(1), Some(Duration::from_millis(100)));
+        assert_eq!(p.delay(2), Some(Duration::from_millis(200)));
+        assert_eq!(p.delay(3), Some(Duration::from_millis(350)), "capped");
+        assert_eq!(p.delay(4), Some(Duration::from_millis(350)));
+        assert_eq!(p.delay(5), None, "budget exhausted");
+    }
+
+    #[test]
+    fn immediate_policy_has_zero_backoff() {
+        let p = RetryPolicy::immediate(2);
+        assert_eq!(p.delay(1), Some(Duration::ZERO));
+        assert_eq!(p.delay(2), None);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let schedule = ChaosSchedule::new(4)
+            .one_shot(SimTime::from_secs(10), FaultKind::NodeCrash(2))
+            .recurring(Recurring {
+                template: FaultTemplate::Transient { ops: 3 },
+                mean_interval: Duration::from_secs(30),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(600),
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::Slow {
+                    factor: 4.0,
+                    duration: Duration::from_secs(20),
+                },
+                mean_interval: Duration::from_secs(120),
+                from: SimTime::from_secs(60),
+                until: SimTime::from_secs(600),
+            });
+        let a = schedule.generate(7);
+        let b = schedule.generate(7);
+        let c = schedule.generate(8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.len() > 2, "recurring sources produced occurrences");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "time-sorted");
+    }
+
+    #[test]
+    fn slow_episodes_always_end() {
+        let schedule = ChaosSchedule::new(2).recurring(Recurring {
+            template: FaultTemplate::Slow {
+                factor: 8.0,
+                duration: Duration::from_secs(15),
+            },
+            mean_interval: Duration::from_secs(60),
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(900),
+        });
+        let events = schedule.generate(42);
+        let slows = events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::SlowNode { .. }))
+            .count();
+        let restores = events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::RestoreNodeSpeed { .. }))
+            .count();
+        assert_eq!(slows, restores, "every slowdown pairs with a restore");
+        assert!(slows > 0);
+    }
+
+    #[test]
+    fn install_fires_events_and_counts_them() {
+        let telemetry = Telemetry::standalone();
+        let mut sim = Sim::new(0);
+        let events = vec![
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::NodeCrash(0),
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::TransientStoreErrors { ops: 5 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(3),
+                kind: FaultKind::RestoreNodeSpeed { node: 0 },
+            },
+        ];
+        let seen: Rc<RefCell<Vec<FaultKind>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        install(
+            &mut sim,
+            events,
+            &telemetry,
+            Rc::new(move |_, kind| sink.borrow_mut().push(kind.clone())),
+        );
+        sim.run();
+        assert_eq!(seen.borrow().len(), 3);
+        let m = telemetry.metrics();
+        assert_eq!(m.counter("chaos.faults_injected"), 2, "restore not a fault");
+        assert_eq!(m.counter("chaos.node_crashes"), 1);
+        assert_eq!(m.counter("chaos.transient_bursts"), 1);
+    }
+}

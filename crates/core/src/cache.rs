@@ -3,6 +3,8 @@
 //! persistor functions, pipeline intermediate-data lifecycle, and the
 //! webhook paths for external clients.
 
+use crate::health::{BreakerConfig, CircuitBreaker};
+use ofc_chaos::RetryPolicy;
 use ofc_faas::{
     DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served, WriteOutcome,
 };
@@ -13,7 +15,7 @@ use ofc_rcstore::{Key, ReadLocality, Value};
 use ofc_simtime::Sim;
 use ofc_telemetry::{Counter, Phase, Telemetry};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -48,6 +50,13 @@ pub struct PlaneConfig {
     /// larger than `max_cached_object` are striped into chunks spread over
     /// the cluster instead of bypassing the cache.
     pub chunk_large_objects: bool,
+    /// Circuit breaker guarding cache-store access (DESIGN.md §10).
+    pub breaker: BreakerConfig,
+    /// Retry/backoff schedule of the asynchronous persistor; exhausted
+    /// retries dead-letter the write-back for the periodic sweeper.
+    pub persist_retry: RetryPolicy,
+    /// Dead-letter sweeper period (see [`start_sweeper`]).
+    pub sweep_every: Duration,
 }
 
 impl Default for PlaneConfig {
@@ -57,6 +66,9 @@ impl Default for PlaneConfig {
             persistor_overhead: Duration::from_millis(10),
             write_policy: WritePolicy::WriteBackShadow,
             chunk_large_objects: false,
+            breaker: BreakerConfig::default(),
+            persist_retry: RetryPolicy::default(),
+            sweep_every: Duration::from_secs(60),
         }
     }
 }
@@ -76,6 +88,7 @@ struct PlaneMetrics {
     ephemeral_bytes: Counter,
     chunked_objects: Counter,
     chunked_hits: Counter,
+    degraded_bypasses: Counter,
 }
 
 impl PlaneMetrics {
@@ -92,6 +105,7 @@ impl PlaneMetrics {
             ephemeral_bytes: t.counter("plane.ephemeral_bytes"),
             chunked_objects: t.counter("plane.chunked_objects"),
             chunked_hits: t.counter("plane.chunked_hits"),
+            degraded_bypasses: t.counter("plane.degraded_bypasses"),
         }
     }
 }
@@ -108,14 +122,26 @@ pub fn plane_hit_ratio(m: &ofc_telemetry::MetricsSnapshot) -> f64 {
     }
 }
 
-/// Shared persistence state: versions pending write-back.
+/// Shared persistence state: versions pending write-back, plus the
+/// retry/dead-letter machinery that keeps write-backs live under faults.
 pub struct Persistence {
     store: Rc<RefCell<ObjectStore>>,
     cluster: Rc<RefCell<Cluster>>,
     /// Pending shadow fulfillments: key → (object id, version, size,
     /// drop-from-cache-after-persist).
     pending: HashMap<Key, (ObjectId, u64, u64, bool)>,
+    /// Write-backs whose persistor exhausted its retries; the pending
+    /// entry is kept (nothing is lost) and the sweeper re-drives them.
+    dead: BTreeSet<Key>,
+    /// Retry/backoff schedule of persistor attempts.
+    retry: RetryPolicy,
+    /// Sweeper period (consumed by [`start_sweeper`]).
+    sweep_every: Duration,
+    /// Injected fault budget: the next `n` persistor attempts fail.
+    fail_budget: u32,
     persists: Counter,
+    retries: Counter,
+    dead_letters: Counter,
 }
 
 impl Persistence {
@@ -127,6 +153,7 @@ impl Persistence {
         let Some((id, version, size, drop_after)) = self.pending.remove(key) else {
             return false;
         };
+        self.dead.remove(key);
         let (res, _latency) =
             self.store
                 .borrow_mut()
@@ -143,15 +170,110 @@ impl Persistence {
         true
     }
 
+    /// One persistor attempt: fails (keeping the pending entry) while an
+    /// injected fault budget remains, otherwise persists. Returns `false`
+    /// only on a failed attempt — "nothing pending" counts as success.
+    fn try_persist(&mut self, key: &Key) -> bool {
+        if !self.pending.contains_key(key) {
+            return true;
+        }
+        if self.fail_budget > 0 {
+            self.fail_budget -= 1;
+            return false;
+        }
+        self.persist_now(key);
+        true
+    }
+
+    /// Fault injection: the next `n` persistor attempts fail (the upload
+    /// path to the RSDS is down).
+    pub fn inject_persist_failures(&mut self, n: u32) {
+        self.fail_budget = self.fail_budget.saturating_add(n);
+    }
+
+    /// Re-drives every dead-lettered write-back once; entries that are no
+    /// longer pending (persisted or invalidated elsewhere) are dropped.
+    /// Returns the number successfully re-driven.
+    pub fn sweep(&mut self) -> usize {
+        let dead: Vec<Key> = self.dead.iter().cloned().collect();
+        let mut redriven = 0;
+        for key in dead {
+            if !self.pending.contains_key(&key) {
+                self.dead.remove(&key);
+            } else if self.try_persist(&key) {
+                redriven += 1;
+            }
+        }
+        redriven
+    }
+
+    /// Drops a pending entry without persisting — the stale-shadow path:
+    /// the RSDS already holds a newer, non-shadow version.
+    pub fn forget(&mut self, key: &Key) {
+        self.pending.remove(key);
+        self.dead.remove(key);
+    }
+
     /// Whether `key` still has an unpersisted version.
     pub fn is_pending(&self, key: &Key) -> bool {
         self.pending.contains_key(key)
+    }
+
+    /// Size of the pending write-back of `key`, if any.
+    pub fn pending_size(&self, key: &Key) -> Option<u64> {
+        self.pending.get(key).map(|&(_, _, size, _)| size)
     }
 
     /// Number of pending write-backs.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
     }
+
+    /// Number of dead-lettered write-backs awaiting the sweeper.
+    pub fn dead_letter_count(&self) -> usize {
+        self.dead.len()
+    }
+}
+
+/// Schedules one persistor attempt for `key` after `delay`; failures
+/// reschedule with exponential backoff until the policy's attempt budget
+/// is exhausted, then dead-letter the key for [`start_sweeper`].
+fn schedule_persistor(
+    sim: &mut Sim,
+    persistence: Rc<RefCell<Persistence>>,
+    key: Key,
+    attempt: u32,
+    delay: Duration,
+) {
+    sim.schedule_in(delay, move |sim| {
+        let again = Rc::clone(&persistence);
+        let mut p = persistence.borrow_mut();
+        if p.try_persist(&key) {
+            return;
+        }
+        match p.retry.delay(attempt) {
+            Some(backoff) => {
+                p.retries.inc();
+                drop(p);
+                schedule_persistor(sim, again, key, attempt + 1, backoff);
+            }
+            None => {
+                p.dead_letters.inc();
+                p.dead.insert(key.clone());
+            }
+        }
+    });
+}
+
+/// Starts the periodic dead-letter sweeper: every `sweep_every` (from the
+/// plane config) it re-drives write-backs whose persistor gave up, so
+/// every accepted write eventually lands in the RSDS once faults cease.
+pub fn start_sweeper(sim: &mut Sim, persistence: Rc<RefCell<Persistence>>) {
+    let every = persistence.borrow().sweep_every;
+    sim.schedule_in(every, move |sim| {
+        persistence.borrow_mut().sweep();
+        start_sweeper(sim, persistence);
+    });
 }
 
 /// The OFC data plane.
@@ -162,6 +284,9 @@ pub struct OfcPlane {
     persistence: Rc<RefCell<Persistence>>,
     telemetry: Telemetry,
     metrics: PlaneMetrics,
+    /// Health monitor: trips open after consecutive transient store
+    /// failures; reads/writes then bypass to the RSDS (DESIGN.md §10).
+    breaker: CircuitBreaker,
     /// Monotonic id tagging persistor spans in the trace stream.
     persist_seq: u64,
     /// Chunk manifests of striped large objects: key → chunk count
@@ -182,7 +307,13 @@ impl OfcPlane {
             store: Rc::clone(&store),
             cluster: Rc::clone(&cluster),
             pending: HashMap::new(),
+            dead: BTreeSet::new(),
+            retry: cfg.persist_retry.clone(),
+            sweep_every: cfg.sweep_every,
+            fail_budget: 0,
             persists: telemetry.counter("plane.persists"),
+            retries: telemetry.counter("persist.retries"),
+            dead_letters: telemetry.counter("persist.dead_letters"),
         }));
         // Webhook interposition (§6.2): a write by an external client
         // synchronously invalidates the cached copy.
@@ -203,6 +334,7 @@ impl OfcPlane {
                     }
                 }));
         }
+        let breaker = CircuitBreaker::new(cfg.breaker.clone(), telemetry);
         OfcPlane {
             cfg,
             cluster,
@@ -210,9 +342,15 @@ impl OfcPlane {
             persistence,
             telemetry: telemetry.clone(),
             metrics,
+            breaker,
             persist_seq: 0,
             chunks: HashMap::new(),
         }
+    }
+
+    /// Current breaker state (tests and the chaos bench).
+    pub fn breaker_state(&self) -> crate::health::BreakerState {
+        self.breaker.state()
     }
 
     fn chunk_key(key: &Key, i: u32) -> Key {
@@ -315,15 +453,27 @@ impl OfcPlane {
     pub fn external_read(&mut self, id: &ObjectId) -> (Result<Payload, StoreError>, Duration) {
         let key = rc_key(id);
         let mut extra = Duration::ZERO;
-        let pending_size = {
-            let p = self.persistence.borrow();
-            p.pending.get(&key).map(|&(_, _, size, _)| size)
-        };
+        let pending_size = self.persistence.borrow().pending_size(&key);
         if let Some(size) = pending_size {
-            // Boost: the webhook blocks until the persistor completes; the
-            // reader pays the remaining upload time.
-            self.persistence.borrow_mut().persist_now(&key);
-            extra = self.store.borrow().latency().write(size.max(1));
+            // The pending entry may have lost a race: a concurrent writer
+            // or a completed persistor can leave the latest RSDS version
+            // non-shadow while the entry lingers. Only a still-shadow
+            // object gets the boost; otherwise serve the RSDS version
+            // as-is and drop the stale entry instead of re-persisting.
+            let raced = matches!(
+                self.store.borrow().head(id).0,
+                Ok(meta) if !meta.is_shadow()
+            );
+            if raced {
+                // Serve the RSDS version; the cached copy is stale too.
+                self.persistence.borrow_mut().forget(&key);
+                self.cluster.borrow_mut().delete(&key).result.ok();
+            } else {
+                // Boost: the webhook blocks until the persistor completes;
+                // the reader pays the remaining upload time.
+                self.persistence.borrow_mut().persist_now(&key);
+                extra = self.store.borrow().latency().write(size.max(1));
+            }
         }
         let (res, latency) = self.store.borrow_mut().get(id);
         (res.map(|(_, p)| p), latency + extra)
@@ -358,24 +508,49 @@ impl DataPlane for OfcPlane {
     ) -> ReadOutcome {
         let key = rc_key(&obj.id);
         let now = _sim.now();
+        // Degraded operation: an open breaker bypasses the cache entirely
+        // — OFC must never be worse than the vanilla platform.
+        if !self.breaker.allow(now) {
+            self.metrics.degraded_bypasses.inc();
+            let (_, latency) = self.store.borrow_mut().get(&obj.id);
+            return ReadOutcome {
+                latency,
+                served: Served::Direct,
+            };
+        }
         // Try the cache first — transparently (§4).
         let hit = self.cluster.borrow_mut().read(node, &key, now);
-        if let Ok((value, locality)) = hit.result {
-            let served = match locality {
-                ReadLocality::LocalHit => {
-                    self.metrics.local_hits.inc();
-                    Served::LocalHit
-                }
-                ReadLocality::RemoteHit => {
-                    self.metrics.remote_hits.inc();
-                    Served::RemoteHit
-                }
-            };
-            let _ = value;
-            return ReadOutcome {
-                latency: hit.latency,
-                served,
-            };
+        match hit.result {
+            Ok((_value, locality)) => {
+                self.breaker.record_success(now);
+                let served = match locality {
+                    ReadLocality::LocalHit => {
+                        self.metrics.local_hits.inc();
+                        Served::LocalHit
+                    }
+                    ReadLocality::RemoteHit => {
+                        self.metrics.remote_hits.inc();
+                        Served::RemoteHit
+                    }
+                };
+                return ReadOutcome {
+                    latency: hit.latency,
+                    served,
+                };
+            }
+            Err(e) if e.is_transient() => {
+                // A sick store is not a miss: record the failure, bypass
+                // to the RSDS, and do not fill the cache.
+                self.breaker.record_failure(now);
+                self.metrics.degraded_bypasses.inc();
+                let (_, latency) = self.store.borrow_mut().get(&obj.id);
+                return ReadOutcome {
+                    latency,
+                    served: Served::Direct,
+                };
+            }
+            // NotFound is a healthy response — the normal miss path below.
+            Err(_) => self.breaker.record_success(now),
         }
         // Striped large object (extension)?
         if should_cache && self.cfg.chunk_large_objects && obj.size > self.cfg.max_cached_object {
@@ -457,15 +632,23 @@ impl DataPlane for OfcPlane {
                     self.persist_seq += 1;
                     self.telemetry
                         .span_at(self.persist_seq, Phase::Persist, now, delay);
-                    let persistence = Rc::clone(&self.persistence);
-                    let pkey = key.clone();
-                    sim.schedule_in(delay, move |_| {
-                        persistence.borrow_mut().persist_now(&pkey);
-                    });
+                    schedule_persistor(sim, Rc::clone(&self.persistence), key.clone(), 1, delay);
                     return WriteOutcome { latency };
                 }
             }
             // Straight to the RSDS, as without OFC.
+            let (_, latency) = self.store.borrow_mut().put(
+                &obj.id,
+                Payload::Synthetic(obj.size),
+                HashMap::new(),
+                false,
+            );
+            return WriteOutcome { latency };
+        }
+
+        // Degraded operation: an open breaker writes straight to the RSDS.
+        if !self.breaker.allow(now) {
+            self.metrics.degraded_bypasses.inc();
             let (_, latency) = self.store.borrow_mut().put(
                 &obj.id,
                 Payload::Synthetic(obj.size),
@@ -481,8 +664,14 @@ impl DataPlane for OfcPlane {
             .borrow_mut()
             .write(node, &key, Value::synthetic(obj.size), now);
         let mut latency = t.latency;
-        if t.result.is_err() {
-            // Cache full: fall back to the RSDS path.
+        if let Err(e) = &t.result {
+            // Transient store trouble feeds the breaker; a full cache
+            // (OutOfMemory) is a capacity signal, not a health one.
+            if e.is_transient() {
+                self.breaker.record_failure(now);
+                self.metrics.degraded_bypasses.inc();
+            }
+            // Either way: fall back to the RSDS path, as without OFC.
             let (_, l) = self.store.borrow_mut().put(
                 &obj.id,
                 Payload::Synthetic(obj.size),
@@ -491,6 +680,7 @@ impl DataPlane for OfcPlane {
             );
             return WriteOutcome { latency: l };
         }
+        self.breaker.record_success(now);
 
         let intermediate = pipeline.is_some() && !obj.is_final;
         if intermediate {
@@ -518,10 +708,7 @@ impl DataPlane for OfcPlane {
                 self.persist_seq += 1;
                 self.telemetry
                     .span_at(self.persist_seq, Phase::Persist, now, delay);
-                let persistence = Rc::clone(&self.persistence);
-                sim.schedule_in(delay, move |_| {
-                    persistence.borrow_mut().persist_now(&key);
-                });
+                schedule_persistor(sim, Rc::clone(&self.persistence), key.clone(), 1, delay);
             }
             WritePolicy::WriteThrough => {
                 // The full payload hits the RSDS on the critical path; the
@@ -570,6 +757,7 @@ mod tests {
     use super::*;
     use ofc_objstore::latency::LatencyModel;
     use ofc_rcstore::ClusterConfig;
+    use ofc_simtime::SimTime;
 
     const MB: u64 = 1 << 20;
 
@@ -893,6 +1081,154 @@ mod tests {
             true,
         );
         assert_eq!(hit.served, Served::LocalHit);
+    }
+
+    #[test]
+    fn breaker_trips_open_then_recovers_through_probe() {
+        use crate::health::BreakerState;
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let obj = put_input(&store, "a", 64 * 1024);
+        plane.read(&mut sim, 0, &obj, true); // fill
+                                             // Five consecutive transient failures trip the default breaker.
+        cluster.borrow_mut().inject_transient_errors(5);
+        for _ in 0..5 {
+            let out = plane.read(&mut sim, 0, &obj, true);
+            assert_eq!(out.served, Served::Direct, "degraded bypass to RSDS");
+        }
+        assert_eq!(plane.breaker_state(), BreakerState::Open);
+        // Open: the cache is not even consulted.
+        let out = plane.read(&mut sim, 0, &obj, true);
+        assert_eq!(out.served, Served::Direct);
+        let m = plane.telemetry().metrics();
+        assert_eq!(m.counter("plane.degraded_bypasses"), 6);
+        assert_eq!(m.gauge("plane.breaker_state"), Some(2.0));
+        // After the cool-down a probe is admitted; the store is healthy
+        // again, so the breaker closes and the cached copy serves hits.
+        sim.schedule_at(SimTime::from_secs(31), |_| {});
+        sim.run();
+        let out = plane.read(&mut sim, 0, &obj, true);
+        assert_eq!(out.served, Served::LocalHit);
+        assert_eq!(plane.breaker_state(), BreakerState::Closed);
+        assert_eq!(
+            plane.telemetry().metrics().gauge("plane.breaker_state"),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn degraded_write_bypasses_when_breaker_open() {
+        use crate::health::BreakerState;
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        cluster.borrow_mut().inject_transient_errors(5);
+        for i in 0..5 {
+            let w = ObjectWrite {
+                id: ObjectId::new("out", format!("w{i}")),
+                size: 1024,
+                is_final: true,
+            };
+            plane.write(&mut sim, 0, &w, true, None);
+        }
+        assert_eq!(plane.breaker_state(), BreakerState::Open);
+        // Writes under an open breaker land durably in the RSDS directly.
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "direct"),
+            size: 1024,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        assert!(!store.borrow().head(&w.id).0.unwrap().is_shadow());
+        assert!(!cluster.borrow().contains(&rc_key(&w.id)));
+        // Every failed/bypassed write still reached the RSDS: no data loss.
+        for i in 0..5 {
+            let id = ObjectId::new("out", format!("w{i}"));
+            assert!(store.borrow().head(&id).0.is_ok(), "w{i} lost");
+        }
+    }
+
+    #[test]
+    fn persistor_retries_then_dead_letters_then_sweeper_redrives() {
+        let (mut plane, _cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "o5"),
+            size: 1024,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        let p = plane.persistence();
+        // Enough failures to exhaust the default 4-attempt budget.
+        p.borrow_mut().inject_persist_failures(4);
+        sim.run();
+        let m = plane.telemetry().metrics();
+        assert_eq!(m.counter("persist.retries"), 3, "3 backoff retries");
+        assert_eq!(m.counter("persist.dead_letters"), 1);
+        assert_eq!(m.counter("plane.persists"), 0);
+        assert!(p.borrow().is_pending(&rc_key(&w.id)), "nothing lost");
+        assert_eq!(p.borrow().dead_letter_count(), 1);
+        assert!(store.borrow().head(&w.id).0.unwrap().is_shadow());
+        // The fault has ceased: one sweep re-drives the write-back.
+        assert_eq!(p.borrow_mut().sweep(), 1);
+        assert!(!store.borrow().head(&w.id).0.unwrap().is_shadow());
+        assert_eq!(p.borrow().dead_letter_count(), 0);
+        assert_eq!(p.borrow().pending_count(), 0);
+    }
+
+    #[test]
+    fn scheduled_sweeper_drains_dead_letters() {
+        let (mut plane, _cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "o6"),
+            size: 1024,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        let p = plane.persistence();
+        p.borrow_mut().inject_persist_failures(4);
+        start_sweeper(&mut sim, Rc::clone(&p));
+        // The sweeper reschedules forever: bound the run.
+        sim.run_until(SimTime::from_secs(120));
+        assert!(!store.borrow().head(&w.id).0.unwrap().is_shadow());
+        assert_eq!(p.borrow().pending_count(), 0);
+        assert_eq!(p.borrow().dead_letter_count(), 0);
+    }
+
+    #[test]
+    fn external_read_tolerates_already_persisted_race() {
+        let (mut plane, cluster, store) = setup();
+        let mut sim = Sim::new(0);
+        let w = ObjectWrite {
+            id: ObjectId::new("out", "o7"),
+            size: 512 * 1024,
+            is_final: true,
+        };
+        plane.write(&mut sim, 0, &w, true, None);
+        assert!(plane.persistence().borrow().is_pending(&rc_key(&w.id)));
+        // A concurrent internal writer lands a newer, full version in the
+        // RSDS while the pending entry lingers (the persistor lost the
+        // race). The webhook must serve the RSDS version, not boost a
+        // stale shadow or re-persist over the newer payload.
+        store
+            .borrow_mut()
+            .put(&w.id, Payload::Synthetic(640 * 1024), HashMap::new(), false);
+        let (res, latency) = plane.external_read(&w.id);
+        assert_eq!(res.unwrap().len(), 640 * 1024, "the newer version wins");
+        assert!(
+            latency <= store.borrow().latency().read(640 * 1024),
+            "no stale-shadow boost charged: {latency:?}"
+        );
+        let p = plane.persistence();
+        assert!(
+            !p.borrow().is_pending(&rc_key(&w.id)),
+            "stale entry dropped"
+        );
+        assert!(
+            !cluster.borrow().contains(&rc_key(&w.id)),
+            "stale cached copy invalidated"
+        );
+        assert_eq!(plane.telemetry().metrics().counter("plane.persists"), 0);
     }
 
     #[test]

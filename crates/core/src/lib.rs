@@ -52,6 +52,7 @@
 
 pub mod agent;
 pub mod cache;
+pub mod health;
 pub mod ml;
 pub mod monitor;
 pub mod ofc;

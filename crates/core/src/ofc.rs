@@ -282,9 +282,10 @@ impl Ofc {
     }
 
     /// Starts the recurring activities (slack adaptation, periodic
-    /// eviction, telemetry sampling).
+    /// eviction, telemetry sampling, dead-letter sweeping).
     pub fn start(&self, sim: &mut Sim) {
         self.agent.start(sim);
+        crate::cache::start_sweeper(sim, Rc::clone(&self.persistence));
     }
 
     /// Registers a function's ML feature schema (models start blank).

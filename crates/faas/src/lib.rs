@@ -27,6 +27,8 @@ pub mod platform;
 pub mod registry;
 pub mod sandbox;
 
+pub use ofc_chaos::RetryPolicy;
+
 use ofc_objstore::ObjectId;
 use ofc_simtime::SimTime;
 use std::collections::BTreeMap;
@@ -516,6 +518,12 @@ pub struct PlatformConfig {
     pub async_resize: bool,
     /// Maximum OOM retries per invocation (OFC: retry once at booked size).
     pub max_retries: u32,
+    /// Backoff schedule between OOM retries. The default is immediate
+    /// resubmission (§5.3.1 retries at the booked size as soon as the
+    /// container is destroyed); a non-zero base delays each retry on the
+    /// simulated clock, which chaos experiments use to avoid hammering a
+    /// node that is shedding memory.
+    pub oom_retry: RetryPolicy,
 }
 
 impl Default for PlatformConfig {
@@ -531,6 +539,7 @@ impl Default for PlatformConfig {
             resize_cost: Duration::from_micros(23_800),
             async_resize: true,
             max_retries: 1,
+            oom_retry: RetryPolicy::immediate(2),
         }
     }
 }

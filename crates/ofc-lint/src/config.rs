@@ -72,9 +72,12 @@ impl Default for Config {
                 "crates/faas/".into(),
                 "crates/rcstore/".into(),
                 "crates/bench/".into(),
+                "crates/chaos/".into(),
             ],
             panic_hot_paths: vec![
+                "crates/chaos/src/lib.rs".into(),
                 "crates/core/src/cache.rs".into(),
+                "crates/core/src/health.rs".into(),
                 "crates/core/src/agent.rs".into(),
                 "crates/core/src/scheduler.rs".into(),
                 "crates/core/src/monitor.rs".into(),

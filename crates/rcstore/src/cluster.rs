@@ -20,7 +20,8 @@ struct ClusterMetrics {
     promotions: Counter,
     scale_ups: Counter,
     scale_downs: Counter,
-    lost_objects: Counter,
+    objects_lost: Counter,
+    transient_errors: Counter,
     migrate_nanos: Histogram,
     recovery_nanos: Histogram,
 }
@@ -36,7 +37,8 @@ impl ClusterMetrics {
             promotions: t.counter("rcstore.promotions"),
             scale_ups: t.counter("rcstore.scale_ups"),
             scale_downs: t.counter("rcstore.scale_downs"),
-            lost_objects: t.counter("rcstore.lost_objects"),
+            objects_lost: t.counter("rcstore.objects_lost"),
+            transient_errors: t.counter("rcstore.transient_errors"),
             migrate_nanos: t.histogram("rcstore.migrate_nanos"),
             recovery_nanos: t.histogram("rcstore.recovery_nanos"),
         }
@@ -57,6 +59,15 @@ pub struct Cluster {
     versions: HashMap<Key, u64>,
     telemetry: Telemetry,
     metrics: ClusterMetrics,
+    /// Injected fault state (see [`Cluster::inject_transient_errors`] and
+    /// friends): remaining client operations that fail with
+    /// [`RcError::Transient`].
+    transient_budget: u32,
+    /// Per-node latency inflation factor (1.0 = nominal).
+    slowdown: Vec<f64>,
+    /// Deterministic mid-operation crash hook: after `n` more successful
+    /// writes, `node` crashes inline (exercises partial-commit recovery).
+    crash_after: Option<(u64, NodeId)>,
 }
 
 impl Cluster {
@@ -83,6 +94,7 @@ impl Cluster {
             .collect();
         let telemetry = Telemetry::standalone();
         let metrics = ClusterMetrics::new(&telemetry);
+        let slowdown = vec![1.0; cfg.nodes];
         Cluster {
             cfg,
             nodes,
@@ -91,6 +103,9 @@ impl Cluster {
             versions: HashMap::new(),
             telemetry,
             metrics,
+            transient_budget: 0,
+            slowdown,
+            crash_after: None,
         }
     }
 
@@ -199,6 +214,9 @@ impl Cluster {
         now: SimTime,
         dirty: bool,
     ) -> Timed<Result<NodeId, RcError>> {
+        if self.consume_transient() {
+            return Timed::new(Err(RcError::Transient), Duration::ZERO);
+        }
         let size = value.size();
         if size > self.cfg.max_object_bytes {
             return Timed::new(
@@ -233,7 +251,17 @@ impl Cluster {
         self.replicas.insert(key.clone(), backups);
         *self.versions.entry(key.clone()).or_insert(0) += 1;
         self.metrics.writes.inc();
-        let latency = self.cfg.latency.write(size, master != home);
+        let latency = self.inflate(master, self.cfg.latency.write(size, master != home));
+        // Deterministic crash hook: the victim goes down after this write
+        // completes, i.e. between the writes of a multi-object commit.
+        if let Some((remaining, victim)) = self.crash_after {
+            if remaining <= 1 {
+                self.crash_after = None;
+                self.crash_node(victim, now);
+            } else {
+                self.crash_after = Some((remaining - 1, victim));
+            }
+        }
         Timed::new(Ok(master), latency)
     }
 
@@ -244,6 +272,9 @@ impl Cluster {
         key: &Key,
         now: SimTime,
     ) -> Timed<Result<(Value, ReadLocality), RcError>> {
+        if self.consume_transient() {
+            return Timed::new(Err(RcError::Transient), Duration::ZERO);
+        }
         let Some(&master) = self.tablet.get(key) else {
             self.metrics.misses.inc();
             return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
@@ -260,10 +291,12 @@ impl Cluster {
             self.metrics.remote_hits.inc();
             ReadLocality::RemoteHit
         };
-        let latency = self
-            .cfg
-            .latency
-            .read(value.size(), locality == ReadLocality::RemoteHit);
+        let latency = self.inflate(
+            master,
+            self.cfg
+                .latency
+                .read(value.size(), locality == ReadLocality::RemoteHit),
+        );
         Timed::new(Ok((value, locality)), latency)
     }
 
@@ -387,8 +420,10 @@ impl Cluster {
     /// elsewhere to restore the replication factor.
     ///
     /// Returns the number of objects lost (no surviving replica), with the
-    /// recovery latency.
-    pub fn crash_node(&mut self, node: NodeId) -> Timed<usize> {
+    /// recovery latency. Losses are surfaced as the `rcstore.objects_lost`
+    /// counter and a [`Phase::Recovery`] span on the trace plane — silent
+    /// data loss is an observability bug.
+    pub fn crash_node(&mut self, node: NodeId, now: SimTime) -> Timed<usize> {
         if node >= self.nodes.len() || !self.nodes[node].is_up() {
             return Timed::new(0, Duration::ZERO);
         }
@@ -424,7 +459,7 @@ impl Cluster {
                     0
                 });
             if self.nodes[new_master]
-                .promote_backup(&key, SimTime::ZERO, false)
+                .promote_backup(&key, now, false)
                 .is_err()
             {
                 self.remove_entry(&key);
@@ -492,8 +527,10 @@ impl Cluster {
             self.replicas.insert(key, backups);
         }
 
-        self.metrics.lost_objects.add(lost as u64);
+        self.metrics.objects_lost.add(lost as u64);
         self.metrics.recovery_nanos.record_duration(latency);
+        self.telemetry
+            .span_at(node as u64, Phase::Recovery, now, latency);
         Timed::new(lost, latency)
     }
 
@@ -557,6 +594,7 @@ impl Cluster {
         let id = self.nodes.len();
         self.nodes
             .push(StorageNode::new(id, self.cfg.segment_bytes, pool_bytes));
+        self.slowdown.push(1.0);
         self.cfg.nodes = self.nodes.len();
         id
     }
@@ -627,9 +665,9 @@ impl Cluster {
         }
         // Re-home the backups it held, then take it out of service; the
         // crash path already knows how to restore replication.
-        let t = self.crash_node(node);
+        let t = self.crash_node(node, now);
         latency += t.latency;
-        self.metrics.lost_objects.add(lost as u64);
+        self.metrics.objects_lost.add(lost as u64);
         Timed::new(lost + t.result, latency)
     }
 
@@ -650,6 +688,67 @@ impl Cluster {
     pub fn peek_value(&self, key: &Key) -> Option<Value> {
         let master = self.master_of(key)?;
         self.nodes[master].peek_master(key).map(|o| o.value.clone())
+    }
+
+    /// Number of live (up) nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_up()).count()
+    }
+
+    /// Fault injection: the next `n` client operations (reads and writes)
+    /// fail with [`RcError::Transient`], counted as
+    /// `rcstore.transient_errors`.
+    pub fn inject_transient_errors(&mut self, n: u32) {
+        self.transient_budget = self.transient_budget.saturating_add(n);
+    }
+
+    /// Fault injection: inflates `node`'s operation latencies by `factor`
+    /// (clamped to ≥ 1.0) until cleared — models a slow node.
+    pub fn set_node_slowdown(&mut self, node: NodeId, factor: f64) {
+        if let Some(s) = self.slowdown.get_mut(node) {
+            *s = factor.max(1.0);
+        }
+    }
+
+    /// Restores `node` to nominal latency.
+    pub fn clear_node_slowdown(&mut self, node: NodeId) {
+        self.set_node_slowdown(node, 1.0);
+    }
+
+    /// Fault injection: after `n` more successful writes anywhere in the
+    /// cluster, `node` crashes inline — a deterministic way to model a
+    /// crash landing between the writes of one transaction commit.
+    pub fn crash_after_writes(&mut self, n: u64, node: NodeId) {
+        self.crash_after = if n == 0 { None } else { Some((n, node)) };
+    }
+
+    /// Clears all injected fault state (error budgets, slowdowns, pending
+    /// crash hooks). Crashed nodes stay down — restart them explicitly.
+    pub fn clear_faults(&mut self) {
+        self.transient_budget = 0;
+        for s in &mut self.slowdown {
+            *s = 1.0;
+        }
+        self.crash_after = None;
+    }
+
+    fn consume_transient(&mut self) -> bool {
+        if self.transient_budget > 0 {
+            self.transient_budget -= 1;
+            self.metrics.transient_errors.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn inflate(&self, node: NodeId, base: Duration) -> Duration {
+        let factor = self.slowdown.get(node).copied().unwrap_or(1.0);
+        if factor > 1.0 {
+            base.mul_f64(factor)
+        } else {
+            base
+        }
     }
 
     fn remove_entry(&mut self, key: &Key) -> u64 {
@@ -902,7 +1001,7 @@ mod tests {
             .result
             .unwrap();
         }
-        let lost = c.crash_node(0);
+        let lost = c.crash_node(0, SimTime::ZERO);
         assert_eq!(lost.result, 0, "replicated data must survive");
         for i in 0..3 {
             let k = key(&format!("k{i}"));
@@ -927,10 +1026,12 @@ mod tests {
         c.write_with_dirty(0, &key("a"), Value::synthetic(10), SimTime::ZERO, false)
             .result
             .unwrap();
-        let lost = c.crash_node(0);
+        let lost = c.crash_node(0, SimTime::from_secs(3));
         assert_eq!(lost.result, 1);
         assert!(!c.contains(&key("a")));
-        assert_eq!(c.telemetry().metrics().counter("rcstore.lost_objects"), 1);
+        // The loss is surfaced: counter plus a recovery span on the trace.
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 1);
+        assert_eq!(c.telemetry().trace().phase_count(Phase::Recovery), 1);
     }
 
     #[test]
@@ -939,7 +1040,7 @@ mod tests {
         c.write_with_dirty(0, &key("a"), Value::synthetic(10), SimTime::ZERO, false)
             .result
             .unwrap();
-        c.crash_node(0);
+        c.crash_node(0, SimTime::ZERO);
         c.restart_node(0);
         assert!(c.node(0).is_up());
         assert_eq!(c.node(0).master_count(), 0);
@@ -963,6 +1064,59 @@ mod tests {
         assert_eq!(c.len(), 1);
         let (v, _) = c.read(2, &key("a"), SimTime::ZERO).result.unwrap();
         assert_eq!(v.size(), 200);
+    }
+
+    #[test]
+    fn injected_transient_errors_fail_then_clear() {
+        let mut c = cluster();
+        c.write(0, &key("a"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        c.inject_transient_errors(2);
+        let r1 = c.read(0, &key("a"), SimTime::ZERO).result;
+        let w1 = c
+            .write(0, &key("b"), Value::synthetic(5), SimTime::ZERO)
+            .result;
+        assert_eq!(r1, Err(RcError::Transient));
+        assert_eq!(w1, Err(RcError::Transient));
+        assert!(RcError::Transient.is_transient());
+        // Budget exhausted: operations succeed again.
+        assert!(c.read(0, &key("a"), SimTime::ZERO).result.is_ok());
+        assert_eq!(
+            c.telemetry().metrics().counter("rcstore.transient_errors"),
+            2
+        );
+    }
+
+    #[test]
+    fn slow_node_inflates_latency_until_restored() {
+        let mut c = cluster();
+        c.write(1, &key("a"), Value::synthetic(4096), SimTime::ZERO)
+            .result
+            .unwrap();
+        let nominal = c.read(1, &key("a"), SimTime::ZERO).latency;
+        c.set_node_slowdown(1, 8.0);
+        let slowed = c.read(1, &key("a"), SimTime::ZERO).latency;
+        assert_eq!(slowed, nominal.mul_f64(8.0));
+        c.clear_node_slowdown(1);
+        assert_eq!(c.read(1, &key("a"), SimTime::ZERO).latency, nominal);
+    }
+
+    #[test]
+    fn crash_after_writes_fires_between_writes() {
+        let mut c = cluster();
+        c.crash_after_writes(2, 0);
+        c.write(0, &key("w1"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert!(c.node(0).is_up(), "one write armed, not yet fired");
+        c.write(1, &key("w2"), Value::synthetic(10), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert!(!c.node(0).is_up(), "second write trips the crash");
+        // Replicated data survived the crash.
+        assert!(c.read(1, &key("w1"), SimTime::ZERO).result.is_ok());
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
     }
 
     #[test]

@@ -144,6 +144,17 @@ pub enum RcError {
         /// Number of objects lost.
         objects: usize,
     },
+    /// Transient fault (injected or environmental); the operation may
+    /// succeed if retried.
+    Transient,
+}
+
+impl RcError {
+    /// Whether the error is transient — safe to retry or to degrade
+    /// around (bypass to the RSDS) rather than treat as data corruption.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RcError::Transient | RcError::NodeUnavailable(_))
+    }
 }
 
 impl fmt::Display for RcError {
@@ -161,6 +172,7 @@ impl fmt::Display for RcError {
             RcError::NoEligibleBackup(k) => write!(f, "no eligible backup for {k}"),
             RcError::NodeUnavailable(n) => write!(f, "node {n} unavailable"),
             RcError::DataLost { objects } => write!(f, "{objects} objects lost"),
+            RcError::Transient => write!(f, "transient store error"),
         }
     }
 }

@@ -247,6 +247,51 @@ mod tests {
     }
 
     #[test]
+    fn mid_commit_crash_rolls_back_to_previous_value() {
+        let mut c = cluster();
+        seed(&mut c, "a", 100);
+        let mut txn = Transaction::begin();
+        // Writes apply in key order: "a" first, then the doomed "b".
+        txn.write(key("a"), Value::synthetic(50));
+        txn.write(key("b"), Value::synthetic(100 << 20)); // over max size
+                                                          // Node 0 crashes right after the first write of the commit, so
+                                                          // "a"'s mastership moves to a backup before the rollback runs.
+        c.crash_after_writes(1, 0);
+        let t = txn.commit(&mut c, 0, SimTime::ZERO);
+        assert!(matches!(
+            t.result,
+            Err(TxnError::WriteFailed(_, RcError::ObjectTooLarge { .. }))
+        ));
+        assert!(!c.node(0).is_up(), "the injected crash fired");
+        let a = c.read(1, &key("a"), SimTime::ZERO).result.unwrap().0;
+        assert_eq!(a.size(), 100, "rolled back to the pre-commit value");
+        assert!(!c.contains(&key("b")), "no partial commit");
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
+    }
+
+    #[test]
+    fn mid_commit_crash_without_replicas_stays_all_or_nothing() {
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 2,
+            replication_factor: 0,
+            node_pool_bytes: 32 << 20,
+            max_object_bytes: 4 << 20,
+            segment_bytes: 8 << 20,
+            ..ClusterConfig::default()
+        });
+        let mut txn = Transaction::begin();
+        txn.write(key("a"), Value::synthetic(10));
+        txn.write(key("b"), Value::synthetic(100 << 20)); // over max size
+        c.crash_after_writes(1, 0);
+        let t = txn.commit(&mut c, 0, SimTime::ZERO);
+        assert!(matches!(t.result, Err(TxnError::WriteFailed(_, _))));
+        // The unreplicated first write died with node 0 — the loss is
+        // surfaced, and the rollback tolerates the already-gone key.
+        assert!(!c.contains(&key("a")) && !c.contains(&key("b")));
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 1);
+    }
+
+    #[test]
     fn reads_your_own_writes() {
         let mut c = cluster();
         let mut txn = Transaction::begin();

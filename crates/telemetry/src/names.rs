@@ -14,6 +14,21 @@
 //! * label keys are static and low-cardinality (node ids, function
 //!   classes) — never request ids or object keys.
 
+// ---- chaos plane (fault injection) ------------------------------------
+
+/// Faults injected by the chaos driver (all kinds).
+pub const CHAOS_FAULTS_INJECTED: &str = "chaos.faults_injected";
+/// Injected node crashes.
+pub const CHAOS_NODE_CRASHES: &str = "chaos.node_crashes";
+/// Injected node restarts.
+pub const CHAOS_NODE_RESTARTS: &str = "chaos.node_restarts";
+/// Injected slow-node episodes (latency inflation).
+pub const CHAOS_SLOWDOWNS: &str = "chaos.slowdowns";
+/// Injected transient store-error bursts.
+pub const CHAOS_TRANSIENT_BURSTS: &str = "chaos.transient_bursts";
+/// Injected persistor-failure bursts.
+pub const CHAOS_PERSISTOR_FAILURES: &str = "chaos.persistor_failures";
+
 // ---- faas platform -----------------------------------------------------
 
 /// Invocations submitted to the platform.
@@ -60,8 +75,22 @@ pub const MONITOR_RAISES: &str = "monitor.raises";
 /// Sandboxes killed under memory pressure.
 pub const MONITOR_KILLS: &str = "monitor.kills";
 
+// ---- persistor retry plane --------------------------------------------
+
+/// Persistor attempts re-scheduled after a transient failure.
+pub const PERSIST_RETRIES: &str = "persist.retries";
+/// Shadow objects whose persistor exhausted its retry budget and entered
+/// the dead-letter set (re-driven by the periodic sweeper).
+pub const PERSIST_DEAD_LETTERS: &str = "persist.dead_letters";
+
 // ---- data plane (core cache) ------------------------------------------
 
+/// Circuit-breaker state of the cache plane over time
+/// (0 = closed, 1 = half-open, 2 = open).
+pub const PLANE_BREAKER_STATE: &str = "plane.breaker_state";
+/// Reads/writes that bypassed the cache straight to the RSDS because the
+/// breaker was open or the store failed transiently.
+pub const PLANE_DEGRADED_BYPASSES: &str = "plane.degraded_bypasses";
 /// Reads served by the invoking node's cache.
 pub const PLANE_LOCAL_HITS: &str = "plane.local_hits";
 /// Reads served by a remote cache node.
@@ -126,8 +155,11 @@ pub const RCSTORE_PROMOTIONS: &str = "rcstore.promotions";
 pub const RCSTORE_SCALE_UPS: &str = "rcstore.scale_ups";
 /// Per-node pool shrink operations.
 pub const RCSTORE_SCALE_DOWNS: &str = "rcstore.scale_downs";
-/// Objects lost to node failures (no surviving replica).
-pub const RCSTORE_LOST_OBJECTS: &str = "rcstore.lost_objects";
+/// Objects lost to node failures (no surviving replica). Each loss is
+/// also surfaced as a `Recovery` span in the trace stream.
+pub const RCSTORE_OBJECTS_LOST: &str = "rcstore.objects_lost";
+/// Client store operations failed by an injected transient fault.
+pub const RCSTORE_TRANSIENT_ERRORS: &str = "rcstore.transient_errors";
 /// Object migration latency distribution (nanoseconds).
 pub const RCSTORE_MIGRATE_NANOS: &str = "rcstore.migrate_nanos";
 /// Failure recovery latency distribution (nanoseconds).
@@ -153,6 +185,12 @@ pub const ALL: &[&str] = &[
     AGENT_SCALE_UPS,
     AGENT_WRITEBACKS,
     BENCH_TICKS,
+    CHAOS_FAULTS_INJECTED,
+    CHAOS_NODE_CRASHES,
+    CHAOS_NODE_RESTARTS,
+    CHAOS_PERSISTOR_FAILURES,
+    CHAOS_SLOWDOWNS,
+    CHAOS_TRANSIENT_BURSTS,
     FAAS_COLD_STARTS,
     FAAS_COMPLETED,
     FAAS_OOM_KILLS,
@@ -166,9 +204,13 @@ pub const ALL: &[&str] = &[
     ML_RETRAINS,
     MONITOR_KILLS,
     MONITOR_RAISES,
+    PERSIST_DEAD_LETTERS,
+    PERSIST_RETRIES,
+    PLANE_BREAKER_STATE,
     PLANE_BYPASSES,
     PLANE_CHUNKED_HITS,
     PLANE_CHUNKED_OBJECTS,
+    PLANE_DEGRADED_BYPASSES,
     PLANE_EPHEMERAL_BYTES,
     PLANE_FILLS,
     PLANE_INTERMEDIATES_DROPPED,
@@ -180,14 +222,15 @@ pub const ALL: &[&str] = &[
     PLANE_SHADOWS,
     RCSTORE_EVICTIONS,
     RCSTORE_LOCAL_HITS,
-    RCSTORE_LOST_OBJECTS,
     RCSTORE_MIGRATE_NANOS,
     RCSTORE_MISSES,
+    RCSTORE_OBJECTS_LOST,
     RCSTORE_PROMOTIONS,
     RCSTORE_RECOVERY_NANOS,
     RCSTORE_REMOTE_HITS,
     RCSTORE_SCALE_DOWNS,
     RCSTORE_SCALE_UPS,
+    RCSTORE_TRANSIENT_ERRORS,
     RCSTORE_WRITES,
     SCHED_BOOKED_FALLBACKS,
     SCHED_COLD_ROUTES,

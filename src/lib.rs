@@ -15,11 +15,14 @@
 //! * [`workloads`] — the 19 multimedia functions, 4 pipelines, and the
 //!   FaaSLoad injector of the paper's evaluation,
 //! * [`core`] — OFC itself: Predictor/ModelTrainer, CacheAgent,
-//!   Proxy/rclib, Monitor, and the assembly.
+//!   Proxy/rclib, Monitor, and the assembly,
+//! * [`chaos`] — deterministic fault injection (seeded chaos schedules,
+//!   retry/backoff policies) for robustness testing.
 //!
 //! See `examples/quickstart.rs` for a walk-through and `DESIGN.md` for the
 //! experiment index.
 
+pub use ofc_chaos as chaos;
 pub use ofc_core as core;
 pub use ofc_dtree as dtree;
 pub use ofc_faas as faas;

@@ -1,0 +1,213 @@
+//! Chaos properties: the robustness guarantees of DESIGN.md §10 hold for
+//! *generated* fault schedules, not just the hand-picked ones of the unit
+//! tests — zero data loss while replication covers every crash, and
+//! liveness of the write-back path (every accepted write eventually lands
+//! in the RSDS once faults cease).
+
+use ofc::chaos::{ChaosSchedule, FaultKind, FaultTemplate, Recurring};
+use ofc::core::cache::{start_sweeper, OfcPlane, PlaneConfig};
+use ofc::core::telemetry::Telemetry;
+use ofc::faas::{DataPlane, ObjectWrite};
+use ofc::objstore::latency::LatencyModel;
+use ofc::objstore::store::ObjectStore;
+use ofc::objstore::ObjectId;
+use ofc::rcstore::cluster::Cluster;
+use ofc::rcstore::{ClusterConfig, Key, Value as RcValue};
+use ofc::simtime::{Sim, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+const MB: u64 = 1 << 20;
+const NODES: usize = 4;
+
+/// A guarded fault sink against a raw cluster: crashes are skipped when
+/// they would leave fewer than two live nodes (a quorum OFC never claims
+/// to survive with replication 2); persistor faults are ignored (no
+/// persistence layer in this harness).
+fn cluster_sink(cluster: Rc<RefCell<Cluster>>) -> ofc::chaos::FaultSink {
+    Rc::new(move |sim, kind| {
+        let now = sim.now();
+        let mut c = cluster.borrow_mut();
+        match kind {
+            FaultKind::NodeCrash(n) => {
+                if c.live_nodes() > 2 {
+                    c.crash_node(*n, now);
+                }
+            }
+            FaultKind::NodeRestart(n) => c.restart_node(*n),
+            FaultKind::SlowNode { node, factor } => c.set_node_slowdown(*node, *factor),
+            FaultKind::RestoreNodeSpeed { node } => c.clear_node_slowdown(*node),
+            FaultKind::TransientStoreErrors { ops } => c.inject_transient_errors(*ops),
+            FaultKind::PersistorFailure { .. } => {}
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zero data loss: under any generated schedule of crashes, restarts,
+    /// slowdowns, and transient-error bursts — crashes guarded so at
+    /// least two nodes stay up — every write the cluster acknowledged is
+    /// still readable afterwards, and `rcstore.objects_lost` stays zero.
+    #[test]
+    fn no_acknowledged_write_is_lost(
+        seed in any::<u64>(),
+        crash_mean_s in 20u64..120,
+        transient_mean_s in 10u64..60,
+        slow_mean_s in 20u64..90,
+        extra_crash_at in 10u64..400,
+    ) {
+        let telemetry = Telemetry::standalone();
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: NODES,
+            replication_factor: 2,
+            node_pool_bytes: 256 * MB,
+            max_object_bytes: 10 * MB,
+            segment_bytes: 16 * MB,
+            ..ClusterConfig::default()
+        });
+        cluster.bind_telemetry(&telemetry);
+        let cluster = Rc::new(RefCell::new(cluster));
+
+        let window_end = SimTime::from_secs(500);
+        let schedule = ChaosSchedule::new(NODES)
+            .one_shot(
+                SimTime::from_secs(extra_crash_at),
+                FaultKind::NodeCrash((extra_crash_at % NODES as u64) as usize),
+            )
+            .recurring(Recurring {
+                template: FaultTemplate::Crash,
+                mean_interval: Duration::from_secs(crash_mean_s),
+                from: SimTime::from_secs(5),
+                until: window_end,
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::Restart,
+                mean_interval: Duration::from_secs(crash_mean_s),
+                from: SimTime::from_secs(5),
+                until: window_end,
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::Transient { ops: 4 },
+                mean_interval: Duration::from_secs(transient_mean_s),
+                from: SimTime::from_secs(5),
+                until: window_end,
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::Slow { factor: 8.0, duration: Duration::from_secs(20) },
+                mean_interval: Duration::from_secs(slow_mean_s),
+                from: SimTime::from_secs(5),
+                until: window_end,
+            });
+
+        let mut sim = Sim::new(seed);
+        ofc::chaos::install(
+            &mut sim,
+            schedule.generate(seed),
+            &telemetry,
+            cluster_sink(Rc::clone(&cluster)),
+        );
+
+        // Deterministic write load interleaved with the fault schedule.
+        let accepted: Rc<RefCell<BTreeMap<Key, u64>>> = Rc::new(RefCell::new(BTreeMap::new()));
+        for i in 0..40u64 {
+            let cluster = Rc::clone(&cluster);
+            let accepted = Rc::clone(&accepted);
+            sim.schedule_at(SimTime::from_secs(i * 12), move |sim| {
+                let mut c = cluster.borrow_mut();
+                let Some(node) = (0..NODES).find(|&n| c.node(n).is_up()) else {
+                    return;
+                };
+                let key = Key::from(format!("w{i}"));
+                let size = 64 * 1024 + i;
+                if c.write(node, &key, RcValue::synthetic(size), sim.now()).result.is_ok() {
+                    accepted.borrow_mut().insert(key, size);
+                }
+            });
+        }
+
+        sim.run_until(SimTime::from_secs(700));
+
+        // Faults cease; verify on a healed cluster.
+        {
+            let mut c = cluster.borrow_mut();
+            c.clear_faults();
+            for n in 0..NODES {
+                if !c.node(n).is_up() {
+                    c.restart_node(n);
+                }
+            }
+        }
+        let now = SimTime::from_secs(10_000);
+        for (key, size) in accepted.borrow().iter() {
+            let r = cluster.borrow_mut().read(0, key, now).result;
+            match r {
+                Ok((v, _)) => prop_assert_eq!(v.size(), *size, "{} changed size", key),
+                Err(e) => return Err(TestCaseError::fail(format!("{key} lost: {e}"))),
+            }
+        }
+        prop_assert_eq!(telemetry.metrics().counter("rcstore.objects_lost"), 0);
+    }
+
+    /// Liveness of the write-back path: for any finite persistor-failure
+    /// budget, every accepted write's payload lands in the RSDS (no
+    /// shadow left behind, no pending or dead-lettered entry) once the
+    /// retry chain and the periodic sweeper have run.
+    #[test]
+    fn every_accepted_write_eventually_persists(
+        seed in any::<u64>(),
+        n_failures in 0u32..24,
+        n_writes in 1usize..8,
+    ) {
+        let telemetry = Telemetry::standalone();
+        let cluster = Rc::new(RefCell::new(Cluster::new(ClusterConfig {
+            nodes: 3,
+            replication_factor: 1,
+            node_pool_bytes: 256 * MB,
+            max_object_bytes: 10 * MB,
+            segment_bytes: 16 * MB,
+            ..ClusterConfig::default()
+        })));
+        let store = Rc::new(RefCell::new(ObjectStore::new(LatencyModel::swift())));
+        let mut plane = OfcPlane::new(
+            PlaneConfig::default(),
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+            &telemetry,
+        );
+        let persistence = plane.persistence();
+        persistence.borrow_mut().inject_persist_failures(n_failures);
+
+        let mut sim = Sim::new(seed);
+        start_sweeper(&mut sim, Rc::clone(&persistence));
+        let ids: Vec<ObjectId> = (0..n_writes)
+            .map(|i| ObjectId::new("out", format!("o{i}")))
+            .collect();
+        for id in &ids {
+            let w = ObjectWrite { id: id.clone(), size: 128 * 1024, is_final: true };
+            plane.write(&mut sim, 0, &w, true, None);
+        }
+        // The sweeper reschedules itself forever: bound the horizon. Two
+        // hours cover any backoff chain plus enough sweeps to drain a
+        // budget of 24 injected failures.
+        sim.run_until(SimTime::from_secs(2 * 3600));
+
+        prop_assert_eq!(persistence.borrow().pending_count(), 0, "write-backs stuck");
+        prop_assert_eq!(persistence.borrow().dead_letter_count(), 0, "dead letters stuck");
+        for id in &ids {
+            let meta = store.borrow().head(id).0;
+            match meta {
+                Ok(m) => prop_assert!(!m.is_shadow(), "{} never fulfilled", id),
+                Err(e) => return Err(TestCaseError::fail(format!("{id} missing: {e}"))),
+            }
+        }
+        if n_failures == 0 {
+            prop_assert_eq!(telemetry.metrics().counter("persist.retries"), 0);
+            prop_assert_eq!(telemetry.metrics().counter("persist.dead_letters"), 0);
+        }
+    }
+}

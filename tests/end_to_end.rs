@@ -229,7 +229,10 @@ fn cache_node_crash_preserves_cached_data() {
     let key = ofc::core::cache::rc_key(&input);
     let master = ofc.cluster.borrow().master_of(&key).expect("cached");
     // Crash the master's node: replication recovers the object.
-    let lost = ofc.cluster.borrow_mut().crash_node(master);
+    let lost = ofc
+        .cluster
+        .borrow_mut()
+        .crash_node(master, SimTime::from_secs(60));
     assert_eq!(lost.result, 0, "replicated data survives a crash");
     assert!(ofc.cluster.borrow().contains(&key));
     // The next invocation still completes (and can still hit the cache).

@@ -111,7 +111,7 @@ proptest! {
                     }
                 }
                 Op::Crash { node } => {
-                    let lost = cluster.crash_node(usize::from(node));
+                    let lost = cluster.crash_node(usize::from(node), now);
                     // With replication factor 2 a single crash loses nothing;
                     // only keys that already lost replicas to earlier crashes
                     // may vanish.
