@@ -1,0 +1,26 @@
+//! Shard-scaling study (DESIGN.md §11): the Fig 9-shaped store mix
+//! replayed against 1, 2, 4, and 8 data-plane shards. One shard is the
+//! unsharded, unbatched seed path; multi-shard runs batch replication.
+//! The modelled throughput numbers come from `shard_throughput` itself —
+//! this harness measures the simulator's replay cost per configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofc_bench::cachex::shard_throughput;
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("macro_store_mix", format!("{shards}shard")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| shard_throughput(shards, 17));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -151,6 +151,12 @@ fn main() {
                     FaultKind::PersistorFailure { count } => {
                         persistence.borrow_mut().inject_persist_failures(*count)
                     }
+                    FaultKind::ShardCrash(s) => {
+                        let node = c.shard_master(*s);
+                        if c.live_nodes() > 1 {
+                            c.crash_node(node, now);
+                        }
+                    }
                 }
             });
             ofc_chaos::install(&mut tb.sim, events, &telemetry, sink);

@@ -3,7 +3,7 @@
 //! persistor functions, pipeline intermediate-data lifecycle, and the
 //! webhook paths for external clients.
 
-use crate::health::{BreakerConfig, CircuitBreaker};
+use crate::health::{BreakerConfig, ShardBreakers};
 use ofc_chaos::RetryPolicy;
 use ofc_faas::{
     DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served, WriteOutcome,
@@ -284,9 +284,11 @@ pub struct OfcPlane {
     persistence: Rc<RefCell<Persistence>>,
     telemetry: Telemetry,
     metrics: PlaneMetrics,
-    /// Health monitor: trips open after consecutive transient store
-    /// failures; reads/writes then bypass to the RSDS (DESIGN.md §10).
-    breaker: CircuitBreaker,
+    /// Health monitor: per-shard breakers that trip open after consecutive
+    /// transient store failures; reads/writes for a tripped shard then
+    /// bypass to the RSDS while healthy shards keep serving (DESIGN.md
+    /// §10, §11).
+    breaker: ShardBreakers,
     /// Monotonic id tagging persistor spans in the trace stream.
     persist_seq: u64,
     /// Chunk manifests of striped large objects: key → chunk count
@@ -334,7 +336,7 @@ impl OfcPlane {
                     }
                 }));
         }
-        let breaker = CircuitBreaker::new(cfg.breaker.clone(), telemetry);
+        let breaker = ShardBreakers::new(cfg.breaker.clone(), cluster.borrow().shards(), telemetry);
         OfcPlane {
             cfg,
             cluster,
@@ -348,9 +350,15 @@ impl OfcPlane {
         }
     }
 
-    /// Current breaker state (tests and the chaos bench).
+    /// Current worst breaker state across shards (tests and the chaos
+    /// bench); with one shard this is exactly the old plane-wide breaker.
     pub fn breaker_state(&self) -> crate::health::BreakerState {
-        self.breaker.state()
+        self.breaker.max_state()
+    }
+
+    /// Breaker state of one shard (shard-targeted chaos assertions).
+    pub fn shard_breaker_state(&self, shard: usize) -> crate::health::BreakerState {
+        self.breaker.state(shard)
     }
 
     fn chunk_key(key: &Key, i: u32) -> Key {
@@ -508,9 +516,10 @@ impl DataPlane for OfcPlane {
     ) -> ReadOutcome {
         let key = rc_key(&obj.id);
         let now = _sim.now();
-        // Degraded operation: an open breaker bypasses the cache entirely
-        // — OFC must never be worse than the vanilla platform.
-        if !self.breaker.allow(now) {
+        let shard = self.cluster.borrow().shard_of(&key);
+        // Degraded operation: an open breaker bypasses the cache for this
+        // key's shard — OFC must never be worse than the vanilla platform.
+        if !self.breaker.allow(shard, now) {
             self.metrics.degraded_bypasses.inc();
             let (_, latency) = self.store.borrow_mut().get(&obj.id);
             return ReadOutcome {
@@ -522,7 +531,7 @@ impl DataPlane for OfcPlane {
         let hit = self.cluster.borrow_mut().read(node, &key, now);
         match hit.result {
             Ok((_value, locality)) => {
-                self.breaker.record_success(now);
+                self.breaker.record_success(shard, now);
                 let served = match locality {
                     ReadLocality::LocalHit => {
                         self.metrics.local_hits.inc();
@@ -541,7 +550,7 @@ impl DataPlane for OfcPlane {
             Err(e) if e.is_transient() => {
                 // A sick store is not a miss: record the failure, bypass
                 // to the RSDS, and do not fill the cache.
-                self.breaker.record_failure(now);
+                self.breaker.record_failure(shard, now);
                 self.metrics.degraded_bypasses.inc();
                 let (_, latency) = self.store.borrow_mut().get(&obj.id);
                 return ReadOutcome {
@@ -550,7 +559,7 @@ impl DataPlane for OfcPlane {
                 };
             }
             // NotFound is a healthy response — the normal miss path below.
-            Err(_) => self.breaker.record_success(now),
+            Err(_) => self.breaker.record_success(shard, now),
         }
         // Striped large object (extension)?
         if should_cache && self.cfg.chunk_large_objects && obj.size > self.cfg.max_cached_object {
@@ -647,7 +656,8 @@ impl DataPlane for OfcPlane {
         }
 
         // Degraded operation: an open breaker writes straight to the RSDS.
-        if !self.breaker.allow(now) {
+        let shard = self.cluster.borrow().shard_of(&key);
+        if !self.breaker.allow(shard, now) {
             self.metrics.degraded_bypasses.inc();
             let (_, latency) = self.store.borrow_mut().put(
                 &obj.id,
@@ -668,7 +678,7 @@ impl DataPlane for OfcPlane {
             // Transient store trouble feeds the breaker; a full cache
             // (OutOfMemory) is a capacity signal, not a health one.
             if e.is_transient() {
-                self.breaker.record_failure(now);
+                self.breaker.record_failure(shard, now);
                 self.metrics.degraded_bypasses.inc();
             }
             // Either way: fall back to the RSDS path, as without OFC.
@@ -680,7 +690,7 @@ impl DataPlane for OfcPlane {
             );
             return WriteOutcome { latency: l };
         }
-        self.breaker.record_success(now);
+        self.breaker.record_success(shard, now);
 
         let intermediate = pipeline.is_some() && !obj.is_final;
         if intermediate {
@@ -1145,6 +1155,67 @@ mod tests {
             let id = ObjectId::new("out", format!("w{i}"));
             assert!(store.borrow().head(&id).0.is_ok(), "w{i} lost");
         }
+    }
+
+    #[test]
+    fn sharded_plane_trips_only_the_failing_shard() {
+        use crate::health::BreakerState;
+        use ofc_rcstore::shard::ShardConfig;
+        let cluster = Rc::new(RefCell::new(Cluster::new(ClusterConfig {
+            nodes: 3,
+            replication_factor: 1,
+            node_pool_bytes: 256 * MB,
+            max_object_bytes: 10 * MB,
+            segment_bytes: 16 * MB,
+            shard: ShardConfig {
+                shards: 4,
+                ..ShardConfig::default()
+            },
+            ..ClusterConfig::default()
+        })));
+        let store = Rc::new(RefCell::new(ObjectStore::new(LatencyModel::swift())));
+        let mut plane = OfcPlane::new(
+            PlaneConfig::default(),
+            Rc::clone(&cluster),
+            Rc::clone(&store),
+            &Telemetry::standalone(),
+        );
+        let mut sim = Sim::new(0);
+        // Two keys on different shards, both cached.
+        let (mut on_sick, mut on_healthy) = (None, None);
+        for i in 0..64 {
+            let obj = put_input(&store, &format!("k{i}"), 64 * 1024);
+            let shard = cluster.borrow().shard_of(&rc_key(&obj.id));
+            if shard == 0 && on_sick.is_none() {
+                on_sick = Some(obj);
+            } else if shard != 0 && on_healthy.is_none() {
+                on_healthy = Some(obj);
+            }
+        }
+        let (sick, healthy) = (on_sick.unwrap(), on_healthy.unwrap());
+        plane.read(&mut sim, 0, &sick, true);
+        plane.read(&mut sim, 0, &healthy, true);
+        // Trip shard 0 only: transient faults while reading its key.
+        for _ in 0..5 {
+            cluster.borrow_mut().inject_transient_errors(1);
+            let out = plane.read(&mut sim, 0, &sick, true);
+            assert_eq!(out.served, Served::Direct);
+        }
+        assert_eq!(plane.shard_breaker_state(0), BreakerState::Open);
+        assert_eq!(plane.breaker_state(), BreakerState::Open);
+        // The sick shard bypasses; the healthy shard still serves hits.
+        let out = plane.read(&mut sim, 0, &sick, true);
+        assert_eq!(out.served, Served::Direct);
+        // Shard anchoring may place the healthy master on another node, so
+        // either hit flavor proves the cache still serves that shard.
+        let out = plane.read(&mut sim, 0, &healthy, true);
+        assert!(
+            matches!(out.served, Served::LocalHit | Served::RemoteHit),
+            "healthy shard must still hit, got {:?}",
+            out.served
+        );
+        let other = cluster.borrow().shard_of(&rc_key(&healthy.id));
+        assert_eq!(plane.shard_breaker_state(other), BreakerState::Closed);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use ofc_faas::platform::PlatformHandle;
 use ofc_faas::{FunctionId, TenantId};
 use ofc_objstore::store::ObjectStore;
 use ofc_rcstore::cluster::Cluster;
+use ofc_rcstore::shard::ShardConfig;
 use ofc_rcstore::ClusterConfig;
 use ofc_simtime::Sim;
 use ofc_telemetry::{MetricsSnapshot, Telemetry, TelemetryConfig, TraceHandle};
@@ -59,6 +60,14 @@ pub struct OfcConfig {
     pub monitor: MonitorConfig,
     /// Replication factor of the cache store (paper testbed: 2).
     pub replication_factor: usize,
+    /// Data-plane shards of the cache store (DESIGN.md §11); `0` or `1`
+    /// keeps the unsharded single-coordinator layout.
+    pub shards: usize,
+    /// Replica-batching threshold: backup writes coalesce per
+    /// (shard, backup) pair and flush at this many entries (or on the
+    /// periodic flush tick). `0` or `1` keeps unbatched synchronous
+    /// replication.
+    pub replication_batch: usize,
     /// Ablation: disable the cache-benefit gate (cache everything).
     pub disable_benefit_gate: bool,
     /// Ablation: disable locality-aware routing (§6.5).
@@ -131,6 +140,19 @@ impl OfcBuilder {
         self
     }
 
+    /// Shards the cache store's data plane (DESIGN.md §11).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Batches backup replication, flushing every `entries` per
+    /// (shard, backup) pair (DESIGN.md §11).
+    pub fn replication_batch(mut self, entries: usize) -> Self {
+        self.cfg.replication_batch = entries;
+        self
+    }
+
     /// Recording level of the shared observability plane.
     pub fn telemetry(mut self, level: TelemetryConfig) -> Self {
         self.cfg.telemetry = level;
@@ -192,6 +214,11 @@ impl OfcBuilder {
                 .unwrap_or_else(|| pcfg.node_mem.saturating_sub(cfg.agent.slack_initial)),
             max_object_bytes: cfg.plane.max_cached_object,
             segment_bytes: (cfg.plane.max_cached_object * 2).max(16 << 20),
+            shard: ShardConfig {
+                shards: cfg.shards.max(1),
+                batch_max_entries: cfg.replication_batch.max(1),
+                ..ShardConfig::default()
+            },
             ..ClusterConfig::default()
         });
         cluster.bind_telemetry(&telemetry);
@@ -257,6 +284,20 @@ impl OfcBuilder {
     }
 }
 
+/// Period of the replication flush tick: batched backup writes sit at
+/// most this long before they reach their backups (DESIGN.md §11).
+const REPLICATION_FLUSH_TICK: std::time::Duration = std::time::Duration::from_millis(5);
+
+/// Recurring replication flush: drains the cluster's coalescing buffers
+/// every [`REPLICATION_FLUSH_TICK`] so batched backup writes cannot go
+/// stale under a trickle workload that never hits the batch threshold.
+fn start_flush_tick(sim: &mut Sim, cluster: Rc<RefCell<Cluster>>) {
+    sim.schedule_in(REPLICATION_FLUSH_TICK, move |sim| {
+        cluster.borrow_mut().flush_replication();
+        start_flush_tick(sim, cluster);
+    });
+}
+
 /// A fully installed OFC instance with handles to every subsystem.
 pub struct Ofc {
     /// The shared Predictor/ModelTrainer.
@@ -282,10 +323,15 @@ impl Ofc {
     }
 
     /// Starts the recurring activities (slack adaptation, periodic
-    /// eviction, telemetry sampling, dead-letter sweeping).
+    /// eviction, telemetry sampling, dead-letter sweeping, and — when
+    /// replica batching is on — the periodic replication flush tick that
+    /// bounds how long an acked write can sit in a coalescing buffer).
     pub fn start(&self, sim: &mut Sim) {
         self.agent.start(sim);
         crate::cache::start_sweeper(sim, Rc::clone(&self.persistence));
+        if self.cluster.borrow().batching() {
+            start_flush_tick(sim, Rc::clone(&self.cluster));
+        }
     }
 
     /// Registers a function's ML feature schema (models start blank).

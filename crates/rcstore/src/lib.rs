@@ -47,6 +47,7 @@ pub mod cluster;
 pub mod latency;
 pub mod log;
 pub mod node;
+pub mod shard;
 pub mod txn;
 
 use bytes::Bytes;
@@ -211,6 +212,9 @@ pub struct ClusterConfig {
     pub segment_bytes: u64,
     /// Latency model.
     pub latency: latency::RcLatency,
+    /// Sharding and batched-replication knobs (defaults keep both off,
+    /// preserving the unsharded data plane byte for byte).
+    pub shard: shard::ShardConfig,
 }
 
 impl Default for ClusterConfig {
@@ -222,6 +226,7 @@ impl Default for ClusterConfig {
             max_object_bytes: 10 << 20,
             segment_bytes: 16 << 20,
             latency: latency::RcLatency::default(),
+            shard: shard::ShardConfig::default(),
         }
     }
 }

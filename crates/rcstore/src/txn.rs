@@ -155,6 +155,10 @@ impl Transaction {
                 }
             }
         }
+        // A committed transaction is durable: pending replica batches of
+        // its writes land before the commit is acknowledged (no-op without
+        // batching).
+        cluster.flush_replication();
         Timed::new(Ok(()), latency)
     }
 }
@@ -289,6 +293,31 @@ mod tests {
         // surfaced, and the rollback tolerates the already-gone key.
         assert!(!c.contains(&key("a")) && !c.contains(&key("b")));
         assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 1);
+    }
+
+    #[test]
+    fn commit_flushes_batched_replication() {
+        use crate::shard::ShardConfig;
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 4,
+            replication_factor: 2,
+            node_pool_bytes: 32 << 20,
+            max_object_bytes: 4 << 20,
+            segment_bytes: 8 << 20,
+            shard: ShardConfig {
+                shards: 4,
+                batch_max_entries: 16,
+                ..ShardConfig::default()
+            },
+            ..ClusterConfig::default()
+        });
+        let mut txn = Transaction::begin();
+        txn.write(key("a"), Value::synthetic(10));
+        txn.write(key("b"), Value::synthetic(20));
+        txn.commit(&mut c, 0, SimTime::ZERO).result.unwrap();
+        assert_eq!(c.pending_replication(), 0, "commit acked means flushed");
+        assert_eq!(c.live_replicas(&key("a")), 2);
+        assert_eq!(c.live_replicas(&key("b")), 2);
     }
 
     #[test]

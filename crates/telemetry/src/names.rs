@@ -28,6 +28,8 @@ pub const CHAOS_SLOWDOWNS: &str = "chaos.slowdowns";
 pub const CHAOS_TRANSIENT_BURSTS: &str = "chaos.transient_bursts";
 /// Injected persistor-failure bursts.
 pub const CHAOS_PERSISTOR_FAILURES: &str = "chaos.persistor_failures";
+/// Injected crashes of a shard's master (anchor) node.
+pub const CHAOS_SHARD_CRASHES: &str = "chaos.shard_crashes";
 
 // ---- faas platform -----------------------------------------------------
 
@@ -147,6 +149,11 @@ pub const RCSTORE_REMOTE_HITS: &str = "rcstore.remote_hits";
 pub const RCSTORE_MISSES: &str = "rcstore.misses";
 /// Object writes accepted by the store.
 pub const RCSTORE_WRITES: &str = "rcstore.writes";
+/// Replication buffers flushed to a backup node (threshold or tick).
+pub const RCSTORE_BATCH_FLUSHES: &str = "rcstore.batch_flushes";
+/// Replica writes that went through a replication buffer instead of a
+/// synchronous backup RPC.
+pub const RCSTORE_BATCHED_APPENDS: &str = "rcstore.batched_appends";
 /// Objects evicted from the store.
 pub const RCSTORE_EVICTIONS: &str = "rcstore.evictions";
 /// Backup replicas promoted to master.
@@ -189,6 +196,7 @@ pub const ALL: &[&str] = &[
     CHAOS_NODE_CRASHES,
     CHAOS_NODE_RESTARTS,
     CHAOS_PERSISTOR_FAILURES,
+    CHAOS_SHARD_CRASHES,
     CHAOS_SLOWDOWNS,
     CHAOS_TRANSIENT_BURSTS,
     FAAS_COLD_STARTS,
@@ -220,6 +228,8 @@ pub const ALL: &[&str] = &[
     PLANE_PERSISTS,
     PLANE_REMOTE_HITS,
     PLANE_SHADOWS,
+    RCSTORE_BATCH_FLUSHES,
+    RCSTORE_BATCHED_APPENDS,
     RCSTORE_EVICTIONS,
     RCSTORE_LOCAL_HITS,
     RCSTORE_MIGRATE_NANOS,

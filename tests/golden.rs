@@ -1,0 +1,146 @@
+//! Golden-figure regression suite: re-runs the cheap figure binaries at
+//! their fixed seeds and byte-compares the JSON they emit against the
+//! committed `results/*.json`. Any unintended change to the deterministic
+//! simulation — placement, latency model, RNG streams, serialization —
+//! shows up as a diff here before it silently skews every figure.
+//!
+//! Regenerate the goldens after an *intended* change with:
+//!
+//! ```text
+//! cargo build --release
+//! OFC_GOLDEN_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! The harness drives the pre-built release binaries (`cargo build
+//! --release` first); a missing binary skips its case with a note rather
+//! than failing, so `cargo test` stays usable without a release build.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The cheap, deterministic figures worth re-running on every test pass.
+/// Each entry is the binary name; it writes `results/<name>.json`.
+const GOLDEN_FIGURES: &[&str] = &["fig2", "fig5", "cache_benefit", "maturation"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn blessing() -> bool {
+    std::env::var("OFC_GOLDEN_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Runs one figure binary into a scratch results dir and returns the JSON
+/// it produced, or `None` (with a note) when the binary is not built.
+fn regenerate(name: &str) -> Option<Vec<u8>> {
+    let root = repo_root();
+    let bin = root.join("target/release").join(name);
+    if !bin.exists() {
+        eprintln!("golden: skipping {name} — build it with `cargo build --release`");
+        return None;
+    }
+    let scratch = std::env::temp_dir().join(format!("ofc-golden-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let status = Command::new(&bin)
+        .env("OFC_RESULTS_DIR", &scratch)
+        .output()
+        .unwrap_or_else(|e| panic!("golden: {name} failed to launch: {e}"));
+    assert!(
+        status.status.success(),
+        "golden: {name} exited with {:?}\n{}",
+        status.status,
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let out = scratch.join(format!("{name}.json"));
+    let bytes = std::fs::read(&out)
+        .unwrap_or_else(|e| panic!("golden: {name} wrote no {}: {e}", out.display()));
+    std::fs::remove_dir_all(&scratch).ok();
+    Some(bytes)
+}
+
+fn committed_path(name: &str) -> PathBuf {
+    repo_root().join("results").join(format!("{name}.json"))
+}
+
+/// First diverging line of two JSON blobs, for a readable failure.
+fn first_diff(a: &[u8], b: &[u8]) -> String {
+    let (a, b) = (String::from_utf8_lossy(a), String::from_utf8_lossy(b));
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: committed {la:?} vs regenerated {lb:?}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: committed {} vs regenerated {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+fn check(name: &str) {
+    let Some(fresh) = regenerate(name) else {
+        return;
+    };
+    let golden = committed_path(name);
+    if blessing() {
+        std::fs::write(&golden, &fresh).expect("bless golden");
+        eprintln!("golden: blessed {}", golden.display());
+        return;
+    }
+    let committed = std::fs::read(&golden).unwrap_or_else(|e| {
+        panic!(
+            "golden: missing {} ({e}); run with OFC_GOLDEN_BLESS=1",
+            golden.display()
+        )
+    });
+    assert!(
+        committed == fresh,
+        "golden: {name} drifted from results/{name}.json — {}\n\
+         If the change is intended, regenerate with OFC_GOLDEN_BLESS=1.",
+        first_diff(&committed, &fresh)
+    );
+    // A corrupt or truncated golden should fail loudly, not silently
+    // byte-match forever.
+    let text = String::from_utf8(fresh).expect("figure JSON is UTF-8");
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with(['{', '[']) && trimmed.ends_with(['}', ']']),
+        "golden: {name} output is not a JSON document"
+    );
+}
+
+#[test]
+fn fig2_matches_golden() {
+    check("fig2");
+}
+
+#[test]
+fn fig5_matches_golden() {
+    check("fig5");
+}
+
+#[test]
+fn cache_benefit_matches_golden() {
+    check("cache_benefit");
+}
+
+#[test]
+fn maturation_matches_golden() {
+    check("maturation");
+}
+
+#[test]
+fn golden_set_is_complete() {
+    // Every golden this suite guards exists in results/ (after a bless).
+    if blessing() {
+        return;
+    }
+    for name in GOLDEN_FIGURES {
+        assert!(
+            committed_path(name).exists(),
+            "results/{name}.json missing — run OFC_GOLDEN_BLESS=1 cargo test --test golden"
+        );
+    }
+}

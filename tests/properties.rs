@@ -47,6 +47,128 @@ fn key_of(k: u8) -> Key {
     Key::from(format!("k{k}"))
 }
 
+/// Drives `ops` against a fresh 4-node cluster and checks the §5
+/// invariants after every step. Shared by the proptest and the named
+/// replays of its committed regression cases.
+fn run_cluster_ops(ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 4,
+        replication_factor: 2,
+        node_pool_bytes: 64 * MB,
+        max_object_bytes: 4 * MB,
+        segment_bytes: 8 * MB,
+        ..ClusterConfig::default()
+    });
+    // Model state: key -> size of the latest acknowledged write.
+    let mut model: std::collections::HashMap<Key, u64> = Default::default();
+    let mut now = SimTime::ZERO;
+
+    for op in ops {
+        now += std::time::Duration::from_millis(10);
+        match op {
+            Op::Write { key, size_kb, node } => {
+                let key = key_of(key);
+                let size = u64::from(size_kb) * 1024;
+                let t = cluster.write(usize::from(node), &key, RcValue::synthetic(size), now);
+                match t.result {
+                    Ok(_) => {
+                        model.insert(key, size);
+                    }
+                    Err(RcError::OutOfMemory { .. }) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("write: {e}"))),
+                }
+            }
+            Op::Read { key, node } => {
+                let key = key_of(key);
+                let t = cluster.read(usize::from(node), &key, now);
+                match (t.result, model.get(&key)) {
+                    (Ok((v, _)), Some(&size)) => prop_assert_eq!(v.size(), size),
+                    (Ok(_), None) => return Err(TestCaseError::fail("read of never-written key")),
+                    (Err(_), _) => {} // evicted/crashed-away: a miss is legal
+                }
+            }
+            Op::MarkClean { key } => {
+                cluster.mark_clean(&key_of(key)).ok();
+            }
+            Op::Evict { key } => {
+                let key = key_of(key);
+                if cluster.evict(&key).result.is_ok() {
+                    model.remove(&key);
+                } else if cluster.contains(&key) {
+                    // Refusal is only legal for dirty objects.
+                    prop_assert_eq!(cluster.is_dirty(&key), Some(true));
+                }
+            }
+            Op::Migrate { key } => {
+                let key = key_of(key);
+                let before = model.get(&key).copied();
+                if cluster.migrate_by_promotion(&key, now).result.is_ok() {
+                    // Migration must not lose or change the object.
+                    let t = cluster.read(0, &key, now);
+                    let v = t
+                        .result
+                        .map_err(|e| TestCaseError::fail(format!("post-migrate read: {e}")))?;
+                    prop_assert_eq!(Some(v.0.size()), before);
+                }
+            }
+            Op::Crash { node } => {
+                let lost = cluster.crash_node(usize::from(node), now);
+                // With replication factor 2 a single crash loses nothing;
+                // only keys that already lost replicas to earlier crashes
+                // may vanish.
+                for _ in 0..lost.result {
+                    // Remove whatever keys disappeared from the tablet.
+                    model.retain(|k, _| cluster.contains(k));
+                }
+                model.retain(|k, _| cluster.contains(k));
+            }
+            Op::Restart { node } => cluster.restart_node(usize::from(node)),
+        }
+        // Global invariants after every step.
+        let up_nodes = (0..4).filter(|&n| cluster.node(n).is_up()).count();
+        for (key, &size) in &model {
+            prop_assert!(cluster.contains(key), "{key} lost without a crash");
+            let master = cluster.master_of(key).expect("contained");
+            prop_assert!(cluster.node(master).is_up(), "master of {key} is down");
+            let obj = cluster
+                .node(master)
+                .peek_master(key)
+                .expect("tablet consistent");
+            prop_assert_eq!(obj.value.size(), size);
+            if up_nodes >= 3 {
+                prop_assert!(
+                    cluster.live_replicas(key) >= 1,
+                    "{key} unreplicated with {up_nodes} nodes up"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replay of the committed `tests/properties.proptest-regressions` case
+/// `cc7de25d…` (shrunken): two crashes empty the replica set of node 0's
+/// tablet range, a write lands while only two nodes are up, then the
+/// master crashes before any restart. The fix keeps the acknowledged
+/// write readable (or consistently absent from the tablet) — never a
+/// stale tablet entry pointing at a dead master.
+#[test]
+fn regression_write_between_crashes_keeps_tablet_consistent() {
+    run_cluster_ops(vec![
+        Op::Crash { node: 0 },
+        Op::Crash { node: 2 },
+        Op::Write {
+            key: 0,
+            size_kb: 1,
+            node: 0,
+        },
+        Op::Crash { node: 1 },
+        Op::Restart { node: 0 },
+        Op::Restart { node: 1 },
+    ])
+    .unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -56,89 +178,7 @@ proptest! {
     /// observe the latest value (single-key linearizability).
     #[test]
     fn cluster_invariants_under_chaos(ops in prop::collection::vec(op_strategy(), 1..80)) {
-        let mut cluster = Cluster::new(ClusterConfig {
-            nodes: 4,
-            replication_factor: 2,
-            node_pool_bytes: 64 * MB,
-            max_object_bytes: 4 * MB,
-            segment_bytes: 8 * MB,
-            ..ClusterConfig::default()
-        });
-        // Model state: key -> size of the latest acknowledged write.
-        let mut model: std::collections::HashMap<Key, u64> = Default::default();
-        let mut now = SimTime::ZERO;
-
-        for op in ops {
-            now += std::time::Duration::from_millis(10);
-            match op {
-                Op::Write { key, size_kb, node } => {
-                    let key = key_of(key);
-                    let size = u64::from(size_kb) * 1024;
-                    let t = cluster.write(usize::from(node), &key, RcValue::synthetic(size), now);
-                    match t.result {
-                        Ok(_) => { model.insert(key, size); }
-                        Err(RcError::OutOfMemory { .. }) => {}
-                        Err(e) => return Err(TestCaseError::fail(format!("write: {e}"))),
-                    }
-                }
-                Op::Read { key, node } => {
-                    let key = key_of(key);
-                    let t = cluster.read(usize::from(node), &key, now);
-                    match (t.result, model.get(&key)) {
-                        (Ok((v, _)), Some(&size)) => prop_assert_eq!(v.size(), size),
-                        (Ok(_), None) => return Err(TestCaseError::fail("read of never-written key")),
-                        (Err(_), _) => {} // evicted/crashed-away: a miss is legal
-                    }
-                }
-                Op::MarkClean { key } => { cluster.mark_clean(&key_of(key)).ok(); }
-                Op::Evict { key } => {
-                    let key = key_of(key);
-                    if cluster.evict(&key).result.is_ok() {
-                        model.remove(&key);
-                    } else if cluster.contains(&key) {
-                        // Refusal is only legal for dirty objects.
-                        prop_assert_eq!(cluster.is_dirty(&key), Some(true));
-                    }
-                }
-                Op::Migrate { key } => {
-                    let key = key_of(key);
-                    let before = model.get(&key).copied();
-                    if cluster.migrate_by_promotion(&key, now).result.is_ok() {
-                        // Migration must not lose or change the object.
-                        let t = cluster.read(0, &key, now);
-                        let v = t.result.map_err(|e| TestCaseError::fail(format!("post-migrate read: {e}")))?;
-                        prop_assert_eq!(Some(v.0.size()), before);
-                    }
-                }
-                Op::Crash { node } => {
-                    let lost = cluster.crash_node(usize::from(node), now);
-                    // With replication factor 2 a single crash loses nothing;
-                    // only keys that already lost replicas to earlier crashes
-                    // may vanish.
-                    for _ in 0..lost.result {
-                        // Remove whatever keys disappeared from the tablet.
-                        model.retain(|k, _| cluster.contains(k));
-                    }
-                    model.retain(|k, _| cluster.contains(k));
-                }
-                Op::Restart { node } => cluster.restart_node(usize::from(node)),
-            }
-            // Global invariants after every step.
-            let up_nodes = (0..4).filter(|&n| cluster.node(n).is_up()).count();
-            for (key, &size) in &model {
-                prop_assert!(cluster.contains(key), "{key} lost without a crash");
-                let master = cluster.master_of(key).expect("contained");
-                prop_assert!(cluster.node(master).is_up(), "master of {key} is down");
-                let obj = cluster.node(master).peek_master(key).expect("tablet consistent");
-                prop_assert_eq!(obj.value.size(), size);
-                if up_nodes >= 3 {
-                    prop_assert!(
-                        cluster.live_replicas(key) >= 1,
-                        "{key} unreplicated with {up_nodes} nodes up"
-                    );
-                }
-            }
-        }
+        run_cluster_ops(ops)?;
     }
 
     /// The object store's version counters are monotone and
@@ -232,5 +272,68 @@ proptest! {
         }
         let (hits, misses, _) = imoc.counters();
         prop_assert_eq!(hits + misses, 0, "no gets were issued");
+    }
+
+    /// The shard router is a total function, stable per seed, and — for
+    /// populations of at least 1k keys — balanced within 2x of the ideal
+    /// per-shard share (DESIGN.md §11).
+    #[test]
+    fn shard_router_total_stable_and_balanced(
+        seed in any::<u64>(),
+        shards in 1usize..12,
+        salt in 0u32..1000,
+    ) {
+        use ofc::rcstore::shard::ShardRouter;
+        let a = ShardRouter::new(shards, seed);
+        let b = ShardRouter::new(shards, seed);
+        const KEYS: usize = 2048;
+        let mut counts = vec![0usize; shards];
+        for i in 0..KEYS {
+            let key = Key::from(format!("obj/{salt}/{i}"));
+            let s = a.shard_of(&key);
+            prop_assert!(s < shards, "shard {s} out of range");
+            prop_assert_eq!(s, b.shard_of(&key), "mapping not stable per seed");
+            counts[s] += 1;
+        }
+        let ideal = KEYS as f64 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) <= ideal * 2.0,
+                "shard {s} holds {c} of {KEYS} keys (ideal {ideal:.0})"
+            );
+        }
+    }
+
+    /// Batched replication never reorders appends within a key: the
+    /// coalescing buffer keeps exactly the latest enqueued value per
+    /// (shard, backup, key), so a flush can only apply writes in (or
+    /// newer than) acknowledgment order — never resurrect an older value.
+    #[test]
+    fn replication_batching_preserves_per_key_order(
+        writes in prop::collection::vec((0..8u8, 0..4u8, 1u64..512), 1..100),
+    ) {
+        use ofc::rcstore::shard::ReplicationBatcher;
+        let mut batcher = ReplicationBatcher::new();
+        // Model: the latest value enqueued per (shard, backup, key).
+        let mut latest: std::collections::BTreeMap<(usize, usize, Key), u64> = Default::default();
+        for (key, backup, size) in writes {
+            let key = key_of(key);
+            let shard = usize::from(key.as_bytes()[1] - b'0') % 4;
+            let backup = usize::from(backup);
+            batcher.enqueue(shard, backup, key.clone(), RcValue::synthetic(size));
+            latest.insert((shard, backup, key), size);
+        }
+        for ((shard, backup), entries) in batcher.drain() {
+            let mut seen = std::collections::HashSet::new();
+            for (key, value) in entries {
+                prop_assert!(seen.insert(key.clone()), "duplicate {key} in one buffer");
+                let want = latest.get(&(shard, backup, key.clone()));
+                prop_assert_eq!(
+                    want.copied(),
+                    Some(value.size()),
+                    "buffer holds a stale value for {}", key
+                );
+            }
+        }
     }
 }
