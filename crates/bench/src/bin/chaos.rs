@@ -8,8 +8,14 @@
 //! shortens the observation window. Output is deterministic per seed:
 //! running twice with the same environment produces byte-identical
 //! `results/chaos.json`.
+//!
+//! The fault-free baseline and the chaos run are independent sims and fan
+//! out through [`ofc_bench::par`]; the chaos job builds its testbed,
+//! installs the schedule, and extracts every durability metric inside the
+//! worker, so only plain data crosses the thread boundary.
 
 use ofc_bench::cachex::{run_macro, run_macro_hooked, MacroResult};
+use ofc_bench::par;
 use ofc_bench::report;
 use ofc_bench::scenario::{PlaneKind, Testbed, WORKER_NODES};
 use ofc_chaos::{ChaosSchedule, FaultKind, FaultTemplate, Recurring};
@@ -32,86 +38,41 @@ fn env_u64(name: &str, default: u64) -> u64 {
 }
 
 /// Handles stashed by the pre-run hook for post-run durability checks.
+/// They never leave the worker thread that built the testbed.
 struct Handles {
     cluster: Rc<RefCell<Cluster>>,
     persistence: Rc<RefCell<Persistence>>,
     telemetry: Telemetry,
 }
 
-#[derive(Debug, Serialize)]
-struct ChaosReport {
-    seed: u64,
-    minutes: u64,
-    // Fault schedule actually injected.
+/// Everything the chaos run sends back to `main`: the macro result plus
+/// the fault/durability counters read off the testbed inside the worker.
+struct ChaosOutcome {
+    result: MacroResult,
     faults_injected: u64,
     node_crashes: u64,
     node_restarts: u64,
     slowdowns: u64,
     transient_bursts: u64,
     persistor_failures: u64,
-    // Degradation machinery.
     degraded_bypasses: u64,
     persist_retries: u64,
     persist_dead_letters: u64,
     rcstore_transient_errors: u64,
-    // Hit-ratio / latency deltas vs the fault-free baseline.
-    baseline_hit_pct: f64,
-    chaos_hit_pct: f64,
-    hit_delta_pct: f64,
-    baseline_total_s: f64,
-    chaos_total_s: f64,
-    latency_inflation_pct: f64,
-    // Durability.
     objects_lost: u64,
     pending_after: usize,
     dead_after: usize,
 }
 
-fn total_s(m: &MacroResult) -> f64 {
-    m.per_function_total_s.values().sum()
+/// One of the two fanned-out runs (boxed: the variants are large).
+enum RunOut {
+    Baseline(Box<MacroResult>),
+    Chaos(Box<ChaosOutcome>),
 }
 
-fn main() {
-    let seed = env_u64("OFC_CHAOS_SEED", 42);
-    let minutes = env_u64("OFC_MACRO_MINS", 10);
-    let dur = Duration::from_secs(60 * minutes);
-
-    let baseline = run_macro(PlaneKind::Ofc, TenantProfile::Normal, 1, dur, seed);
-
-    // Fault window: [60 s, dur - 60 s] so every fault ceases well before
-    // the 600 s settle phase — durability is judged on a quiet system.
-    let window_end = SimTime::ZERO + dur.saturating_sub(Duration::from_secs(60));
-    let schedule = ChaosSchedule::new(WORKER_NODES)
-        .one_shot(SimTime::from_secs(90), FaultKind::NodeCrash(1))
-        .one_shot(SimTime::from_secs(240), FaultKind::NodeRestart(1))
-        .recurring(Recurring {
-            template: FaultTemplate::Transient { ops: 8 },
-            mean_interval: Duration::from_secs(120),
-            from: SimTime::from_secs(60),
-            until: window_end,
-        })
-        .recurring(Recurring {
-            template: FaultTemplate::Slow {
-                factor: 6.0,
-                duration: Duration::from_secs(45),
-            },
-            mean_interval: Duration::from_secs(180),
-            from: SimTime::from_secs(60),
-            until: window_end,
-        })
-        .recurring(Recurring {
-            template: FaultTemplate::PersistorFail { count: 3 },
-            mean_interval: Duration::from_secs(150),
-            from: SimTime::from_secs(60),
-            until: window_end,
-        });
-    let events = schedule.generate(seed);
-    eprintln!(
-        "[chaos: {} fault events over {} min]",
-        events.len(),
-        minutes
-    );
-
+/// The chaos run: assemble the testbed, install the fault schedule, run
+/// the macro workload, and read every metric while the testbed is alive.
+fn chaos_run(seed: u64, dur: Duration, events: Vec<ofc_chaos::FaultEvent>) -> ChaosOutcome {
     let handles: Rc<RefCell<Option<Handles>>> = Rc::new(RefCell::new(None));
     let stash = Rc::clone(&handles);
     let chaos = run_macro_hooked(
@@ -170,12 +131,8 @@ fn main() {
     // Any leftover injected-fault budget would make the counts below
     // depend on post-run accounting; clear it for hygiene.
     handles.cluster.borrow_mut().clear_faults();
-
-    let baseline_total = total_s(&baseline);
-    let chaos_total = total_s(&chaos);
-    let report = ChaosReport {
-        seed,
-        minutes,
+    ChaosOutcome {
+        result: chaos,
         faults_injected: m.counter("chaos.faults_injected"),
         node_crashes: m.counter("chaos.node_crashes"),
         node_restarts: m.counter("chaos.node_restarts"),
@@ -186,9 +143,120 @@ fn main() {
         persist_retries: m.counter("persist.retries"),
         persist_dead_letters: m.counter("persist.dead_letters"),
         rcstore_transient_errors: m.counter("rcstore.transient_errors"),
+        objects_lost: m.counter("rcstore.objects_lost"),
+        pending_after,
+        dead_after,
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ChaosReport {
+    seed: u64,
+    minutes: u64,
+    // Fault schedule actually injected.
+    faults_injected: u64,
+    node_crashes: u64,
+    node_restarts: u64,
+    slowdowns: u64,
+    transient_bursts: u64,
+    persistor_failures: u64,
+    // Degradation machinery.
+    degraded_bypasses: u64,
+    persist_retries: u64,
+    persist_dead_letters: u64,
+    rcstore_transient_errors: u64,
+    // Hit-ratio / latency deltas vs the fault-free baseline.
+    baseline_hit_pct: f64,
+    chaos_hit_pct: f64,
+    hit_delta_pct: f64,
+    baseline_total_s: f64,
+    chaos_total_s: f64,
+    latency_inflation_pct: f64,
+    // Durability.
+    objects_lost: u64,
+    pending_after: usize,
+    dead_after: usize,
+}
+
+fn total_s(m: &MacroResult) -> f64 {
+    m.per_function_total_s.values().sum()
+}
+
+fn main() {
+    let seed = env_u64("OFC_CHAOS_SEED", 42);
+    let minutes = env_u64("OFC_MACRO_MINS", 10);
+    let dur = Duration::from_secs(60 * minutes);
+
+    // Fault window: [60 s, dur - 60 s] so every fault ceases well before
+    // the 600 s settle phase — durability is judged on a quiet system.
+    let window_end = SimTime::ZERO + dur.saturating_sub(Duration::from_secs(60));
+    let schedule = ChaosSchedule::new(WORKER_NODES)
+        .one_shot(SimTime::from_secs(90), FaultKind::NodeCrash(1))
+        .one_shot(SimTime::from_secs(240), FaultKind::NodeRestart(1))
+        .recurring(Recurring {
+            template: FaultTemplate::Transient { ops: 8 },
+            mean_interval: Duration::from_secs(120),
+            from: SimTime::from_secs(60),
+            until: window_end,
+        })
+        .recurring(Recurring {
+            template: FaultTemplate::Slow {
+                factor: 6.0,
+                duration: Duration::from_secs(45),
+            },
+            mean_interval: Duration::from_secs(180),
+            from: SimTime::from_secs(60),
+            until: window_end,
+        })
+        .recurring(Recurring {
+            template: FaultTemplate::PersistorFail { count: 3 },
+            mean_interval: Duration::from_secs(150),
+            from: SimTime::from_secs(60),
+            until: window_end,
+        });
+    let events = schedule.generate(seed);
+    eprintln!(
+        "[chaos: {} fault events over {} min]",
+        events.len(),
+        minutes
+    );
+
+    let jobs: Vec<Box<dyn FnOnce() -> RunOut + Send>> = vec![
+        Box::new(move || {
+            RunOut::Baseline(Box::new(run_macro(
+                PlaneKind::Ofc,
+                TenantProfile::Normal,
+                1,
+                dur,
+                seed,
+            )))
+        }),
+        Box::new(move || RunOut::Chaos(Box::new(chaos_run(seed, dur, events)))),
+    ];
+    let mut runs = par::run_jobs(jobs).into_iter();
+    let (Some(RunOut::Baseline(baseline)), Some(RunOut::Chaos(chaos))) = (runs.next(), runs.next())
+    else {
+        unreachable!("results arrive in submission order");
+    };
+
+    let baseline_total = total_s(&baseline);
+    let chaos_total = total_s(&chaos.result);
+    let report = ChaosReport {
+        seed,
+        minutes,
+        faults_injected: chaos.faults_injected,
+        node_crashes: chaos.node_crashes,
+        node_restarts: chaos.node_restarts,
+        slowdowns: chaos.slowdowns,
+        transient_bursts: chaos.transient_bursts,
+        persistor_failures: chaos.persistor_failures,
+        degraded_bypasses: chaos.degraded_bypasses,
+        persist_retries: chaos.persist_retries,
+        persist_dead_letters: chaos.persist_dead_letters,
+        rcstore_transient_errors: chaos.rcstore_transient_errors,
         baseline_hit_pct: baseline.table2.hit_ratio_pct,
-        chaos_hit_pct: chaos.table2.hit_ratio_pct,
-        hit_delta_pct: baseline.table2.hit_ratio_pct - chaos.table2.hit_ratio_pct,
+        chaos_hit_pct: chaos.result.table2.hit_ratio_pct,
+        hit_delta_pct: baseline.table2.hit_ratio_pct - chaos.result.table2.hit_ratio_pct,
         baseline_total_s: baseline_total,
         chaos_total_s: chaos_total,
         latency_inflation_pct: if baseline_total > 0.0 {
@@ -196,9 +264,9 @@ fn main() {
         } else {
             0.0
         },
-        objects_lost: m.counter("rcstore.objects_lost"),
-        pending_after,
-        dead_after,
+        objects_lost: chaos.objects_lost,
+        pending_after: chaos.pending_after,
+        dead_after: chaos.dead_after,
     };
 
     println!("Chaos — Fig 9 macro workload under a fault schedule (seed {seed})\n");

@@ -1,9 +1,11 @@
 //! Figure 10: OFC's total cache size over the macro experiment, for the
-//! three tenant profiles (§7.2.2).
+//! three tenant profiles (§7.2.2). The three runs are independent sims
+//! fanned out through [`ofc_bench::par`].
 //!
 //! Set `OFC_MACRO_MINS` to shorten the observation window.
 
 use ofc_bench::cachex::run_macro;
+use ofc_bench::par;
 use ofc_bench::report;
 use ofc_bench::scenario::PlaneKind;
 use ofc_workloads::faasload::TenantProfile;
@@ -15,14 +17,18 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(30);
     let dur = Duration::from_secs(60 * mins);
-    let mut out = Vec::new();
     println!("Figure 10 — OFC cache size over time ({mins} min window)\n");
-    for profile in [
+    let profiles = [
         TenantProfile::Normal,
         TenantProfile::Naive,
         TenantProfile::Advanced,
-    ] {
-        let r = run_macro(PlaneKind::Ofc, profile, 1, dur, 17);
+    ];
+    let jobs: Vec<_> = profiles
+        .into_iter()
+        .map(|profile| move || run_macro(PlaneKind::Ofc, profile, 1, dur, 17))
+        .collect();
+    let out = par::run_jobs(jobs);
+    for (profile, r) in profiles.iter().zip(&out) {
         println!("{profile:?}:");
         let max = r
             .cache_series
@@ -38,7 +44,6 @@ fn main() {
             println!("  {min:>5.1} min | {bar} {gb:.1} GB");
         }
         println!();
-        out.push(r);
     }
     println!(
         "Paper reference: naive tenants leave the most memory to the cache,\n\

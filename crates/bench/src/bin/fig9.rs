@@ -1,10 +1,12 @@
 //! Figure 9: total execution time of all invocations per function, for the
 //! three tenant profiles, OWK-Swift vs OFC (§7.2.2, 8 tenants, 30 min,
-//! exponential arrivals with a 1-minute mean).
+//! exponential arrivals with a 1-minute mean). The six runs are
+//! independent sims fanned out through [`ofc_bench::par`].
 //!
 //! Set `OFC_MACRO_MINS` to shorten the observation window.
 
-use ofc_bench::cachex::run_macro;
+use ofc_bench::cachex::{run_macro, MacroResult};
+use ofc_bench::par;
 use ofc_bench::report;
 use ofc_bench::scenario::PlaneKind;
 use ofc_workloads::faasload::TenantProfile;
@@ -19,15 +21,23 @@ fn macro_minutes() -> u64 {
 
 fn main() {
     let dur = Duration::from_secs(60 * macro_minutes());
-    let mut results = Vec::new();
-    let mut rows = Vec::new();
-    for profile in [
+    let profiles = [
         TenantProfile::Normal,
         TenantProfile::Naive,
         TenantProfile::Advanced,
-    ] {
-        let swift = run_macro(PlaneKind::Swift, profile, 1, dur, 17);
-        let ofc = run_macro(PlaneKind::Ofc, profile, 1, dur, 17);
+    ];
+    let mut jobs: Vec<Box<dyn FnOnce() -> MacroResult + Send>> = Vec::new();
+    for profile in profiles {
+        for kind in [PlaneKind::Swift, PlaneKind::Ofc] {
+            jobs.push(Box::new(move || run_macro(kind, profile, 1, dur, 17)));
+        }
+    }
+    let results = par::run_jobs(jobs);
+    let mut rows = Vec::new();
+    for (profile, pair) in profiles.iter().zip(results.chunks_exact(2)) {
+        let [swift, ofc] = pair else {
+            unreachable!("a Swift/OFC pair per profile");
+        };
         for (tenant, &swift_s) in &swift.per_function_total_s {
             let ofc_s = ofc.per_function_total_s.get(tenant).copied().unwrap_or(0.0);
             let gain = if swift_s > 0.0 {
@@ -43,8 +53,6 @@ fn main() {
                 format!("{gain:.1}%"),
             ]);
         }
-        results.push(swift);
-        results.push(ofc);
     }
     println!(
         "Figure 9 — total execution time per function ({} min window)\n",

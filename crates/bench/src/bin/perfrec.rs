@@ -1,0 +1,286 @@
+//! `perfrec`: the BENCH perf record. Times every parallel-runner bin
+//! serial vs parallel (same seeds, byte-compared JSON), A/Bs the periodic
+//! eviction sweep (candidate index vs full scan), and writes the result as
+//! a `BENCH_<n>.json` record so the perf trajectory of this repo is
+//! machine-readable PR over PR.
+//!
+//! Invocation (after `cargo build --release`):
+//!
+//! ```text
+//! cargo run --release -p ofc-bench --bin perfrec
+//! ```
+//!
+//! Environment:
+//! * `OFC_PERFREC_MINS` — macro window for the timed bins (default 5).
+//! * `OFC_PERFREC_MIN_SPEEDUP` — when set, exit non-zero if the `macro24`
+//!   serial/parallel speedup falls below it (CI regression guard).
+//! * `OFC_PERFREC_LTO_CHECK=1` — additionally time `macro24` serially at
+//!   the full 30-minute window, filling the LTO after-measurement of the
+//!   committed record (slow; off in CI).
+//! * `OFC_BENCH_RECORD` — output path (default `BENCH_5.json`).
+//! * `OFC_BENCH_THREADS` — worker count for the parallel pass (default:
+//!   available parallelism).
+
+use ofc_bench::cachex::run_macro_hooked;
+use ofc_bench::par;
+use ofc_bench::scenario::{PlaneKind, Testbed};
+use ofc_core::ofc::OfcConfig;
+use ofc_telemetry::names;
+use ofc_telemetry::Telemetry;
+use ofc_workloads::faasload::TenantProfile;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// The bins ported to the parallel replay runner, with their fan-out
+/// widths (independent sims per invocation).
+const PAR_BINS: &[(&str, u64)] = &[
+    ("macro24", 14),
+    ("fig9", 6),
+    ("fig10", 3),
+    ("ablation", 11),
+    ("chaos", 2),
+];
+
+/// Pre-thin-LTO `macro24` wall time: 30-minute window, serial, measured on
+/// the 1-core reference dev box at the commit introducing this record
+/// (before `[profile.release] lto = "thin"` / `codegen-units = 1`).
+const MACRO24_PRE_LTO_SERIAL_S: f64 = 14.67;
+
+#[derive(Serialize)]
+struct BinTiming {
+    bin: String,
+    sims: u64,
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+    json_identical: bool,
+}
+
+#[derive(Serialize)]
+struct SweepSide {
+    visited: u64,
+    evictions: u64,
+    wall_s: f64,
+}
+
+#[derive(Serialize)]
+struct SweepRecord {
+    indexed: SweepSide,
+    full_scan: SweepSide,
+    /// `full_scan.visited / indexed.visited` — the sweep-cost reduction
+    /// bought by the eviction-candidate index.
+    visited_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct LtoRecord {
+    macro24_serial_before_s: f64,
+    /// Filled by `OFC_PERFREC_LTO_CHECK=1` (30-minute window, serial);
+    /// `null` when the slow check was skipped.
+    macro24_serial_after_s: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct BenchRecord {
+    record: u64,
+    window_mins: u64,
+    threads: usize,
+    bins: Vec<BinTiming>,
+    evict_sweep: SweepRecord,
+    lto: LtoRecord,
+    /// Sims executed through the parallel runner across the parallel pass
+    /// (also recorded as the `bench.par_runs` counter).
+    par_runs: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Directory holding the sibling release binaries.
+fn bin_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("current exe path");
+    exe.parent().expect("exe has a parent dir").to_path_buf()
+}
+
+/// Runs one bin into `scratch` with the given worker count, returning its
+/// wall time.
+fn run_bin(bin: &str, threads: usize, mins: u64, scratch: &Path) -> f64 {
+    std::fs::create_dir_all(scratch).expect("scratch dir");
+    let path = bin_dir().join(bin);
+    let started = Instant::now();
+    let out = Command::new(&path)
+        .env("OFC_MACRO_MINS", mins.to_string())
+        .env("OFC_BENCH_THREADS", threads.to_string())
+        .env("OFC_RESULTS_DIR", scratch)
+        .output()
+        .unwrap_or_else(|e| panic!("perfrec: failed to launch {}: {e}", path.display()));
+    let wall = started.elapsed().as_secs_f64();
+    assert!(
+        out.status.success(),
+        "perfrec: {bin} exited with {:?}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    wall
+}
+
+/// Whether every `.json` file in `a` exists byte-identical in `b` (and
+/// vice versa) — the serial-vs-parallel determinism check.
+fn dirs_identical(a: &Path, b: &Path) -> bool {
+    let mut names: Vec<String> = std::fs::read_dir(a)
+        .expect("scratch dir listing")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return false;
+    }
+    names.iter().all(|name| {
+        let (fa, fb) = (std::fs::read(a.join(name)), std::fs::read(b.join(name)));
+        matches!((fa, fb), (Ok(da), Ok(db)) if da == db)
+    })
+}
+
+/// One in-process macro run with the chosen eviction-sweep mode, reading
+/// the janitor counters off the testbed's observability plane.
+fn sweep_side(full_scan: bool, mins: u64) -> SweepSide {
+    let mut cfg = OfcConfig::default();
+    cfg.agent.evict_full_scan = full_scan;
+    let stash: Rc<RefCell<Option<Telemetry>>> = Rc::new(RefCell::new(None));
+    let sink = Rc::clone(&stash);
+    let started = Instant::now();
+    run_macro_hooked(
+        PlaneKind::Ofc,
+        TenantProfile::Normal,
+        1,
+        Duration::from_secs(60 * mins),
+        23,
+        cfg,
+        64 << 30,
+        move |tb: &mut Testbed| {
+            let ofc = tb.ofc.as_ref().expect("ofc testbed");
+            *sink.borrow_mut() = Some(ofc.telemetry().clone());
+        },
+    );
+    let wall_s = started.elapsed().as_secs_f64();
+    let telemetry = stash.borrow_mut().take().expect("hook ran");
+    let m = telemetry.metrics();
+    SweepSide {
+        visited: m.counter(names::AGENT_EVICT_SCAN_VISITED),
+        evictions: m.counter(names::AGENT_PERIODIC_EVICTIONS),
+        wall_s,
+    }
+}
+
+fn main() {
+    let mins = env_u64("OFC_PERFREC_MINS", 5);
+    let threads = par::threads();
+    let scratch_root = std::env::temp_dir().join(format!("ofc-perfrec-{}", std::process::id()));
+
+    println!("perfrec — BENCH record ({mins} min window, {threads} workers)\n");
+    let mut bins = Vec::new();
+    let mut par_runs = 0u64;
+    for &(bin, sims) in PAR_BINS {
+        let serial_dir = scratch_root.join(format!("{bin}-serial"));
+        let parallel_dir = scratch_root.join(format!("{bin}-parallel"));
+        let serial_s = run_bin(bin, 1, mins, &serial_dir);
+        let parallel_s = run_bin(bin, threads, mins, &parallel_dir);
+        let json_identical = dirs_identical(&serial_dir, &parallel_dir);
+        let speedup = serial_s / parallel_s.max(1e-9);
+        println!(
+            "  {bin:10} serial {serial_s:6.2}s   parallel {parallel_s:6.2}s   speedup {speedup:4.2}x   json {}",
+            if json_identical { "identical" } else { "DIVERGED" }
+        );
+        par_runs += sims;
+        bins.push(BinTiming {
+            bin: bin.into(),
+            sims,
+            serial_s,
+            parallel_s,
+            speedup,
+            json_identical,
+        });
+    }
+    std::fs::remove_dir_all(&scratch_root).ok();
+
+    println!("\n  eviction sweep A/B ({mins} min window, in-process):");
+    let indexed = sweep_side(false, mins);
+    let full_scan = sweep_side(true, mins);
+    println!(
+        "    indexed    visited {:6}   evictions {:4}   wall {:5.2}s",
+        indexed.visited, indexed.evictions, indexed.wall_s
+    );
+    println!(
+        "    full scan  visited {:6}   evictions {:4}   wall {:5.2}s",
+        full_scan.visited, full_scan.evictions, full_scan.wall_s
+    );
+    let visited_ratio = full_scan.visited as f64 / indexed.visited.max(1) as f64;
+
+    let lto_after = if std::env::var("OFC_PERFREC_LTO_CHECK").map(|v| v == "1") == Ok(true) {
+        println!("\n  LTO check: timing macro24 serially at the 30 min window...");
+        let dir = std::env::temp_dir().join(format!("ofc-perfrec-lto-{}", std::process::id()));
+        let s = run_bin("macro24", 1, 30, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        println!("    macro24 serial: {s:.2}s (pre-LTO baseline {MACRO24_PRE_LTO_SERIAL_S}s)");
+        Some(s)
+    } else {
+        None
+    };
+
+    // The parallel pass's sim count, surfaced on the registered counter so
+    // the record and the telemetry plane agree on the name.
+    let telemetry = Telemetry::standalone();
+    telemetry.counter(names::BENCH_PAR_RUNS).add(par_runs);
+    let par_runs = telemetry.metrics().counter(names::BENCH_PAR_RUNS);
+
+    let record = BenchRecord {
+        record: 5,
+        window_mins: mins,
+        threads,
+        bins,
+        evict_sweep: SweepRecord {
+            indexed,
+            full_scan,
+            visited_ratio,
+        },
+        lto: LtoRecord {
+            macro24_serial_before_s: MACRO24_PRE_LTO_SERIAL_S,
+            macro24_serial_after_s: lto_after,
+        },
+        par_runs,
+    };
+    let path = std::env::var("OFC_BENCH_RECORD").unwrap_or_else(|_| "BENCH_5.json".into());
+    let json = serde_json::to_string_pretty(&record).expect("serializable record");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\n[saved {path}]");
+
+    // CI regression guard: the tentpole claim is the macro24 fan-out.
+    if let Ok(min) = std::env::var("OFC_PERFREC_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("OFC_PERFREC_MIN_SPEEDUP is a number");
+        let m24 = record
+            .bins
+            .iter()
+            .find(|b| b.bin == "macro24")
+            .expect("macro24 timed");
+        if !m24.json_identical {
+            eprintln!("PERF GUARD: macro24 serial and parallel JSON diverged");
+            std::process::exit(1);
+        }
+        if m24.speedup < min {
+            eprintln!(
+                "PERF GUARD: macro24 speedup {:.2}x below the {min:.2}x floor",
+                m24.speedup
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod cachex;
 pub mod mlx;
+pub mod par;
 pub mod report;
 pub mod scenario;
 

@@ -1,0 +1,121 @@
+//! Parallel replay runner: fans independent simulations out over scoped
+//! worker threads.
+//!
+//! Every experiment configuration in this harness is a self-contained
+//! [`ofc_simtime::Sim`] — the `Rc`-based testbed is built *inside* the
+//! worker and only plain `Send` results cross the thread boundary — so
+//! replay campaigns parallelize perfectly with no shared state. Results
+//! come back in submission order, which keeps the emitted figure JSON
+//! byte-identical to a serial run regardless of worker count or
+//! scheduling: determinism lives in the per-sim seeds, not in the order
+//! work happens to finish.
+//!
+//! `OFC_BENCH_THREADS` pins the worker count (`1` forces the serial
+//! in-line path); the default is the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for [`run_jobs`]: `OFC_BENCH_THREADS` when set and
+/// parseable, otherwise the machine's available parallelism (1 when even
+/// that is unknown).
+pub fn threads() -> usize {
+    std::env::var("OFC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs every job and returns their results in submission order, fanning
+/// out over [`threads`] scoped workers.
+pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_jobs_on(threads(), jobs)
+}
+
+/// [`run_jobs`] with an explicit worker count. `threads <= 1` (or a
+/// single job) degrades to a plain serial loop on the calling thread.
+pub fn run_jobs_on<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // Each job is claimed exactly once (by the atomic ticket) and each
+    // slot written exactly once; the mutexes only satisfy `Sync`.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let Some(job) = jobs[i].lock().ok().and_then(|mut j| j.take()) else {
+                    // ofc-lint: allow(panic) reason=a claimed ticket is handed out once; a missing job means runner-internal corruption
+                    unreachable!("job {i} claimed twice");
+                };
+                let out = job();
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            let out = slot.into_inner().ok().flatten();
+            // ofc-lint: allow(panic) reason=the scope joins every worker, so each slot was filled (a worker panic propagates before this point)
+            out.expect("worker filled every result slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs: Vec<_> = (0..32).map(|i| move || i * 10).collect();
+        let out = run_jobs_on(4, jobs);
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel_path() {
+        let mk = || (0..17).map(|i| move || format!("r{i}")).collect::<Vec<_>>();
+        assert_eq!(run_jobs_on(1, mk()), run_jobs_on(8, mk()));
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        assert_eq!(run_jobs_on(16, vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_results() {
+        let out: Vec<u64> = run_jobs_on(4, Vec::<fn() -> u64>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn boxed_heterogeneous_closures_run() {
+        let a = 7u64;
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![Box::new(move || a), Box::new(|| 35)];
+        assert_eq!(run_jobs_on(2, jobs).iter().sum::<u64>(), 42);
+    }
+}

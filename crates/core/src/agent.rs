@@ -51,6 +51,10 @@ pub struct AgentConfig {
     pub hot_access_threshold: u64,
     /// Cadence of the cache-size telemetry series (Figure 10).
     pub telemetry_every: Duration,
+    /// Reference mode: sweep every master per eviction tick instead of the
+    /// store's eviction-candidate index. Selects the same victims at
+    /// O(all-objects) cost; kept for A/B measurement (`perfrec`).
+    pub evict_full_scan: bool,
 }
 
 impl Default for AgentConfig {
@@ -69,6 +73,7 @@ impl Default for AgentConfig {
             evict_grace: Duration::from_secs(300),
             hot_access_threshold: 5,
             telemetry_every: Duration::from_secs(30),
+            evict_full_scan: false,
         }
     }
 }
@@ -82,6 +87,7 @@ struct AgentMetrics {
     scale_downs_migration: Counter,
     scale_downs_eviction: Counter,
     periodic_evictions: Counter,
+    evict_scan_visited: Counter,
     writebacks: Counter,
     scale_up_nanos: Histogram,
     scale_down_nanos: Histogram,
@@ -96,6 +102,7 @@ impl AgentMetrics {
             scale_downs_migration: t.counter("agent.scale_downs_migration"),
             scale_downs_eviction: t.counter("agent.scale_downs_eviction"),
             periodic_evictions: t.counter("agent.periodic_evictions"),
+            evict_scan_visited: t.counter("agent.evict_scan_visited"),
             writebacks: t.counter("agent.writebacks"),
             scale_up_nanos: t.histogram("agent.scale_up_nanos"),
             scale_down_nanos: t.histogram("agent.scale_down_nanos"),
@@ -148,6 +155,11 @@ impl CacheAgent {
     ) -> AgentHandle {
         let n = cluster.borrow().n_nodes();
         let metrics = AgentMetrics::new(telemetry);
+        // The store's cold eviction index must agree with this agent's
+        // access bound before the periodic sweeps start.
+        cluster
+            .borrow_mut()
+            .set_cold_access_threshold(cfg.evict_min_access);
         AgentHandle(Rc::new(RefCell::new(CacheAgent {
             slack: vec![cfg.slack_initial; n],
             committed: vec![0; n],
@@ -333,12 +345,20 @@ impl CacheAgent {
 
     /// Periodic eviction pass (§6.3): drop objects with `n_access <
     /// evict_min_access` (after a grace period) or idle for `evict_idle`.
+    ///
+    /// Victims come from the store's eviction-candidate index, so each tick
+    /// visits only the expirable prefix of the object population;
+    /// `agent.evict_scan_visited` counts the entries actually inspected.
     fn periodic_evict(&mut self, now: SimTime) {
-        let keys: Vec<(Key, bool)> = {
+        let (keys, visited) = if self.cfg.evict_full_scan {
+            // Reference sweep over every master (the pre-index behavior);
+            // sorted so both modes process victims in the same order.
             let c = self.cluster.borrow();
             let mut victims = Vec::new();
+            let mut visited = 0u64;
             for node in 0..c.n_nodes() {
                 for (key, obj) in c.node(node).masters() {
+                    visited += 1;
                     let idle = now.saturating_since(obj.stats.t_access);
                     let age = now.saturating_since(obj.stats.created);
                     let cold = obj.stats.n_access < self.cfg.evict_min_access
@@ -349,8 +369,14 @@ impl CacheAgent {
                     }
                 }
             }
-            victims
+            victims.sort();
+            (victims, visited)
+        } else {
+            self.cluster
+                .borrow()
+                .evict_candidates(now, self.cfg.evict_grace, self.cfg.evict_idle)
         };
+        self.metrics.evict_scan_visited.add(visited);
         for (key, dirty) in keys {
             if dirty {
                 if let Some(wb) = self.writeback.as_mut() {

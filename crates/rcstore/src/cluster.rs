@@ -202,6 +202,37 @@ impl Cluster {
         self.nodes[master].peek_master(key).map(|o| o.dirty)
     }
 
+    /// Pushes the agent's `n_access` eviction bound down to every node's
+    /// cold index (rebuilding them). Call once at agent construction,
+    /// before the periodic sweeps start.
+    pub fn set_cold_access_threshold(&mut self, min_access: u64) {
+        for node in &mut self.nodes {
+            node.set_cold_access_threshold(min_access);
+        }
+    }
+
+    /// Cluster-wide periodic-eviction candidates (§6.3), aggregated over
+    /// every node's eviction index: key-sorted `(key, dirty)` pairs plus
+    /// the total number of index entries visited. Each key is mastered on
+    /// exactly one node, so per-node victim lists concatenate without
+    /// duplicates; the final sort keeps the order independent of placement.
+    pub fn evict_candidates(
+        &self,
+        now: SimTime,
+        min_age: Duration,
+        min_idle: Duration,
+    ) -> (Vec<(Key, bool)>, u64) {
+        let mut victims = Vec::new();
+        let mut visited = 0u64;
+        for node in &self.nodes {
+            let (mut v, seen) = node.evict_candidates(now, min_age, min_idle);
+            victims.append(&mut v);
+            visited += seen;
+        }
+        victims.sort();
+        (victims, visited)
+    }
+
     /// Writes an object into the cache.
     ///
     /// The master is placed on `home` (the invoker node running the writing

@@ -410,9 +410,9 @@ mod tests {
     fn append_batch_matches_sequential_appends() {
         let mut batched = Log::new(100, 1000);
         let mut sequential = Log::new(100, 1000);
-        let entries: Vec<(Key, u64)> = (0..8).map(|i| (key(&format!("k{i}")), 30 + i)).collect();
-        batched.append_batch(entries.clone()).unwrap();
-        for (k, size) in entries {
+        let entry = |i: u64| (key(&format!("k{i}")), 30 + i);
+        batched.append_batch((0..8).map(entry).collect()).unwrap();
+        for (k, size) in (0..8).map(entry) {
             sequential.append(k, size).unwrap();
         }
         assert_eq!(batched.live_bytes(), sequential.live_bytes());

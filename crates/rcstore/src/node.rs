@@ -4,7 +4,8 @@
 use crate::log::Log;
 use crate::{AccessStats, Key, NodeId, RcError, Value};
 use ofc_simtime::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Duration;
 
 /// A master-copy record: payload, access statistics, dirtiness.
 #[derive(Debug, Clone)]
@@ -18,6 +19,11 @@ pub struct MasterObject {
     pub dirty: bool,
 }
 
+/// Access count at or above which an object can never become a periodic
+/// eviction victim through the cold rule (§6.3: `n_access < 5`). The
+/// [`crate::cluster::Cluster`] owner overrides this from the agent config.
+pub const DEFAULT_COLD_ACCESS_THRESHOLD: u64 = 5;
+
 /// One storage node.
 #[derive(Debug)]
 pub struct StorageNode {
@@ -27,6 +33,18 @@ pub struct StorageNode {
     /// Backup replicas held on disk for other nodes' masters.
     backup: HashMap<Key, Value>,
     up: bool,
+    /// Eviction-candidate index, idle rule: every master keyed by
+    /// `t_access`, so the stale prefix (`idle >= evict_idle`) is a range
+    /// scan instead of a full sweep. `BTreeSet` keeps iteration
+    /// deterministic.
+    idle_index: BTreeSet<(SimTime, Key)>,
+    /// Eviction-candidate index, cold rule: masters with `n_access <
+    /// cold_threshold`, keyed by creation time. An object is pruned for
+    /// good once its access count crosses the threshold (`n_access` only
+    /// grows), so the index shrinks as the working set warms up.
+    cold_index: BTreeSet<(SimTime, Key)>,
+    /// `n_access` bound of `cold_index` membership.
+    cold_threshold: u64,
 }
 
 impl StorageNode {
@@ -38,6 +56,9 @@ impl StorageNode {
             master: HashMap::new(),
             backup: HashMap::new(),
             up: true,
+            idle_index: BTreeSet::new(),
+            cold_index: BTreeSet::new(),
+            cold_threshold: DEFAULT_COLD_ACCESS_THRESHOLD,
         }
     }
 
@@ -60,6 +81,8 @@ impl StorageNode {
             self.log = Log::new(self.log.segment_bytes(), budget);
             self.master.clear();
             self.backup.clear();
+            self.idle_index.clear();
+            self.cold_index.clear();
         }
     }
 
@@ -118,6 +141,13 @@ impl StorageNode {
             return Err(RcError::NodeUnavailable(self.id));
         }
         self.log.append(key.clone(), value.size().max(1))?;
+        if let Some(old_stats) = self.master.get(&key).map(|o| o.stats) {
+            self.unindex(&key, &old_stats);
+        }
+        self.idle_index.insert((now, key.clone()));
+        if self.cold_threshold > 0 {
+            self.cold_index.insert((now, key.clone()));
+        }
         self.master.insert(
             key,
             MasterObject {
@@ -138,10 +168,22 @@ impl StorageNode {
         if !self.up {
             return None;
         }
-        let obj = self.master.get_mut(key)?;
-        obj.stats.n_access += 1;
-        obj.stats.t_access = now;
-        Some(&*obj)
+        let (prev_access, created, n_after) = {
+            let obj = self.master.get_mut(key)?;
+            let prev = obj.stats.t_access;
+            obj.stats.n_access += 1;
+            obj.stats.t_access = now;
+            (prev, obj.stats.created, obj.stats.n_access)
+        };
+        if prev_access != now {
+            self.idle_index.remove(&(prev_access, key.clone()));
+            self.idle_index.insert((now, key.clone()));
+        }
+        if n_after == self.cold_threshold {
+            // Crossed the §6.3 access bound: permanently out of the cold set.
+            self.cold_index.remove(&(created, key.clone()));
+        }
+        self.master.get(key)
     }
 
     /// Peeks at a master copy without touching the access statistics.
@@ -152,7 +194,69 @@ impl StorageNode {
     /// Removes a master copy, returning it.
     pub fn remove_master(&mut self, key: &Key) -> Option<MasterObject> {
         self.log.remove(key);
-        self.master.remove(key)
+        let obj = self.master.remove(key)?;
+        self.unindex(key, &obj.stats);
+        Some(obj)
+    }
+
+    /// Drops `key`'s entries from both eviction indexes.
+    fn unindex(&mut self, key: &Key, stats: &AccessStats) {
+        self.idle_index.remove(&(stats.t_access, key.clone()));
+        if stats.n_access < self.cold_threshold {
+            self.cold_index.remove(&(stats.created, key.clone()));
+        }
+    }
+
+    /// Re-bounds the cold eviction index at a new `n_access` threshold
+    /// (pushed down from the agent's `evict_min_access`) and rebuilds it.
+    pub fn set_cold_access_threshold(&mut self, min_access: u64) {
+        self.cold_threshold = min_access;
+        self.cold_index.clear();
+        for (key, obj) in &self.master {
+            if obj.stats.n_access < min_access {
+                self.cold_index.insert((obj.stats.created, key.clone()));
+            }
+        }
+    }
+
+    /// Periodic-eviction candidates (§6.3): masters idle for at least
+    /// `min_idle`, plus masters older than `min_age` that never crossed the
+    /// cold access threshold. Both come from ordered indexes, so only the
+    /// expirable prefix is visited instead of every object; the returned
+    /// count says how many index entries were inspected. Victims are
+    /// key-sorted `(key, dirty)` pairs — deterministic regardless of hash
+    /// map state.
+    pub fn evict_candidates(
+        &self,
+        now: SimTime,
+        min_age: Duration,
+        min_idle: Duration,
+    ) -> (Vec<(Key, bool)>, u64) {
+        let mut visited = 0u64;
+        let mut victims: BTreeMap<Key, bool> = BTreeMap::new();
+        for (t_access, key) in &self.idle_index {
+            visited += 1;
+            if now.saturating_since(*t_access) < min_idle {
+                break; // Everything after this entry is younger.
+            }
+            let Some(obj) = self.master.get(key) else {
+                debug_assert!(false, "idle index references a missing master");
+                continue;
+            };
+            victims.insert(key.clone(), obj.dirty);
+        }
+        for (created, key) in &self.cold_index {
+            visited += 1;
+            if now.saturating_since(*created) < min_age {
+                break; // Everything after this entry is within the grace period.
+            }
+            let Some(obj) = self.master.get(key) else {
+                debug_assert!(false, "cold index references a missing master");
+                continue;
+            };
+            victims.insert(key.clone(), obj.dirty);
+        }
+        (victims.into_iter().collect(), visited)
     }
 
     /// Sets the dirty flag of a master copy.
@@ -375,6 +479,119 @@ mod tests {
         n.set_dirty(&key("a"), false).unwrap();
         assert!(!n.peek_master(&key("a")).unwrap().dirty);
         assert!(n.set_dirty(&key("zz"), true).is_err());
+    }
+
+    #[test]
+    fn evict_candidates_selects_cold_and_stale_only() {
+        let mut n = node();
+        let (grace, idle) = (Duration::from_secs(300), Duration::from_secs(1800));
+        // Never read, past the grace period: cold victim.
+        n.insert_master(key("cold"), Value::synthetic(10), SimTime::ZERO, true)
+            .unwrap();
+        // Crosses the access threshold early, read again recently: survives.
+        n.insert_master(key("hot"), Value::synthetic(10), SimTime::ZERO, false)
+            .unwrap();
+        for s in 1..=5 {
+            n.read_master(&key("hot"), SimTime::from_secs(s));
+        }
+        n.read_master(&key("hot"), SimTime::from_secs(390));
+        // Unread but still within the grace period: survives.
+        n.insert_master(
+            key("young"),
+            Value::synthetic(10),
+            SimTime::from_secs(200),
+            false,
+        )
+        .unwrap();
+        let (victims, _) = n.evict_candidates(SimTime::from_secs(400), grace, idle);
+        assert_eq!(victims, vec![(key("cold"), true)]);
+        // Much later the hot object is stale (idle >= 30 min) and the
+        // young one has aged past the grace period.
+        let (victims, _) = n.evict_candidates(SimTime::from_secs(4000), grace, idle);
+        let keys: Vec<Key> = victims.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![key("cold"), key("hot"), key("young")]);
+    }
+
+    #[test]
+    fn evict_candidates_visits_only_the_expirable_prefix() {
+        let mut n = node();
+        let (grace, idle) = (Duration::from_secs(300), Duration::from_secs(1800));
+        // 50 objects that crossed the access threshold and were read
+        // recently: out of the cold index, deep in the idle index.
+        for i in 0..50 {
+            let k = key(&format!("hot{i}"));
+            n.insert_master(k.clone(), Value::synthetic(10), SimTime::ZERO, false)
+                .unwrap();
+            for s in 0..5 {
+                n.read_master(&k, SimTime::from_secs(3500 + s));
+            }
+        }
+        // One genuinely cold object.
+        n.insert_master(key("cold"), Value::synthetic(10), SimTime::ZERO, false)
+            .unwrap();
+        let (victims, visited) = n.evict_candidates(SimTime::from_secs(3600), grace, idle);
+        assert_eq!(victims, vec![(key("cold"), false)]);
+        // One stale hit + one non-match per index, not a 51-object sweep.
+        assert!(visited <= 4, "visited {visited} entries");
+    }
+
+    #[test]
+    fn evict_candidates_matches_full_scan_reference() {
+        let mut n = node();
+        let (grace, idle) = (Duration::from_secs(300), Duration::from_secs(1800));
+        for i in 0..40u64 {
+            let k = key(&format!("k{i}"));
+            n.insert_master(
+                k.clone(),
+                Value::synthetic(10),
+                SimTime::from_secs(i * 37),
+                i % 3 == 0,
+            )
+            .unwrap();
+            for r in 0..(i % 9) {
+                n.read_master(&k, SimTime::from_secs(i * 37 + r + 1));
+            }
+        }
+        let now = SimTime::from_secs(1200);
+        let mut reference: Vec<(Key, bool)> = n
+            .masters()
+            .filter(|(_, o)| {
+                let cold = o.stats.n_access < DEFAULT_COLD_ACCESS_THRESHOLD
+                    && now.saturating_since(o.stats.created) >= grace;
+                let stale = now.saturating_since(o.stats.t_access) >= idle;
+                cold || stale
+            })
+            .map(|(k, o)| (k.clone(), o.dirty))
+            .collect();
+        reference.sort();
+        let (victims, _) = n.evict_candidates(now, grace, idle);
+        assert_eq!(victims, reference);
+    }
+
+    #[test]
+    fn cold_threshold_rebuild_reindexes_existing_masters() {
+        let mut n = node();
+        n.insert_master(key("a"), Value::synthetic(10), SimTime::ZERO, false)
+            .unwrap();
+        for s in 1..=2 {
+            n.read_master(&key("a"), SimTime::from_secs(s));
+        }
+        // With the bound lowered to 2, "a" (n_access = 2) is warm enough.
+        n.set_cold_access_threshold(2);
+        let (victims, _) = n.evict_candidates(
+            SimTime::from_secs(4000),
+            Duration::from_secs(300),
+            Duration::from_secs(86400),
+        );
+        assert!(victims.is_empty());
+        // Raising it back makes "a" cold again.
+        n.set_cold_access_threshold(5);
+        let (victims, _) = n.evict_candidates(
+            SimTime::from_secs(4000),
+            Duration::from_secs(300),
+            Duration::from_secs(86400),
+        );
+        assert_eq!(victims.len(), 1);
     }
 
     #[test]

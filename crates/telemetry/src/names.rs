@@ -130,6 +130,9 @@ pub const AGENT_SCALE_DOWNS_MIGRATION: &str = "agent.scale_downs_migration";
 pub const AGENT_SCALE_DOWNS_EVICTION: &str = "agent.scale_downs_eviction";
 /// Objects evicted by the periodic janitor.
 pub const AGENT_PERIODIC_EVICTIONS: &str = "agent.periodic_evictions";
+/// Eviction-index entries inspected by the periodic janitor (the full
+/// pre-index sweep visited every master per tick).
+pub const AGENT_EVICT_SCAN_VISITED: &str = "agent.evict_scan_visited";
 /// Dirty objects written back by the agent.
 pub const AGENT_WRITEBACKS: &str = "agent.writebacks";
 /// Scale-up latency distribution (nanoseconds).
@@ -176,6 +179,8 @@ pub const RCSTORE_RECOVERY_NANOS: &str = "rcstore.recovery_nanos";
 
 /// Synthetic ticks recorded by the telemetry overhead bench.
 pub const BENCH_TICKS: &str = "bench.ticks";
+/// Simulations executed through the parallel replay runner.
+pub const BENCH_PAR_RUNS: &str = "bench.par_runs";
 
 /// Every registered metric name, sorted ascending.
 ///
@@ -183,6 +188,7 @@ pub const BENCH_TICKS: &str = "bench.ticks";
 /// of the same set.
 pub const ALL: &[&str] = &[
     AGENT_CACHE_SIZE_BYTES,
+    AGENT_EVICT_SCAN_VISITED,
     AGENT_PERIODIC_EVICTIONS,
     AGENT_SCALE_DOWN_NANOS,
     AGENT_SCALE_DOWNS_EVICTION,
@@ -191,6 +197,7 @@ pub const ALL: &[&str] = &[
     AGENT_SCALE_UP_NANOS,
     AGENT_SCALE_UPS,
     AGENT_WRITEBACKS,
+    BENCH_PAR_RUNS,
     BENCH_TICKS,
     CHAOS_FAULTS_INJECTED,
     CHAOS_NODE_CRASHES,

@@ -32,32 +32,42 @@ fn blessing() -> bool {
         .unwrap_or(false)
 }
 
-/// Runs one figure binary into a scratch results dir and returns the JSON
-/// it produced, or `None` (with a note) when the binary is not built.
-fn regenerate(name: &str) -> Option<Vec<u8>> {
+/// Runs one figure binary into a scratch results dir (with extra env
+/// vars) and returns the `<out_name>.json` it produced, or `None` (with a
+/// note) when the binary is not built.
+fn regenerate_with(bin_name: &str, out_name: &str, envs: &[(&str, &str)]) -> Option<Vec<u8>> {
     let root = repo_root();
-    let bin = root.join("target/release").join(name);
+    let bin = root.join("target/release").join(bin_name);
     if !bin.exists() {
-        eprintln!("golden: skipping {name} — build it with `cargo build --release`");
+        eprintln!("golden: skipping {bin_name} — build it with `cargo build --release`");
         return None;
     }
-    let scratch = std::env::temp_dir().join(format!("ofc-golden-{}-{name}", std::process::id()));
+    let scratch =
+        std::env::temp_dir().join(format!("ofc-golden-{}-{out_name}", std::process::id()));
     std::fs::create_dir_all(&scratch).expect("scratch dir");
-    let status = Command::new(&bin)
-        .env("OFC_RESULTS_DIR", &scratch)
+    let mut cmd = Command::new(&bin);
+    cmd.env("OFC_RESULTS_DIR", &scratch);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let status = cmd
         .output()
-        .unwrap_or_else(|e| panic!("golden: {name} failed to launch: {e}"));
+        .unwrap_or_else(|e| panic!("golden: {bin_name} failed to launch: {e}"));
     assert!(
         status.status.success(),
-        "golden: {name} exited with {:?}\n{}",
+        "golden: {bin_name} exited with {:?}\n{}",
         status.status,
         String::from_utf8_lossy(&status.stderr)
     );
-    let out = scratch.join(format!("{name}.json"));
+    let out = scratch.join(format!("{out_name}.json"));
     let bytes = std::fs::read(&out)
-        .unwrap_or_else(|e| panic!("golden: {name} wrote no {}: {e}", out.display()));
+        .unwrap_or_else(|e| panic!("golden: {bin_name} wrote no {}: {e}", out.display()));
     std::fs::remove_dir_all(&scratch).ok();
     Some(bytes)
+}
+
+fn regenerate(name: &str) -> Option<Vec<u8>> {
+    regenerate_with(name, name, &[])
 }
 
 fn committed_path(name: &str) -> PathBuf {
@@ -83,7 +93,16 @@ fn check(name: &str) {
     let Some(fresh) = regenerate(name) else {
         return;
     };
+    check_bytes(name, fresh, true);
+}
+
+fn check_bytes(name: &str, fresh: Vec<u8>, bless_allowed: bool) {
     let golden = committed_path(name);
+    if blessing() && !bless_allowed {
+        // Another case owns this golden file; skip to avoid racing its
+        // bless write under the parallel test harness.
+        return;
+    }
     if blessing() {
         std::fs::write(&golden, &fresh).expect("bless golden");
         eprintln!("golden: blessed {}", golden.display());
@@ -131,13 +150,44 @@ fn maturation_matches_golden() {
     check("maturation");
 }
 
+/// Shortened deterministic macro24 (2-minute window), run serially.
+/// Guards the indexed eviction sweep: any behavioral drift from the old
+/// full-scan janitor shows up as a diff against the committed smoke
+/// golden.
+#[test]
+fn macro24_smoke_serial_matches_golden() {
+    let Some(fresh) = regenerate_with(
+        "macro24",
+        "macro24_smoke",
+        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "1")],
+    ) else {
+        return;
+    };
+    check_bytes("macro24_smoke", fresh, true);
+}
+
+/// The same smoke run fanned out over four workers must be byte-identical
+/// to the serial golden: the parallel replay runner collects results in
+/// submission order, so thread count can never change figure JSON.
+#[test]
+fn macro24_smoke_parallel_matches_serial_golden() {
+    let Some(fresh) = regenerate_with(
+        "macro24",
+        "macro24_smoke",
+        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "4")],
+    ) else {
+        return;
+    };
+    check_bytes("macro24_smoke", fresh, false);
+}
+
 #[test]
 fn golden_set_is_complete() {
     // Every golden this suite guards exists in results/ (after a bless).
     if blessing() {
         return;
     }
-    for name in GOLDEN_FIGURES {
+    for name in GOLDEN_FIGURES.iter().chain(&["macro24_smoke"]) {
         assert!(
             committed_path(name).exists(),
             "results/{name}.json missing — run OFC_GOLDEN_BLESS=1 cargo test --test golden"
