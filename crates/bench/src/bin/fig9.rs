@@ -4,6 +4,9 @@
 //! independent sims fanned out through [`ofc_bench::par`].
 //!
 //! Set `OFC_MACRO_MINS` to shorten the observation window.
+//! `OFC_MACRO_SMOKE=1` runs a fixed 2-minute window and saves
+//! `fig9_smoke.json` instead — the golden suite's serial-vs-parallel
+//! determinism probe for the default policy path.
 
 use ofc_bench::cachex::{run_macro, MacroResult};
 use ofc_bench::par;
@@ -12,7 +15,16 @@ use ofc_bench::scenario::PlaneKind;
 use ofc_workloads::faasload::TenantProfile;
 use std::time::Duration;
 
+fn smoke() -> bool {
+    std::env::var("OFC_MACRO_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 fn macro_minutes() -> u64 {
+    if smoke() {
+        return 2;
+    }
     std::env::var("OFC_MACRO_MINS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -66,5 +78,5 @@ fn main() {
         )
     );
     println!("Paper reference: OFC improves on OWK-Swift by 23.9-79.8% (54.6% average).");
-    report::save_json("fig9", &results);
+    report::save_json(if smoke() { "fig9_smoke" } else { "fig9" }, &results);
 }

@@ -17,14 +17,15 @@
 //! * `OFC_PERFREC_LTO_CHECK=1` — additionally time `macro24` serially at
 //!   the full 30-minute window, filling the LTO after-measurement of the
 //!   committed record (slow; off in CI).
-//! * `OFC_BENCH_RECORD` — output path (default `BENCH_5.json`).
+//! * `OFC_BENCH_RECORD` — output path (default `BENCH_6.json`).
 //! * `OFC_BENCH_THREADS` — worker count for the parallel pass (default:
 //!   available parallelism).
 
-use ofc_bench::cachex::run_macro_hooked;
+use ofc_bench::cachex::{run_macro_bakeoff, run_macro_hooked};
 use ofc_bench::par;
 use ofc_bench::scenario::{PlaneKind, Testbed};
 use ofc_core::ofc::OfcConfig;
+use ofc_core::policy::PolicyKind;
 use ofc_telemetry::names;
 use ofc_telemetry::Telemetry;
 use ofc_workloads::faasload::TenantProfile;
@@ -43,6 +44,7 @@ const PAR_BINS: &[(&str, u64)] = &[
     ("fig10", 3),
     ("ablation", 11),
     ("chaos", 2),
+    ("bakeoff", 3),
 ];
 
 /// Pre-thin-LTO `macro24` wall time: 30-minute window, serial, measured on
@@ -85,11 +87,21 @@ struct LtoRecord {
 }
 
 #[derive(Serialize)]
+struct PolicyTiming {
+    policy: String,
+    wall_s: f64,
+    hit_ratio_pct: f64,
+}
+
+#[derive(Serialize)]
 struct BenchRecord {
     record: u64,
     window_mins: u64,
     threads: usize,
     bins: Vec<BinTiming>,
+    /// One in-process Fig 9 macro run per cache policy (DESIGN.md §15):
+    /// the bake-off's wall-time record.
+    policies: Vec<PolicyTiming>,
     evict_sweep: SweepRecord,
     lto: LtoRecord,
     /// Sims executed through the parallel runner across the parallel pass
@@ -212,6 +224,33 @@ fn main() {
     }
     std::fs::remove_dir_all(&scratch_root).ok();
 
+    println!("\n  policy bake-off ({mins} min window, in-process):");
+    let mut policies = Vec::new();
+    for (kind, name) in [
+        (PolicyKind::Ofc, "ofc"),
+        (PolicyKind::Faast, "faast"),
+        (PolicyKind::InfiniCache, "infinicache"),
+    ] {
+        let started = Instant::now();
+        let (result, _extras) = run_macro_bakeoff(
+            kind,
+            TenantProfile::Normal,
+            1,
+            Duration::from_secs(60 * mins),
+            17,
+        );
+        let wall_s = started.elapsed().as_secs_f64();
+        println!(
+            "    {name:12} wall {wall_s:5.2}s   hit {:5.1}%",
+            result.table2.hit_ratio_pct
+        );
+        policies.push(PolicyTiming {
+            policy: name.into(),
+            wall_s,
+            hit_ratio_pct: result.table2.hit_ratio_pct,
+        });
+    }
+
     println!("\n  eviction sweep A/B ({mins} min window, in-process):");
     let indexed = sweep_side(false, mins);
     let full_scan = sweep_side(true, mins);
@@ -243,10 +282,11 @@ fn main() {
     let par_runs = telemetry.metrics().counter(names::BENCH_PAR_RUNS);
 
     let record = BenchRecord {
-        record: 5,
+        record: 6,
         window_mins: mins,
         threads,
         bins,
+        policies,
         evict_sweep: SweepRecord {
             indexed,
             full_scan,
@@ -258,7 +298,7 @@ fn main() {
         },
         par_runs,
     };
-    let path = std::env::var("OFC_BENCH_RECORD").unwrap_or_else(|_| "BENCH_5.json".into());
+    let path = std::env::var("OFC_BENCH_RECORD").unwrap_or_else(|_| "BENCH_6.json".into());
     let json = serde_json::to_string_pretty(&record).expect("serializable record");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("\n[saved {path}]");

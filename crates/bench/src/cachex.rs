@@ -150,7 +150,7 @@ pub fn pin(tb: &Testbed, mem: u64) {
     tb.platform.set_scheduler(Box::new(PinnedScheduler {
         node: EXEC_NODE,
         mem_limit: mem,
-        should_cache: true,
+        admission: ofc_faas::Admission::admit(),
     }));
 }
 
@@ -236,7 +236,7 @@ pub fn pipeline(
     register_stages(&tb, &tenant, 512 << 20);
     tb.platform.set_scheduler(Box::new(SpreadScheduler {
         mem_limit: 512 << 20,
-        should_cache: true,
+        admission: ofc_faas::Admission::admit(),
     }));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let driver: Rc<dyn ofc_faas::platform::PipelineDriver> = match app {
@@ -485,6 +485,29 @@ pub struct MacroResult {
     pub table2: Table2,
 }
 
+/// Bake-off measurements that ride alongside a [`MacroResult`] without
+/// touching its golden-frozen JSON shape: E+L latency, cache footprint,
+/// and the cold-tier economics of rival policies (DESIGN.md §15).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MacroExtras {
+    /// Summed Extract + Load time across all invocations (s).
+    pub el_seconds: f64,
+    /// Peak cache footprint over the run (GB).
+    pub peak_cache_gb: f64,
+    /// Mean cache footprint over the run (GB).
+    pub mean_cache_gb: f64,
+    /// Accrued sandbox rent (nanodollars; InfiniCache only).
+    pub rental_cost_nanodollars: u64,
+    /// Restores served from the cold tier (InfiniCache only).
+    pub cold_hits: u64,
+    /// Prefetch fills issued by the policy tick (Faa$T only).
+    pub prefetches: u64,
+    /// Write-backs still queued when the run ended (durability check).
+    pub persist_pending: u64,
+    /// Write-backs parked in the dead-letter set (durability check).
+    pub persist_dead_letters: u64,
+}
+
 /// Runs the §7.2.2 macro workload.
 ///
 /// `tenants_per_function = 1` reproduces the 8-tenant experiment;
@@ -566,6 +589,58 @@ pub fn run_macro_hooked(
     node_mem: u64,
     hook: impl FnOnce(&mut Testbed),
 ) -> MacroResult {
+    run_macro_extended(
+        kind,
+        profile_kind,
+        tenants_per_function,
+        duration,
+        seed,
+        ofc_cfg,
+        node_mem,
+        hook,
+    )
+    .0
+}
+
+/// Runs the Fig 9-shaped macro mix under one cache policy and returns
+/// both the figure result and the bake-off extras. Always drives the OFC
+/// plane; `policy` selects the brain (see `ofc-bench --bin bakeoff`).
+pub fn run_macro_bakeoff(
+    policy: ofc_core::policy::PolicyKind,
+    profile_kind: TenantProfile,
+    tenants_per_function: usize,
+    duration: Duration,
+    seed: u64,
+) -> (MacroResult, MacroExtras) {
+    run_macro_extended(
+        PlaneKind::Ofc,
+        profile_kind,
+        tenants_per_function,
+        duration,
+        seed,
+        OfcConfig {
+            policy,
+            ..OfcConfig::default()
+        },
+        64 << 30,
+        |_| {},
+    )
+}
+
+/// [`run_macro_hooked`] plus the [`MacroExtras`] side channel. The extras
+/// never feed figure JSON directly, so extending them cannot drift the
+/// committed goldens.
+#[allow(clippy::too_many_arguments)] // The full knob set of one experiment.
+fn run_macro_extended(
+    kind: PlaneKind,
+    profile_kind: TenantProfile,
+    tenants_per_function: usize,
+    duration: Duration,
+    seed: u64,
+    ofc_cfg: OfcConfig,
+    node_mem: u64,
+    hook: impl FnOnce(&mut Testbed),
+) -> (MacroResult, MacroExtras) {
     assert!(
         kind != PlaneKind::Redis,
         "the macro experiment compares Swift and OFC"
@@ -709,7 +784,45 @@ pub fn run_macro_hooked(
         ),
     };
 
-    MacroResult {
+    let el_seconds = records
+        .iter()
+        .map(|r| r.e_time.as_secs_f64() + r.l_time.as_secs_f64())
+        .sum();
+    let extras = match &tb.ofc {
+        Some(ofc) => {
+            let m = ofc.metrics();
+            let gb = |v: f64| v / (1u64 << 30) as f64;
+            let (peak, mean) = m
+                .gauge_series("agent.cache_size_bytes")
+                .map(|s| {
+                    let pts = s.points();
+                    let peak = pts.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+                    let mean = if pts.is_empty() {
+                        0.0
+                    } else {
+                        pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64
+                    };
+                    (peak, mean)
+                })
+                .unwrap_or((0.0, 0.0));
+            MacroExtras {
+                el_seconds,
+                peak_cache_gb: gb(peak),
+                mean_cache_gb: gb(mean),
+                rental_cost_nanodollars: m.counter("policy.rental_cost"),
+                cold_hits: m.counter("policy.cold_hits"),
+                prefetches: m.counter("policy.prefetches"),
+                persist_pending: ofc.persistence.borrow().pending_count() as u64,
+                persist_dead_letters: ofc.persistence.borrow().dead_letter_count() as u64,
+            }
+        }
+        None => MacroExtras {
+            el_seconds,
+            ..MacroExtras::default()
+        },
+    };
+
+    let result = MacroResult {
         profile: format!("{profile_kind:?}"),
         config: match kind {
             PlaneKind::Swift => "OWK-Swift".into(),
@@ -719,7 +832,8 @@ pub fn run_macro_hooked(
         per_function_total_s,
         cache_series,
         table2,
-    }
+    };
+    (result, extras)
 }
 
 /// Pre-trains a pipeline stage function's models.

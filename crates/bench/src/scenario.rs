@@ -6,7 +6,9 @@ use ofc_core::scheduler::FeatureFn;
 use ofc_faas::baselines::{DirectPlane, ImocPlane};
 use ofc_faas::platform::{Platform, PlatformHandle};
 use ofc_faas::registry::{FunctionSpec, Registry};
-use ofc_faas::{FunctionId, PlatformConfig, RoutingContext, RoutingDecision, Scheduler, TenantId};
+use ofc_faas::{
+    Admission, FunctionId, PlatformConfig, RoutingContext, RoutingDecision, Scheduler, TenantId,
+};
 use ofc_objstore::imoc::Imoc;
 use ofc_objstore::latency::LatencyModel;
 use ofc_objstore::store::ObjectStore;
@@ -211,8 +213,8 @@ pub fn pretrain_single(tb: &Testbed, tenant: &TenantId, profile: &'static Profil
 pub struct SpreadScheduler {
     /// Memory limit applied.
     pub mem_limit: u64,
-    /// `shouldBeCached` flag passed to the data plane.
-    pub should_cache: bool,
+    /// Admission decision passed to the data plane.
+    pub admission: Admission,
 }
 
 impl Scheduler for SpreadScheduler {
@@ -222,7 +224,7 @@ impl Scheduler for SpreadScheduler {
                 node: sb.node,
                 sandbox: Some(sb.sandbox),
                 mem_limit: self.mem_limit,
-                should_cache: self.should_cache,
+                admission: self.admission,
                 overhead: Duration::from_millis(6),
             };
         }
@@ -241,7 +243,7 @@ impl Scheduler for SpreadScheduler {
             node,
             sandbox: None,
             mem_limit: self.mem_limit,
-            should_cache: self.should_cache,
+            admission: self.admission,
             overhead: Duration::from_millis(6),
         }
     }
@@ -255,8 +257,8 @@ pub struct PinnedScheduler {
     pub node: usize,
     /// Memory limit applied.
     pub mem_limit: u64,
-    /// `shouldBeCached` flag passed to the data plane.
-    pub should_cache: bool,
+    /// Admission decision passed to the data plane.
+    pub admission: Admission,
 }
 
 impl Scheduler for PinnedScheduler {
@@ -270,7 +272,7 @@ impl Scheduler for PinnedScheduler {
             node: self.node,
             sandbox: warm,
             mem_limit: self.mem_limit,
-            should_cache: self.should_cache,
+            admission: self.admission,
             overhead: Duration::from_millis(6),
         }
     }

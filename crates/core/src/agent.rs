@@ -10,6 +10,7 @@
 //! parallel — so a sandbox never waits on a full data transfer.
 
 use crate::ml::FnKey;
+use crate::policy::{build_policy, CapacityTelemetry, EvictView, PolicyHandle, PolicyKind};
 use ofc_faas::{MemoryBroker, NodeId};
 use ofc_objstore::store::ObjectStore;
 use ofc_rcstore::cluster::Cluster;
@@ -51,9 +52,15 @@ pub struct AgentConfig {
     pub hot_access_threshold: u64,
     /// Cadence of the cache-size telemetry series (Figure 10).
     pub telemetry_every: Duration,
-    /// Reference mode: sweep every master per eviction tick instead of the
-    /// store's eviction-candidate index. Selects the same victims at
-    /// O(all-objects) cost; kept for A/B measurement (`perfrec`).
+    /// Deprecated: sweep every master per eviction tick instead of the
+    /// store's eviction-candidate index. The full scan is now a policy
+    /// concern — prefer installing
+    /// [`crate::policy::PolicyKind::OfcFullScan`] (or wrapping any policy
+    /// in [`crate::policy::FullScanPolicy`]). The knob is honored for
+    /// backwards compatibility: when set, the agent's *default* policy is
+    /// the full-scan wrapper; an explicitly installed policy wins. Selects
+    /// the same victims at O(all-objects) cost; kept for A/B measurement
+    /// (`perfrec`).
     pub evict_full_scan: bool,
 }
 
@@ -138,6 +145,9 @@ pub struct CacheAgent {
     /// reclamation (installed by the data plane; performs the shadow
     /// fulfillment so the store sees the payload).
     writeback: Option<WritebackFn>,
+    /// The installed cache policy: janitor victims and slack targets
+    /// delegate here (DESIGN.md §15).
+    policy: PolicyHandle,
 }
 
 /// Shared handle to the agent.
@@ -160,6 +170,14 @@ impl CacheAgent {
         cluster
             .borrow_mut()
             .set_cold_access_threshold(cfg.evict_min_access);
+        // Default policy; the deprecated full-scan knob still selects the
+        // wrapper until callers migrate to `OfcBuilder::policy(...)`.
+        let kind = if cfg.evict_full_scan {
+            PolicyKind::OfcFullScan
+        } else {
+            PolicyKind::Ofc
+        };
+        let policy = build_policy(kind, telemetry);
         AgentHandle(Rc::new(RefCell::new(CacheAgent {
             slack: vec![cfg.slack_initial; n],
             committed: vec![0; n],
@@ -172,6 +190,7 @@ impl CacheAgent {
             telemetry: telemetry.clone(),
             metrics,
             writeback: None,
+            policy,
         })))
     }
 
@@ -179,6 +198,11 @@ impl CacheAgent {
     /// plane, which owns the shadow-version bookkeeping).
     pub fn set_writeback(&mut self, f: Box<dyn FnMut(&Key)>) {
         self.writeback = Some(f);
+    }
+
+    /// Installs a cache policy (shared with the scheduler and the plane).
+    pub fn set_policy(&mut self, policy: PolicyHandle) {
+        self.policy = policy;
     }
 
     /// The observability plane this agent records into.
@@ -331,53 +355,63 @@ impl CacheAgent {
         }
     }
 
-    /// Slack adjustment from the churn window (§6.4, every 120 s).
+    /// Slack adjustment (§6.4, every 120 s): the installed policy turns
+    /// the churn window plus plane hit-rate telemetry into a per-node
+    /// slack target.
     fn adjust_slack(&mut self) {
+        let m = self.telemetry.metrics();
+        let (local_hits, remote_hits, misses) = (
+            m.counter("plane.local_hits"),
+            m.counter("plane.remote_hits"),
+            m.counter("plane.misses"),
+        );
         for node in 0..self.slack.len() {
-            if self.churn[node].is_empty() {
-                continue;
-            }
-            let mean = self.churn[node].iter().sum::<u64>() as f64 / self.churn[node].len() as f64;
-            let target = (mean * self.cfg.slack_factor) as u64;
-            self.slack[node] = target.clamp(self.cfg.slack_min, self.cfg.slack_max);
+            let churn_mean = if self.churn[node].is_empty() {
+                None
+            } else {
+                Some(self.churn[node].iter().sum::<u64>() as f64 / self.churn[node].len() as f64)
+            };
+            self.slack[node] = self
+                .policy
+                .borrow_mut()
+                .target_capacity(&CapacityTelemetry {
+                    node,
+                    churn_mean,
+                    current_slack: self.slack[node],
+                    slack_min: self.cfg.slack_min,
+                    slack_max: self.cfg.slack_max,
+                    slack_factor: self.cfg.slack_factor,
+                    local_hits,
+                    remote_hits,
+                    misses,
+                });
         }
     }
 
-    /// Periodic eviction pass (§6.3): drop objects with `n_access <
-    /// evict_min_access` (after a grace period) or idle for `evict_idle`.
+    /// Periodic eviction pass (§6.3): the installed policy selects janitor
+    /// victims from a read-only [`EvictView`]; the agent applies them —
+    /// write-back if dirty, then evict.
     ///
-    /// Victims come from the store's eviction-candidate index, so each tick
-    /// visits only the expirable prefix of the object population;
-    /// `agent.evict_scan_visited` counts the entries actually inspected.
+    /// The default policy draws victims from the store's eviction-candidate
+    /// index, so each tick visits only the expirable prefix of the object
+    /// population; `agent.evict_scan_visited` counts the entries actually
+    /// inspected, whichever scan the policy chose.
     fn periodic_evict(&mut self, now: SimTime) {
-        let (keys, visited) = if self.cfg.evict_full_scan {
-            // Reference sweep over every master (the pre-index behavior);
-            // sorted so both modes process victims in the same order.
+        let keys = {
             let c = self.cluster.borrow();
-            let mut victims = Vec::new();
-            let mut visited = 0u64;
-            for node in 0..c.n_nodes() {
-                for (key, obj) in c.node(node).masters() {
-                    visited += 1;
-                    let idle = now.saturating_since(obj.stats.t_access);
-                    let age = now.saturating_since(obj.stats.created);
-                    let cold = obj.stats.n_access < self.cfg.evict_min_access
-                        && age >= self.cfg.evict_grace;
-                    let stale = idle >= self.cfg.evict_idle;
-                    if cold || stale {
-                        victims.push((key.clone(), obj.dirty));
-                    }
-                }
-            }
-            victims.sort();
-            (victims, visited)
-        } else {
-            self.cluster
-                .borrow()
-                .evict_candidates(now, self.cfg.evict_grace, self.cfg.evict_idle)
+            let view = EvictView::new(
+                &c,
+                now,
+                self.cfg.evict_grace,
+                self.cfg.evict_idle,
+                self.cfg.evict_min_access,
+            );
+            let keys = self.policy.borrow_mut().select_victims(&view, 0);
+            self.metrics.evict_scan_visited.add(view.visited());
+            keys
         };
-        self.metrics.evict_scan_visited.add(visited);
-        for (key, dirty) in keys {
+        for key in keys {
+            let dirty = self.cluster.borrow().is_dirty(&key).unwrap_or(false);
             if dirty {
                 if let Some(wb) = self.writeback.as_mut() {
                     wb(&key);

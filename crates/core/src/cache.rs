@@ -4,9 +4,11 @@
 //! webhook paths for external clients.
 
 use crate::health::{BreakerConfig, ShardBreakers};
+use crate::policy::PolicyHandle;
 use ofc_chaos::RetryPolicy;
 use ofc_faas::{
-    DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served, WriteOutcome,
+    Admission, DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served,
+    WriteOutcome,
 };
 use ofc_objstore::store::ObjectStore;
 use ofc_objstore::{ObjectId, Payload, StoreError};
@@ -294,6 +296,11 @@ pub struct OfcPlane {
     /// Chunk manifests of striped large objects: key → chunk count
     /// (extension; see [`PlaneConfig::chunk_large_objects`]).
     chunks: HashMap<Key, u32>,
+    /// The installed cache policy: access notifications and the cold-tier
+    /// lookup on RAM misses go here (DESIGN.md §15). `None` keeps the
+    /// plane policy-free (standalone tests), which behaves exactly like
+    /// the default [`crate::policy::OfcPolicy`].
+    policy: Option<PolicyHandle>,
 }
 
 impl OfcPlane {
@@ -347,7 +354,13 @@ impl OfcPlane {
             breaker,
             persist_seq: 0,
             chunks: HashMap::new(),
+            policy: None,
         }
+    }
+
+    /// Installs a cache policy (shared with the scheduler and the agent).
+    pub fn set_policy(&mut self, policy: PolicyHandle) {
+        self.policy = Some(policy);
     }
 
     /// Current worst breaker state across shards (tests and the chaos
@@ -512,10 +525,14 @@ impl DataPlane for OfcPlane {
         _sim: &mut Sim,
         node: NodeId,
         obj: &ObjectRef,
-        should_cache: bool,
+        admission: Admission,
     ) -> ReadOutcome {
         let key = rc_key(&obj.id);
         let now = _sim.now();
+        // The admission's byte ceiling composes with the plane's: a policy
+        // may only tighten, never widen, the configured object-size bound.
+        let limit = admission.byte_limit.min(self.cfg.max_cached_object);
+        let chunking = admission.chunk_large || self.cfg.chunk_large_objects;
         let shard = self.cluster.borrow().shard_of(&key);
         // Degraded operation: an open breaker bypasses the cache for this
         // key's shard — OFC must never be worse than the vanilla platform.
@@ -532,6 +549,9 @@ impl DataPlane for OfcPlane {
         match hit.result {
             Ok((_value, locality)) => {
                 self.breaker.record_success(shard, now);
+                if let Some(p) = &self.policy {
+                    p.borrow_mut().on_access(&key, obj.size, node, true);
+                }
                 let served = match locality {
                     ReadLocality::LocalHit => {
                         self.metrics.local_hits.inc();
@@ -561,8 +581,39 @@ impl DataPlane for OfcPlane {
             // NotFound is a healthy response — the normal miss path below.
             Err(_) => self.breaker.record_success(shard, now),
         }
+        // A policy-private cold tier (e.g. InfiniCache's parked objects)
+        // may still hold the object: restore it into RAM and serve the
+        // read at the policy's restore latency.
+        if admission.cache {
+            let cold = self
+                .policy
+                .as_ref()
+                .and_then(|p| p.borrow_mut().lookup_cold(&key, now));
+            if let Some(cold) = cold {
+                self.metrics.remote_hits.inc();
+                let mut latency = cold.latency;
+                let t = self.cluster.borrow_mut().write_with_dirty(
+                    node,
+                    &key,
+                    Value::synthetic(obj.size),
+                    now,
+                    false, // restored copy matches the RSDS version: clean
+                );
+                if t.result.is_ok() {
+                    self.metrics.fills.inc();
+                    latency += t.latency;
+                }
+                if let Some(p) = &self.policy {
+                    p.borrow_mut().on_access(&key, obj.size, node, true);
+                }
+                return ReadOutcome {
+                    latency,
+                    served: Served::RemoteHit,
+                };
+            }
+        }
         // Striped large object (extension)?
-        if should_cache && self.cfg.chunk_large_objects && obj.size > self.cfg.max_cached_object {
+        if admission.cache && chunking && obj.size > limit {
             if let Some(latency) = self.read_chunked(node, &key, now) {
                 self.metrics.local_hits.inc();
                 return ReadOutcome {
@@ -583,9 +634,12 @@ impl DataPlane for OfcPlane {
         // Miss: fetch from the RSDS.
         let (res, store_latency) = self.store.borrow_mut().get(&obj.id);
         let mut latency = store_latency;
-        let cacheable = should_cache && obj.size <= self.cfg.max_cached_object;
+        let cacheable = admission.cache && obj.size <= limit;
         if cacheable {
             self.metrics.misses.inc();
+            if let Some(p) = &self.policy {
+                p.borrow_mut().on_access(&key, obj.size, node, false);
+            }
             if res.is_ok() {
                 let t = self.cluster.borrow_mut().write_with_dirty(
                     node,
@@ -617,16 +671,17 @@ impl DataPlane for OfcPlane {
         sim: &mut Sim,
         node: NodeId,
         obj: &ObjectWrite,
-        should_cache: bool,
+        admission: Admission,
         pipeline: Option<PipelineId>,
     ) -> WriteOutcome {
         let key = rc_key(&obj.id);
         let now = sim.now();
-        let cacheable = should_cache && obj.size <= self.cfg.max_cached_object;
+        let limit = admission.byte_limit.min(self.cfg.max_cached_object);
+        let cacheable = admission.cache && obj.size <= limit;
         if !cacheable {
             // Striped large output (extension): cache the stripe, then keep
             // the normal shadow/persistor path for the whole object.
-            if should_cache && self.cfg.chunk_large_objects {
+            if admission.cache && (admission.chunk_large || self.cfg.chunk_large_objects) {
                 if let Some(mut latency) = self.write_chunked(node, &key, obj.size, now) {
                     let (version, shadow_latency) =
                         self.store.borrow_mut().put_shadow(&obj.id, obj.size);
@@ -803,18 +858,18 @@ mod tests {
         let (mut plane, cluster, store) = setup();
         let mut sim = Sim::new(0);
         let obj = put_input(&store, "a", 64 * 1024);
-        let miss = plane.read(&mut sim, 1, &obj, true);
+        let miss = plane.read(&mut sim, 1, &obj, Admission::admit());
         assert_eq!(miss.served, Served::Miss);
         assert!(
             miss.latency >= Duration::from_millis(42),
             "paid the RSDS read"
         );
         assert!(cluster.borrow().contains(&rc_key(&obj.id)));
-        let hit = plane.read(&mut sim, 1, &obj, true);
+        let hit = plane.read(&mut sim, 1, &obj, Admission::admit());
         assert_eq!(hit.served, Served::LocalHit);
         assert!(hit.latency < Duration::from_millis(2));
         // From another node: remote hit, ~2 ms dearer.
-        let remote = plane.read(&mut sim, 0, &obj, true);
+        let remote = plane.read(&mut sim, 0, &obj, Admission::admit());
         assert_eq!(remote.served, Served::RemoteHit);
         assert!(remote.latency > hit.latency);
         let m = plane.telemetry().metrics();
@@ -826,7 +881,7 @@ mod tests {
         let (mut plane, cluster, store) = setup();
         let mut sim = Sim::new(0);
         let obj = put_input(&store, "a", 64 * 1024);
-        let out = plane.read(&mut sim, 0, &obj, false);
+        let out = plane.read(&mut sim, 0, &obj, Admission::bypass());
         assert_eq!(out.served, Served::Direct);
         assert!(!cluster.borrow().contains(&rc_key(&obj.id)));
         assert_eq!(plane.telemetry().metrics().counter("plane.bypasses"), 1);
@@ -837,7 +892,7 @@ mod tests {
         let (mut plane, cluster, store) = setup();
         let mut sim = Sim::new(0);
         let obj = put_input(&store, "big", 11 * MB);
-        let out = plane.read(&mut sim, 0, &obj, true);
+        let out = plane.read(&mut sim, 0, &obj, Admission::admit());
         assert_eq!(out.served, Served::Direct);
         assert!(!cluster.borrow().contains(&rc_key(&obj.id)));
     }
@@ -851,7 +906,7 @@ mod tests {
             size: 256 * 1024,
             is_final: true,
         };
-        let out = plane.write(&mut sim, 0, &w, true, None);
+        let out = plane.write(&mut sim, 0, &w, Admission::admit(), None);
         // Critical path: cache write + 11 ms shadow, far below a ~110 ms
         // full Swift PUT.
         assert!(out.latency >= Duration::from_millis(11));
@@ -884,7 +939,7 @@ mod tests {
             size: MB,
             is_final: false,
         };
-        let out = plane.write(&mut sim, 0, &w, true, Some(7));
+        let out = plane.write(&mut sim, 0, &w, Admission::admit(), Some(7));
         // No shadow: sub-millisecond cache-only write.
         assert!(out.latency < Duration::from_millis(5));
         assert!(
@@ -908,7 +963,7 @@ mod tests {
             size: 512 * 1024,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         // Do NOT run the sim: the persistor has not fired yet.
         let (res, latency) = plane.external_read(&w.id);
         assert!(res.is_ok(), "webhook must deliver the latest version");
@@ -922,7 +977,7 @@ mod tests {
         let (mut plane, cluster, store) = setup();
         let mut sim = Sim::new(0);
         let obj = put_input(&store, "shared", 64 * 1024);
-        plane.read(&mut sim, 0, &obj, true); // fill cache
+        plane.read(&mut sim, 0, &obj, Admission::admit()); // fill cache
         assert!(cluster.borrow().contains(&rc_key(&obj.id)));
         plane.external_write(&obj.id, Payload::Synthetic(128 * 1024));
         assert!(
@@ -957,7 +1012,7 @@ mod tests {
             size: 64 * 1024,
             is_final: true,
         };
-        let out = plane.write(&mut sim, 0, &w, true, None);
+        let out = plane.write(&mut sim, 0, &w, Admission::admit(), None);
         assert!(out.latency < Duration::from_millis(5), "no shadow cost");
         sim.run();
         assert!(
@@ -985,7 +1040,7 @@ mod tests {
             size: 25 * MB, // 3 chunks of <=10 MB
             is_final: true,
         };
-        let out = plane.write(&mut sim, 0, &w, true, None);
+        let out = plane.write(&mut sim, 0, &w, Admission::admit(), None);
         // Far cheaper than a ~660 ms direct Swift PUT of 25 MB.
         assert!(out.latency < Duration::from_millis(60), "{:?}", out.latency);
         assert_eq!(
@@ -1026,7 +1081,7 @@ mod tests {
             size: 25 * MB,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         sim.run();
         let hit = plane.read(
             &mut sim,
@@ -1035,7 +1090,7 @@ mod tests {
                 id: w.id.clone(),
                 size: w.size,
             },
-            true,
+            Admission::admit(),
         );
         assert_eq!(hit.served, Served::LocalHit);
         // Parallel stripes: far faster than the ~670 ms RSDS read.
@@ -1061,7 +1116,7 @@ mod tests {
             size: 25 * MB,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         sim.run();
         // Evict one chunk behind the plane's back.
         let key = rc_key(&w.id);
@@ -1077,7 +1132,7 @@ mod tests {
                 id: w.id.clone(),
                 size: w.size,
             },
-            true,
+            Admission::admit(),
         );
         assert_eq!(miss.served, Served::Miss, "broken stripe is a miss");
         // The object was re-striped; the next read hits again.
@@ -1088,7 +1143,7 @@ mod tests {
                 id: w.id.clone(),
                 size: w.size,
             },
-            true,
+            Admission::admit(),
         );
         assert_eq!(hit.served, Served::LocalHit);
     }
@@ -1099,16 +1154,16 @@ mod tests {
         let (mut plane, cluster, store) = setup();
         let mut sim = Sim::new(0);
         let obj = put_input(&store, "a", 64 * 1024);
-        plane.read(&mut sim, 0, &obj, true); // fill
-                                             // Five consecutive transient failures trip the default breaker.
+        plane.read(&mut sim, 0, &obj, Admission::admit()); // fill
+                                                           // Five consecutive transient failures trip the default breaker.
         cluster.borrow_mut().inject_transient_errors(5);
         for _ in 0..5 {
-            let out = plane.read(&mut sim, 0, &obj, true);
+            let out = plane.read(&mut sim, 0, &obj, Admission::admit());
             assert_eq!(out.served, Served::Direct, "degraded bypass to RSDS");
         }
         assert_eq!(plane.breaker_state(), BreakerState::Open);
         // Open: the cache is not even consulted.
-        let out = plane.read(&mut sim, 0, &obj, true);
+        let out = plane.read(&mut sim, 0, &obj, Admission::admit());
         assert_eq!(out.served, Served::Direct);
         let m = plane.telemetry().metrics();
         assert_eq!(m.counter("plane.degraded_bypasses"), 6);
@@ -1117,7 +1172,7 @@ mod tests {
         // again, so the breaker closes and the cached copy serves hits.
         sim.schedule_at(SimTime::from_secs(31), |_| {});
         sim.run();
-        let out = plane.read(&mut sim, 0, &obj, true);
+        let out = plane.read(&mut sim, 0, &obj, Admission::admit());
         assert_eq!(out.served, Served::LocalHit);
         assert_eq!(plane.breaker_state(), BreakerState::Closed);
         assert_eq!(
@@ -1138,7 +1193,7 @@ mod tests {
                 size: 1024,
                 is_final: true,
             };
-            plane.write(&mut sim, 0, &w, true, None);
+            plane.write(&mut sim, 0, &w, Admission::admit(), None);
         }
         assert_eq!(plane.breaker_state(), BreakerState::Open);
         // Writes under an open breaker land durably in the RSDS directly.
@@ -1147,7 +1202,7 @@ mod tests {
             size: 1024,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         assert!(!store.borrow().head(&w.id).0.unwrap().is_shadow());
         assert!(!cluster.borrow().contains(&rc_key(&w.id)));
         // Every failed/bypassed write still reached the RSDS: no data loss.
@@ -1193,22 +1248,22 @@ mod tests {
             }
         }
         let (sick, healthy) = (on_sick.unwrap(), on_healthy.unwrap());
-        plane.read(&mut sim, 0, &sick, true);
-        plane.read(&mut sim, 0, &healthy, true);
+        plane.read(&mut sim, 0, &sick, Admission::admit());
+        plane.read(&mut sim, 0, &healthy, Admission::admit());
         // Trip shard 0 only: transient faults while reading its key.
         for _ in 0..5 {
             cluster.borrow_mut().inject_transient_errors(1);
-            let out = plane.read(&mut sim, 0, &sick, true);
+            let out = plane.read(&mut sim, 0, &sick, Admission::admit());
             assert_eq!(out.served, Served::Direct);
         }
         assert_eq!(plane.shard_breaker_state(0), BreakerState::Open);
         assert_eq!(plane.breaker_state(), BreakerState::Open);
         // The sick shard bypasses; the healthy shard still serves hits.
-        let out = plane.read(&mut sim, 0, &sick, true);
+        let out = plane.read(&mut sim, 0, &sick, Admission::admit());
         assert_eq!(out.served, Served::Direct);
         // Shard anchoring may place the healthy master on another node, so
         // either hit flavor proves the cache still serves that shard.
-        let out = plane.read(&mut sim, 0, &healthy, true);
+        let out = plane.read(&mut sim, 0, &healthy, Admission::admit());
         assert!(
             matches!(out.served, Served::LocalHit | Served::RemoteHit),
             "healthy shard must still hit, got {:?}",
@@ -1227,7 +1282,7 @@ mod tests {
             size: 1024,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         let p = plane.persistence();
         // Enough failures to exhaust the default 4-attempt budget.
         p.borrow_mut().inject_persist_failures(4);
@@ -1255,7 +1310,7 @@ mod tests {
             size: 1024,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         let p = plane.persistence();
         p.borrow_mut().inject_persist_failures(4);
         start_sweeper(&mut sim, Rc::clone(&p));
@@ -1275,7 +1330,7 @@ mod tests {
             size: 512 * 1024,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         assert!(plane.persistence().borrow().is_pending(&rc_key(&w.id)));
         // A concurrent internal writer lands a newer, full version in the
         // RSDS while the pending entry lingers (the persistor lost the
@@ -1311,7 +1366,7 @@ mod tests {
             size: 1024,
             is_final: true,
         };
-        plane.write(&mut sim, 0, &w, true, None);
+        plane.write(&mut sim, 0, &w, Admission::admit(), None);
         let p = plane.persistence();
         assert!(p.borrow().is_pending(&rc_key(&w.id)));
         assert_eq!(p.borrow().pending_count(), 1);

@@ -56,6 +56,7 @@ pub mod health;
 pub mod ml;
 pub mod monitor;
 pub mod ofc;
+pub mod policy;
 pub mod scheduler;
 pub mod trainer;
 

@@ -154,7 +154,7 @@ mod tests {
             mem_booked: booked,
             reads_served: vec![],
             attempt: 0,
-            should_cache: true,
+            admission: ofc_faas::Admission::admit(),
             completion: Completion::Success,
         }
     }

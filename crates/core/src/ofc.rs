@@ -34,6 +34,7 @@ use crate::agent::{AgentConfig, AgentHandle, CacheAgent};
 use crate::cache::{rc_key, OfcPlane, Persistence, PlaneConfig};
 use crate::ml::{FnKey, MlConfig, MlEngine};
 use crate::monitor::{MonitorConfig, OfcMonitor};
+use crate::policy::{build_policy, PolicyHandle, PolicyKind};
 use crate::scheduler::{FeatureFn, OfcScheduler};
 use ofc_dtree::data::Attribute;
 use ofc_faas::platform::PlatformHandle;
@@ -68,6 +69,10 @@ pub struct OfcConfig {
     /// periodic flush tick). `0` or `1` keeps unbatched synchronous
     /// replication.
     pub replication_batch: usize,
+    /// Which cache policy to install (DESIGN.md §15). The default
+    /// [`PolicyKind::Ofc`] reproduces the paper's behavior byte-for-byte;
+    /// the rivals feed the `bakeoff` bench.
+    pub policy: PolicyKind,
     /// Ablation: disable the cache-benefit gate (cache everything).
     pub disable_benefit_gate: bool,
     /// Ablation: disable locality-aware routing (§6.5).
@@ -159,6 +164,15 @@ impl OfcBuilder {
         self
     }
 
+    /// Selects the cache policy (DESIGN.md §15): one shared instance
+    /// serves the scheduler (admission + placement), the agent (eviction
+    /// victims + slack sizing) and the data plane (access notifications +
+    /// cold-tier lookups).
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.cfg.policy = kind;
+        self
+    }
+
     /// Ablation: disable the cache-benefit gate (cache everything).
     pub fn disable_benefit_gate(mut self) -> Self {
         self.cfg.disable_benefit_gate = true;
@@ -224,13 +238,24 @@ impl OfcBuilder {
         cluster.bind_telemetry(&telemetry);
         let cluster = Rc::new(RefCell::new(cluster));
 
+        // One shared policy instance serves every seam (DESIGN.md §15).
+        // The deprecated `evict_full_scan` knob still selects the
+        // full-scan wrapper when the default policy is in play (perfrec's
+        // A/B measurement).
+        let kind = match cfg.policy {
+            PolicyKind::Ofc if cfg.agent.evict_full_scan => PolicyKind::OfcFullScan,
+            k => k,
+        };
+        let policy = build_policy(kind, &telemetry);
+
         // Data plane (Proxy + rclib + persistors + webhooks).
-        let plane = OfcPlane::new(
+        let mut plane = OfcPlane::new(
             cfg.plane.clone(),
             Rc::clone(&cluster),
             Rc::clone(&store),
             &telemetry,
         );
+        plane.set_policy(Rc::clone(&policy));
         let persistence = plane.persistence();
         platform.set_dataplane(Box::new(plane));
 
@@ -243,9 +268,11 @@ impl OfcBuilder {
         );
         {
             let persistence = Rc::clone(&persistence);
-            agent.0.borrow_mut().set_writeback(Box::new(move |key| {
+            let mut a = agent.0.borrow_mut();
+            a.set_writeback(Box::new(move |key| {
                 persistence.borrow_mut().persist_now(key);
             }));
+            a.set_policy(Rc::clone(&policy));
         }
         platform.set_broker(Box::new(agent.clone()));
 
@@ -258,6 +285,7 @@ impl OfcBuilder {
             OfcScheduler::with_telemetry(Rc::clone(&ml), Rc::clone(&features), &telemetry);
         scheduler.benefit_gate = !cfg.disable_benefit_gate;
         scheduler.locality_routing = !cfg.disable_locality_routing;
+        scheduler.set_policy(Rc::clone(&policy));
         platform.set_scheduler(Box::new(scheduler));
         platform.set_monitor(Box::new(OfcMonitor::with_telemetry(
             cfg.monitor.clone(),
@@ -280,6 +308,7 @@ impl OfcBuilder {
             agent,
             persistence,
             telemetry,
+            policy,
         }
     }
 }
@@ -298,6 +327,42 @@ fn start_flush_tick(sim: &mut Sim, cluster: Rc<RefCell<Cluster>>) {
     });
 }
 
+/// Recurring policy tick: runs [`crate::policy::CachePolicy::tick`] at the
+/// policy's own cadence and applies any returned prefetch requests —
+/// objects not currently cached are re-filled as clean copies (their
+/// payload is in the RSDS), counted by `policy.prefetches`.
+fn start_policy_tick(
+    sim: &mut Sim,
+    period: std::time::Duration,
+    policy: PolicyHandle,
+    cluster: Rc<RefCell<Cluster>>,
+    prefetches: ofc_telemetry::Counter,
+) {
+    sim.schedule_in(period, move |sim| {
+        let now = sim.now();
+        let requests = policy.borrow_mut().tick(now);
+        for req in requests {
+            let mut c = cluster.borrow_mut();
+            if c.contains(&req.key) {
+                continue;
+            }
+            if c.write_with_dirty(
+                req.node,
+                &req.key,
+                ofc_rcstore::Value::synthetic(req.size),
+                now,
+                false,
+            )
+            .result
+            .is_ok()
+            {
+                prefetches.inc();
+            }
+        }
+        start_policy_tick(sim, period, policy, cluster, prefetches);
+    });
+}
+
 /// A fully installed OFC instance with handles to every subsystem.
 pub struct Ofc {
     /// The shared Predictor/ModelTrainer.
@@ -309,6 +374,7 @@ pub struct Ofc {
     /// Pending write-back state (webhook and reclamation paths).
     pub persistence: Rc<RefCell<Persistence>>,
     telemetry: Telemetry,
+    policy: PolicyHandle,
 }
 
 impl Ofc {
@@ -329,9 +395,29 @@ impl Ofc {
     pub fn start(&self, sim: &mut Sim) {
         self.agent.start(sim);
         crate::cache::start_sweeper(sim, Rc::clone(&self.persistence));
-        if self.cluster.borrow().batching() {
+        let batching = self.cluster.borrow().batching();
+        if batching {
             start_flush_tick(sim, Rc::clone(&self.cluster));
         }
+        // Policy tick (DESIGN.md §15): periodic policy work — prefetch
+        // selection, cold-tier expiry, cost accrual. Returned prefetch
+        // requests re-fill evicted objects from the RSDS (clean copies).
+        let tick_every = self.policy.borrow().tick_every();
+        if let Some(period) = tick_every {
+            let prefetches = self.telemetry.counter("policy.prefetches");
+            start_policy_tick(
+                sim,
+                period,
+                Rc::clone(&self.policy),
+                Rc::clone(&self.cluster),
+                prefetches,
+            );
+        }
+    }
+
+    /// The installed cache policy (shared across scheduler, agent, plane).
+    pub fn policy(&self) -> PolicyHandle {
+        Rc::clone(&self.policy)
     }
 
     /// Registers a function's ML feature schema (models start blank).

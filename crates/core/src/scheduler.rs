@@ -2,6 +2,7 @@
 //! locality-aware request routing, replacing OWK's stock policy.
 
 use crate::ml::{FnKey, MlEngine};
+use crate::policy::{OfcPolicy, PolicyHandle, PredictionCtx, ShardView};
 use ofc_dtree::data::Value;
 use ofc_faas::{
     Args, FunctionId, RoutingContext, RoutingDecision, SandboxView, Scheduler, TenantId,
@@ -43,10 +44,13 @@ pub struct OfcScheduler {
     metrics: SchedMetrics,
     /// Predictor + Sizer critical-path overhead (~6 ms, §7.2.1).
     overhead: Duration,
+    /// The installed cache policy: admission and placement decisions
+    /// delegate here (DESIGN.md §15). Defaults to [`OfcPolicy`].
+    policy: PolicyHandle,
     /// Whether the cache-benefit gate is consulted (§5.2); `false` caches
     /// everything (ablation).
     pub benefit_gate: bool,
-    /// Whether routing prefers the node mastering the input (§6.5);
+    /// Whether routing prefers the node the policy placed (§6.5);
     /// `false` falls back to home-node hashing (ablation).
     pub locality_routing: bool,
 }
@@ -69,9 +73,15 @@ impl OfcScheduler {
             features,
             metrics: SchedMetrics::new(telemetry),
             overhead: Duration::from_millis(6),
+            policy: Rc::new(RefCell::new(OfcPolicy::new())),
             benefit_gate: true,
             locality_routing: true,
         }
+    }
+
+    /// Installs a cache policy (shared with the plane and the agent).
+    pub fn set_policy(&mut self, policy: PolicyHandle) {
+        self.policy = policy;
     }
 
     /// Orders warm sandboxes by §6.5's criteria: (i) smallest distance
@@ -109,19 +119,39 @@ impl Scheduler for OfcScheduler {
         let key: FnKey = (ctx.tenant.clone(), ctx.function.clone());
         let prediction = (self.features)(&ctx.tenant, &ctx.function, &ctx.args)
             .map(|f| self.ml.borrow().predict(&key, &f));
-        let (mem_limit, should_cache) = match prediction {
-            Some(p) => (p.mem_bytes.unwrap_or(ctx.booked_mem), p.should_cache),
-            // Unknown function: booked memory, cache conservatively.
-            None => (ctx.booked_mem, true),
+        // Sizing is the Predictor's (§5.3); admission is the policy's.
+        let mem_limit = match &prediction {
+            Some(p) => p.mem_bytes.unwrap_or(ctx.booked_mem),
+            // Unknown function: booked memory.
+            None => ctx.booked_mem,
         };
         if mem_limit == ctx.booked_mem {
             self.metrics.booked_fallbacks.inc();
         } else {
             self.metrics.predicted_sizes.inc();
         }
-        let should_cache = should_cache || !self.benefit_gate;
+        let mut admission = self.policy.borrow_mut().admit(&PredictionCtx {
+            tenant: &ctx.tenant,
+            function: &ctx.function,
+            booked_mem: ctx.booked_mem,
+            prediction: prediction.as_ref(),
+        });
+        if !self.benefit_gate {
+            // Ablation: cache everything regardless of the policy's gate.
+            admission.cache = true;
+        }
+        let placement = self.policy.borrow_mut().place(
+            None,
+            &ShardView {
+                tenant: &ctx.tenant,
+                function: &ctx.function,
+                home: ctx.home,
+                n_nodes: ctx.nodes.len(),
+                input_master: ctx.input_master,
+            },
+        );
         let ctx_master = if self.locality_routing {
-            ctx.input_master
+            placement.preferred
         } else {
             None
         };
@@ -136,7 +166,7 @@ impl Scheduler for OfcScheduler {
                 node,
                 sandbox: Some(sandbox),
                 mem_limit,
-                should_cache,
+                admission,
                 overhead: self.overhead,
             };
         }
@@ -166,7 +196,7 @@ impl Scheduler for OfcScheduler {
             node,
             sandbox: None,
             mem_limit,
-            should_cache,
+            admission,
             overhead: self.overhead,
         }
     }
@@ -308,6 +338,6 @@ mod tests {
         let mut s = OfcScheduler::new(ml, Rc::new(|_, _, _| None));
         let d = s.route(&ctx(vec![], None, 1.0));
         assert_eq!(d.mem_limit, 2 << 30);
-        assert!(d.should_cache, "conservative default");
+        assert!(d.admission.cache, "conservative default");
     }
 }

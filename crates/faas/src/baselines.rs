@@ -3,7 +3,8 @@
 //! comparison configurations of §7.2.
 
 use crate::{
-    DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served, WriteOutcome,
+    Admission, DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served,
+    WriteOutcome,
 };
 use ofc_objstore::imoc::Imoc;
 use ofc_objstore::store::ObjectStore;
@@ -32,7 +33,7 @@ impl DataPlane for DirectPlane {
         _sim: &mut Sim,
         _node: NodeId,
         obj: &ObjectRef,
-        _should_cache: bool,
+        _admission: Admission,
     ) -> ReadOutcome {
         let mut store = self.store.borrow_mut();
         let (res, latency) = store.get(&obj.id);
@@ -50,7 +51,7 @@ impl DataPlane for DirectPlane {
         _sim: &mut Sim,
         _node: NodeId,
         obj: &ObjectWrite,
-        _should_cache: bool,
+        _admission: Admission,
         _pipeline: Option<PipelineId>,
     ) -> WriteOutcome {
         let mut store = self.store.borrow_mut();
@@ -81,7 +82,7 @@ impl DataPlane for ImocPlane {
         _sim: &mut Sim,
         _node: NodeId,
         obj: &ObjectRef,
-        _should_cache: bool,
+        _admission: Admission,
     ) -> ReadOutcome {
         let mut imoc = self.imoc.borrow_mut();
         let (res, latency) = imoc.get(&obj.id);
@@ -108,7 +109,7 @@ impl DataPlane for ImocPlane {
         _sim: &mut Sim,
         _node: NodeId,
         obj: &ObjectWrite,
-        _should_cache: bool,
+        _admission: Admission,
         _pipeline: Option<PipelineId>,
     ) -> WriteOutcome {
         let mut imoc = self.imoc.borrow_mut();
@@ -137,7 +138,7 @@ impl DataPlane for NoopPlane {
         _sim: &mut Sim,
         _node: NodeId,
         _obj: &ObjectRef,
-        _should_cache: bool,
+        _admission: Admission,
     ) -> ReadOutcome {
         ReadOutcome {
             latency: Duration::ZERO,
@@ -150,7 +151,7 @@ impl DataPlane for NoopPlane {
         _sim: &mut Sim,
         _node: NodeId,
         _obj: &ObjectWrite,
-        _should_cache: bool,
+        _admission: Admission,
         _pipeline: Option<PipelineId>,
     ) -> WriteOutcome {
         WriteOutcome {
@@ -183,7 +184,7 @@ mod tests {
         );
         let mut plane = DirectPlane::new(Rc::clone(&store));
         let mut sim = Sim::new(0);
-        let out = plane.read(&mut sim, 0, &oref("k", 1024), false);
+        let out = plane.read(&mut sim, 0, &oref("k", 1024), Admission::bypass());
         assert!(out.latency >= Duration::from_millis(42));
         assert_eq!(out.served, Served::Direct);
     }
@@ -200,9 +201,9 @@ mod tests {
         let imoc = Rc::new(RefCell::new(Imoc::redis(1 << 20)));
         let mut plane = ImocPlane::new(imoc, Rc::clone(&store));
         let mut sim = Sim::new(0);
-        let cold = plane.read(&mut sim, 0, &oref("k", 1024), false);
+        let cold = plane.read(&mut sim, 0, &oref("k", 1024), Admission::bypass());
         assert_eq!(cold.served, Served::Miss);
-        let warm = plane.read(&mut sim, 0, &oref("k", 1024), false);
+        let warm = plane.read(&mut sim, 0, &oref("k", 1024), Admission::bypass());
         assert_eq!(warm.served, Served::Direct);
         assert!(warm.latency < cold.latency);
         // Warm Redis read is sub-millisecond.
@@ -220,7 +221,7 @@ mod tests {
             size: 4096,
             is_final: true,
         };
-        let out = plane.write(&mut sim, 0, &w, false, None);
+        let out = plane.write(&mut sim, 0, &w, Admission::bypass(), None);
         assert!(out.latency < Duration::from_millis(1));
         assert!(imoc.borrow().contains(&ObjectId::new("b", "out")));
     }

@@ -157,6 +157,54 @@ pub struct WriteOutcome {
     pub latency: Duration,
 }
 
+/// A typed admission decision, produced per invocation by the installed
+/// cache policy and threaded through the data plane.
+///
+/// This replaces the bare `should_cache: bool` the platform used to carry:
+/// a policy now states *whether* to cache, up to what object size, and
+/// whether oversized objects may be striped into chunks — so call sites
+/// cannot transpose flags, and rival policies can express intents the
+/// OFC default never needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Cache this invocation's reads and writes at all.
+    pub cache: bool,
+    /// Largest single object the policy will admit. The data plane
+    /// combines this with its own configured ceiling (the lower wins), so
+    /// `u64::MAX` means "defer to the plane's config".
+    pub byte_limit: u64,
+    /// Stripe objects above the size ceiling into chunks instead of
+    /// bypassing them (OR-ed with the plane's `chunk_large_objects`).
+    pub chunk_large: bool,
+}
+
+impl Admission {
+    /// Admit everything, deferring size and chunking policy to the plane's
+    /// configuration. Equivalent to the old `should_cache = true`.
+    pub fn admit() -> Self {
+        Admission {
+            cache: true,
+            byte_limit: u64::MAX,
+            chunk_large: false,
+        }
+    }
+
+    /// Cache nothing. Equivalent to the old `should_cache = false`.
+    pub fn bypass() -> Self {
+        Admission {
+            cache: false,
+            byte_limit: 0,
+            chunk_large: false,
+        }
+    }
+}
+
+impl Default for Admission {
+    fn default() -> Self {
+        Admission::admit()
+    }
+}
+
 /// The data plane: where function reads and writes actually go.
 ///
 /// OFC's Proxy + rclib implement this; [`baselines`] provides the
@@ -168,7 +216,7 @@ pub trait DataPlane {
         sim: &mut ofc_simtime::Sim,
         node: NodeId,
         obj: &ObjectRef,
-        should_cache: bool,
+        admission: Admission,
     ) -> ReadOutcome;
 
     /// Performs one Load-phase write on behalf of `node`.
@@ -177,7 +225,7 @@ pub trait DataPlane {
         sim: &mut ofc_simtime::Sim,
         node: NodeId,
         obj: &ObjectWrite,
-        should_cache: bool,
+        admission: Admission,
         pipeline: Option<PipelineId>,
     ) -> WriteOutcome;
 
@@ -250,9 +298,9 @@ pub struct RoutingDecision {
     /// Memory limit to apply to the sandbox (OFC: predicted `Mp`; stock:
     /// the booked amount).
     pub mem_limit: u64,
-    /// Whether this invocation's data should be cached (OFC's
-    /// `shouldBeCached`; ignored by the stock planes).
-    pub should_cache: bool,
+    /// The cache-admission decision for this invocation (OFC's
+    /// `shouldBeCached`, typed; ignored by the stock planes).
+    pub admission: Admission,
     /// Extra latency spent deciding (OFC's Predictor + Sizer ≈ 6 ms).
     pub overhead: Duration,
 }
@@ -277,7 +325,7 @@ impl Scheduler for StockScheduler {
                 node: sb.node,
                 sandbox: Some(sb.sandbox),
                 mem_limit: sb.mem_limit.max(ctx.booked_mem),
-                should_cache: false,
+                admission: Admission::bypass(),
                 overhead: Duration::ZERO,
             };
         }
@@ -299,7 +347,7 @@ impl Scheduler for StockScheduler {
             node,
             sandbox: None,
             mem_limit: ctx.booked_mem,
-            should_cache: false,
+            admission: Admission::bypass(),
             overhead: Duration::ZERO,
         }
     }
@@ -463,8 +511,8 @@ pub struct InvocationRecord {
     pub reads_served: Vec<Served>,
     /// Number of OOM kills suffered before this attempt.
     pub attempt: u32,
-    /// `should_cache` flag the scheduler chose.
-    pub should_cache: bool,
+    /// Admission decision the scheduler chose.
+    pub admission: Admission,
     /// Outcome.
     pub completion: Completion,
 }
@@ -600,7 +648,7 @@ mod tests {
         // Most recently used sandbox wins.
         assert_eq!(d.node, 0);
         assert_eq!(d.sandbox, Some(3));
-        assert!(!d.should_cache);
+        assert!(!d.admission.cache);
     }
 
     #[test]
@@ -643,7 +691,7 @@ mod tests {
             mem_booked: 0,
             reads_served: vec![],
             attempt: 0,
-            should_cache: false,
+            admission: Admission::bypass(),
             completion: Completion::Success,
         };
         assert_eq!(rec.total(), Duration::from_millis(110));

@@ -544,7 +544,7 @@ impl PlatformHandle {
         record.cold_start = cold;
         record.resized = resized;
         record.attempt = attempt;
-        record.should_cache = decision.should_cache;
+        record.admission = decision.admission;
 
         p.inflight.insert(
             inv_id,
@@ -595,11 +595,11 @@ impl PlatformHandle {
             // Extract phase: data-plane reads, sequential.
             let mut e_time = Duration::ZERO;
             let reads = fl.behavior.reads.clone();
-            let should_cache = fl.record.should_cache;
+            let admission = fl.record.admission;
             let node = fl.node;
             let mut served = Vec::with_capacity(reads.len());
             for obj in &reads {
-                let out = p.dataplane.read(sim, node, obj, should_cache);
+                let out = p.dataplane.read(sim, node, obj, admission);
                 e_time += out.latency;
                 served.push(out.served);
             }
@@ -753,14 +753,14 @@ impl PlatformHandle {
             // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
             let fl = p.inflight.get_mut(&inv_id).expect("inflight");
             let writes = fl.behavior.writes.clone();
-            let should_cache = fl.record.should_cache;
+            let admission = fl.record.admission;
             let node = fl.node;
             let pipeline = fl.record.pipeline;
             let compute = fl.behavior.compute;
             let compute_started = fl.compute_started;
             let mut l_time = Duration::ZERO;
             for w in &writes {
-                let out = p.dataplane.write(sim, node, w, should_cache, pipeline);
+                let out = p.dataplane.write(sim, node, w, admission, pipeline);
                 l_time += out.latency;
             }
             // ofc-lint: allow(panic) reason=inflight entries live until their completion event; ids are platform-issued
@@ -906,7 +906,7 @@ fn new_record(
         mem_booked: booked,
         reads_served: Vec::new(),
         attempt: 0,
-        should_cache: false,
+        admission: crate::Admission::bypass(),
         completion: Completion::Success,
     }
 }
@@ -921,7 +921,7 @@ impl DataPlane for NullPlane {
         _sim: &mut Sim,
         _node: NodeId,
         _obj: &crate::ObjectRef,
-        _should_cache: bool,
+        _admission: crate::Admission,
     ) -> crate::ReadOutcome {
         crate::ReadOutcome {
             latency: Duration::ZERO,
@@ -934,7 +934,7 @@ impl DataPlane for NullPlane {
         _sim: &mut Sim,
         _node: NodeId,
         _obj: &crate::ObjectWrite,
-        _should_cache: bool,
+        _admission: crate::Admission,
         _pipeline: Option<PipelineId>,
     ) -> crate::WriteOutcome {
         crate::WriteOutcome {

@@ -170,7 +170,7 @@ fn oom_kill_and_retry_at_booked() {
                 node: 0,
                 sandbox: ctx.warm.first().map(|s| s.sandbox),
                 mem_limit: 128 * MB,
-                should_cache: false,
+                admission: ofc_faas::Admission::bypass(),
                 overhead: Duration::ZERO,
             }
         }
@@ -200,7 +200,7 @@ fn oom_retry_succeeds_when_booked_is_enough() {
                 node: 0,
                 sandbox: None,
                 mem_limit: 128 * MB,
-                should_cache: false,
+                admission: ofc_faas::Admission::bypass(),
                 overhead: Duration::ZERO,
             }
         }
@@ -227,7 +227,7 @@ fn oom_retry_backoff_delays_resubmission() {
                 node: 0,
                 sandbox: None,
                 mem_limit: 128 * MB,
-                should_cache: false,
+                admission: ofc_faas::Admission::bypass(),
                 overhead: Duration::ZERO,
             }
         }

@@ -118,6 +118,23 @@ pub const PLANE_CHUNKED_HITS: &str = "plane.chunked_hits";
 /// Dirty cached objects persisted to durable storage.
 pub const PLANE_PERSISTS: &str = "plane.persists";
 
+// ---- cache-policy plane (DESIGN.md §15) -------------------------------
+
+/// Cold-tier hits: reads served from a policy-private cold tier (e.g.
+/// InfiniCache's erasure-coded parked objects) instead of the RSDS.
+pub const POLICY_COLD_HITS: &str = "policy.cold_hits";
+/// Parked cold-tier objects lost to sandbox keep-alive expiry.
+pub const POLICY_COLD_EXPIRIES: &str = "policy.cold_expiries";
+/// Bytes currently parked in a policy-private cold tier (pre-EC).
+pub const POLICY_PARKED_BYTES: &str = "policy.parked_bytes";
+/// Prefetch candidates a policy requested per tick.
+pub const POLICY_PREFETCH_WANTED: &str = "policy.prefetch_wanted";
+/// Prefetch requests actually filled into the cache by the runtime.
+pub const POLICY_PREFETCHES: &str = "policy.prefetches";
+/// Accrued sandbox-rental cost of a cold tier, in nanodollars
+/// (InfiniCache's Lambda-style GB-second billing).
+pub const POLICY_RENTAL_COST: &str = "policy.rental_cost";
+
 // ---- cache agent -------------------------------------------------------
 
 /// Cache pool grow operations.
@@ -235,6 +252,12 @@ pub const ALL: &[&str] = &[
     PLANE_PERSISTS,
     PLANE_REMOTE_HITS,
     PLANE_SHADOWS,
+    POLICY_COLD_EXPIRIES,
+    POLICY_COLD_HITS,
+    POLICY_PARKED_BYTES,
+    POLICY_PREFETCH_WANTED,
+    POLICY_PREFETCHES,
+    POLICY_RENTAL_COST,
     RCSTORE_BATCH_FLUSHES,
     RCSTORE_BATCHED_APPENDS,
     RCSTORE_EVICTIONS,

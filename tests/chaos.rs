@@ -296,7 +296,7 @@ proptest! {
             .collect();
         for id in &ids {
             let w = ObjectWrite { id: id.clone(), size: 128 * 1024, is_final: true };
-            plane.write(&mut sim, 0, &w, true, None);
+            plane.write(&mut sim, 0, &w, ofc::faas::Admission::admit(), None);
         }
         // The sweeper reschedules itself forever: bound the horizon. Two
         // hours cover any backoff chain plus enough sweeps to drain a

@@ -43,7 +43,7 @@ fn write(plane: &mut OfcPlane, sim: &mut Sim, key: &str, size: u64) -> ObjectId 
             size,
             is_final: true,
         },
-        true,
+        ofc::faas::Admission::admit(),
         None,
     );
     id
@@ -101,7 +101,7 @@ fn external_write_invalidates_and_next_function_read_refetches() {
             id: id.clone(),
             size: 64 * 1024,
         },
-        true,
+        ofc::faas::Admission::admit(),
     );
     assert!(cluster.borrow().contains(&rc_key(&id)));
     // An external client overwrites it directly in the RSDS.
@@ -118,7 +118,7 @@ fn external_write_invalidates_and_next_function_read_refetches() {
             id: id.clone(),
             size: 128 * 1024,
         },
-        true,
+        ofc::faas::Admission::admit(),
     );
     assert_eq!(out.served, ofc::faas::Served::Miss);
     let (meta, payload) = store.borrow_mut().get(&id).0.unwrap();

@@ -194,7 +194,7 @@ fn oom_underprediction_retries_at_booked_and_learns() {
                 node: 0,
                 sandbox: ctx.warm.first().map(|s| s.sandbox),
                 mem_limit: 64 << 20,
-                should_cache: true,
+                admission: ofc::faas::Admission::admit(),
                 overhead: std::time::Duration::ZERO,
             }
         }

@@ -181,13 +181,71 @@ fn macro24_smoke_parallel_matches_serial_golden() {
     check_bytes("macro24_smoke", fresh, false);
 }
 
+/// Shortened deterministic fig9 (2-minute window), run serially: the
+/// default-policy byte-identity probe for the policy-plane refactor
+/// (DESIGN.md §15).
+#[test]
+fn fig9_smoke_serial_matches_golden() {
+    let Some(fresh) = regenerate_with(
+        "fig9",
+        "fig9_smoke",
+        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "1")],
+    ) else {
+        return;
+    };
+    check_bytes("fig9_smoke", fresh, true);
+}
+
+#[test]
+fn fig9_smoke_parallel_matches_serial_golden() {
+    let Some(fresh) = regenerate_with(
+        "fig9",
+        "fig9_smoke",
+        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "4")],
+    ) else {
+        return;
+    };
+    check_bytes("fig9_smoke", fresh, false);
+}
+
+/// Shortened three-policy bake-off (2-minute window), run serially. Any
+/// drift in OFC, Faa$T, or InfiniCache policy behavior — admission,
+/// eviction, prefetch, cold-tier parking, or the rent model — lands here.
+#[test]
+fn bakeoff_smoke_serial_matches_golden() {
+    let Some(fresh) = regenerate_with(
+        "bakeoff",
+        "bakeoff_smoke",
+        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "1")],
+    ) else {
+        return;
+    };
+    check_bytes("bakeoff_smoke", fresh, true);
+}
+
+#[test]
+fn bakeoff_smoke_parallel_matches_serial_golden() {
+    let Some(fresh) = regenerate_with(
+        "bakeoff",
+        "bakeoff_smoke",
+        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "4")],
+    ) else {
+        return;
+    };
+    check_bytes("bakeoff_smoke", fresh, false);
+}
+
 #[test]
 fn golden_set_is_complete() {
     // Every golden this suite guards exists in results/ (after a bless).
     if blessing() {
         return;
     }
-    for name in GOLDEN_FIGURES.iter().chain(&["macro24_smoke"]) {
+    for name in
+        GOLDEN_FIGURES
+            .iter()
+            .chain(&["macro24_smoke", "fig9_smoke", "bakeoff_smoke", "bakeoff"])
+    {
         assert!(
             committed_path(name).exists(),
             "results/{name}.json missing — run OFC_GOLDEN_BLESS=1 cargo test --test golden"
