@@ -17,7 +17,7 @@
 //! * `OFC_PERFREC_LTO_CHECK=1` — additionally time `macro24` serially at
 //!   the full 30-minute window, filling the LTO after-measurement of the
 //!   committed record (slow; off in CI).
-//! * `OFC_BENCH_RECORD` — output path (default `BENCH_6.json`).
+//! * `OFC_BENCH_RECORD` — output path (default `BENCH_7.json`).
 //! * `OFC_BENCH_THREADS` — worker count for the parallel pass (default:
 //!   available parallelism).
 
@@ -60,6 +60,12 @@ struct BinTiming {
     parallel_s: f64,
     speedup: f64,
     json_identical: bool,
+    /// What the runner actually did on the timed "parallel" pass:
+    /// `"parallel"`, or `"serial-fallback"` when the bin's fan-out is
+    /// below the `min_par_sims` threshold and `run_jobs` stayed on the
+    /// calling thread (thread spawn/join costs more than it recovers on
+    /// 2–3 sim bins — the record-6 fig10 row measured 0.94x).
+    mode: &'static str,
 }
 
 #[derive(Serialize)]
@@ -98,6 +104,9 @@ struct BenchRecord {
     record: u64,
     window_mins: u64,
     threads: usize,
+    /// Fan-out floor for the parallel path ([`par::min_par_sims`]); bins
+    /// below it report `mode = "serial-fallback"`.
+    min_par_sims: usize,
     bins: Vec<BinTiming>,
     /// One in-process Fig 9 macro run per cache policy (DESIGN.md §15):
     /// the bake-off's wall-time record.
@@ -208,8 +217,13 @@ fn main() {
         let parallel_s = run_bin(bin, threads, mins, &parallel_dir);
         let json_identical = dirs_identical(&serial_dir, &parallel_dir);
         let speedup = serial_s / parallel_s.max(1e-9);
+        let mode = if (sims as usize) < par::min_par_sims() {
+            "serial-fallback"
+        } else {
+            "parallel"
+        };
         println!(
-            "  {bin:10} serial {serial_s:6.2}s   parallel {parallel_s:6.2}s   speedup {speedup:4.2}x   json {}",
+            "  {bin:10} serial {serial_s:6.2}s   parallel {parallel_s:6.2}s   speedup {speedup:4.2}x   json {}   [{mode}]",
             if json_identical { "identical" } else { "DIVERGED" }
         );
         par_runs += sims;
@@ -220,6 +234,7 @@ fn main() {
             parallel_s,
             speedup,
             json_identical,
+            mode,
         });
     }
     std::fs::remove_dir_all(&scratch_root).ok();
@@ -282,9 +297,10 @@ fn main() {
     let par_runs = telemetry.metrics().counter(names::BENCH_PAR_RUNS);
 
     let record = BenchRecord {
-        record: 6,
+        record: 7,
         window_mins: mins,
         threads,
+        min_par_sims: par::min_par_sims(),
         bins,
         policies,
         evict_sweep: SweepRecord {
@@ -298,7 +314,7 @@ fn main() {
         },
         par_runs,
     };
-    let path = std::env::var("OFC_BENCH_RECORD").unwrap_or_else(|_| "BENCH_6.json".into());
+    let path = std::env::var("OFC_BENCH_RECORD").unwrap_or_else(|_| "BENCH_7.json".into());
     let json = serde_json::to_string_pretty(&record).expect("serializable record");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("\n[saved {path}]");

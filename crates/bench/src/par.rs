@@ -31,14 +31,35 @@ pub fn threads() -> usize {
         })
 }
 
+/// Default for [`min_par_sims`]: bins with fewer sims than this run
+/// serially. Thread spawn/join overhead on a 2–3 sim bin costs more than
+/// the parallelism recovers (the fig10 bin measured 0.94× with workers).
+pub const DEFAULT_MIN_PAR_SIMS: usize = 4;
+
+/// Minimum job count for the parallel path, `OFC_BENCH_MIN_PAR_SIMS`
+/// overriding [`DEFAULT_MIN_PAR_SIMS`]. `0`/`1` make every multi-job bin
+/// parallel again.
+pub fn min_par_sims() -> usize {
+    std::env::var("OFC_BENCH_MIN_PAR_SIMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MIN_PAR_SIMS)
+}
+
 /// Runs every job and returns their results in submission order, fanning
-/// out over [`threads`] scoped workers.
+/// out over [`threads`] scoped workers — unless the bin is smaller than
+/// [`min_par_sims`], in which case it runs serially on the caller.
 pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    run_jobs_on(threads(), jobs)
+    let workers = if jobs.len() < min_par_sims() {
+        1
+    } else {
+        threads()
+    };
+    run_jobs_on(workers, jobs)
 }
 
 /// [`run_jobs`] with an explicit worker count. `threads <= 1` (or a
@@ -110,6 +131,19 @@ mod tests {
     fn empty_job_list_yields_empty_results() {
         let out: Vec<u64> = run_jobs_on(4, Vec::<fn() -> u64>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_bins_fall_back_to_serial() {
+        // Below the threshold run_jobs picks 1 worker; the result must
+        // still match a forced-parallel run of the same jobs.
+        let mk = |n: usize| (0..n).map(|i| move || i * 3).collect::<Vec<_>>();
+        let small = DEFAULT_MIN_PAR_SIMS - 1;
+        assert_eq!(run_jobs(mk(small)), run_jobs_on(8, mk(small)));
+        assert_eq!(
+            run_jobs(mk(DEFAULT_MIN_PAR_SIMS + 2)).len(),
+            DEFAULT_MIN_PAR_SIMS + 2
+        );
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Per-function control-flow graph over the statement tree.
+//!
+//! [`Cfg::build`] lowers a parsed body ([`crate::parser`]) into basic
+//! nodes — one per statement — connected by sequence, branch, and
+//! back edges. `break` jumps to the innermost loop's exit, `continue`
+//! to its header, `return` to the function exit. The graph is small and
+//! conservative: rules use it for reachability-style dataflow (D6 taint
+//! propagation), and for loop-depth context the statement walker in the
+//! parser is often enough (D5 uses that directly).
+
+use crate::parser::{Stmt, StmtKind};
+
+/// Node index into [`Cfg::nodes`].
+pub type NodeId = usize;
+
+/// One CFG node.
+#[derive(Debug)]
+pub struct Node {
+    /// 1-based source line of the statement (0 for synthetic entry/exit).
+    pub line: u32,
+    /// Token span of the statement, if the node is real.
+    pub span: Option<(usize, usize)>,
+    /// Loop nesting depth the node executes at.
+    pub loop_depth: u32,
+    /// Successor edges.
+    pub succs: Vec<NodeId>,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All nodes; index 0 is the synthetic entry, index 1 the exit.
+    pub nodes: Vec<Node>,
+}
+
+/// Synthetic entry node id.
+pub const ENTRY: NodeId = 0;
+/// Synthetic exit node id.
+pub const EXIT: NodeId = 1;
+
+impl Cfg {
+    /// Builds the CFG for one statement tree.
+    pub fn build(stmts: &[Stmt]) -> Cfg {
+        let mut b = Builder {
+            nodes: vec![
+                Node {
+                    line: 0,
+                    span: None,
+                    loop_depth: 0,
+                    succs: Vec::new(),
+                },
+                Node {
+                    line: 0,
+                    span: None,
+                    loop_depth: 0,
+                    succs: Vec::new(),
+                },
+            ],
+            loop_stack: Vec::new(),
+        };
+        let tails = b.lower(stmts, vec![ENTRY], 0);
+        for t in tails {
+            b.edge(t, EXIT);
+        }
+        Cfg { nodes: b.nodes }
+    }
+
+    /// Node ids in the graph, entry/exit excluded, in statement order.
+    pub fn real_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (2..self.nodes.len()).filter(|&i| self.nodes[i].span.is_some())
+    }
+
+    /// Forward reachability from `start` (inclusive).
+    pub fn reachable_from(&self, start: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n], true) {
+                continue;
+            }
+            stack.extend(self.nodes[n].succs.iter().copied());
+        }
+        seen
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    /// (header node, exit-join node) per active loop, innermost last.
+    loop_stack: Vec<(NodeId, NodeId)>,
+}
+
+impl Builder {
+    fn node(&mut self, line: u32, span: (usize, usize), depth: u32) -> NodeId {
+        self.nodes.push(Node {
+            line,
+            span: Some(span),
+            loop_depth: depth,
+            succs: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Synthetic join node (no span) — loop exits and branch merges.
+    fn join(&mut self, depth: u32) -> NodeId {
+        self.nodes.push(Node {
+            line: 0,
+            span: None,
+            loop_depth: depth,
+            succs: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+        }
+    }
+
+    /// Lowers a statement sequence; `preds` are the nodes that flow into
+    /// the first statement. Returns the set of nodes that fall out the
+    /// bottom (empty if every path diverged via return/break/continue).
+    fn lower(&mut self, stmts: &[Stmt], mut preds: Vec<NodeId>, depth: u32) -> Vec<NodeId> {
+        for s in stmts {
+            if preds.is_empty() {
+                break; // unreachable tail; stop wiring
+            }
+            preds = self.lower_stmt(s, preds, depth);
+        }
+        preds
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, preds: Vec<NodeId>, depth: u32) -> Vec<NodeId> {
+        match &s.kind {
+            StmtKind::If {
+                cond: _,
+                then_branch,
+                else_branch,
+            } => {
+                let head = self.node(s.line, s.span, depth);
+                for p in preds {
+                    self.edge(p, head);
+                }
+                let mut tails = self.lower(then_branch, vec![head], depth);
+                match else_branch {
+                    Some(e) => tails.extend(self.lower(e, vec![head], depth)),
+                    // No else: condition can fall through.
+                    None => tails.push(head),
+                }
+                tails
+            }
+            StmtKind::Loop { body, .. } => {
+                let header = self.node(s.line, s.span, depth);
+                let exit = self.join(depth);
+                for p in preds {
+                    self.edge(p, header);
+                }
+                // `for`/`while` can skip the body entirely; modeling the
+                // same for `loop` keeps the graph conservative.
+                self.edge(header, exit);
+                self.loop_stack.push((header, exit));
+                let tails = self.lower(body, vec![header], depth + 1);
+                self.loop_stack.pop();
+                for t in tails {
+                    self.edge(t, header); // back edge
+                }
+                vec![exit]
+            }
+            StmtKind::Match { arms, .. } => {
+                let head = self.node(s.line, s.span, depth);
+                for p in preds {
+                    self.edge(p, head);
+                }
+                let mut tails = Vec::new();
+                for arm in arms {
+                    tails.extend(self.lower(&arm.body, vec![head], depth));
+                }
+                if arms.is_empty() {
+                    tails.push(head);
+                }
+                tails
+            }
+            StmtKind::Block(body) => self.lower(body, preds, depth),
+            StmtKind::Return { .. } => {
+                let n = self.node(s.line, s.span, depth);
+                for p in preds {
+                    self.edge(p, n);
+                }
+                self.edge(n, EXIT);
+                Vec::new()
+            }
+            StmtKind::Break => {
+                let n = self.node(s.line, s.span, depth);
+                for p in preds {
+                    self.edge(p, n);
+                }
+                if let Some(&(_, exit)) = self.loop_stack.last() {
+                    self.edge(n, exit);
+                } else {
+                    self.edge(n, EXIT);
+                }
+                Vec::new()
+            }
+            StmtKind::Continue => {
+                let n = self.node(s.line, s.span, depth);
+                for p in preds {
+                    self.edge(p, n);
+                }
+                if let Some(&(header, _)) = self.loop_stack.last() {
+                    self.edge(n, header);
+                } else {
+                    self.edge(n, EXIT);
+                }
+                Vec::new()
+            }
+            StmtKind::Let { .. } | StmtKind::Expr => {
+                let n = self.node(s.line, s.span, depth);
+                for p in preds {
+                    self.edge(p, n);
+                }
+                vec![n]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_body;
+    use crate::source::SourceFile;
+
+    fn build(src: &str) -> (SourceFile, Cfg) {
+        let f = SourceFile::parse("t.rs".into(), src);
+        let body = f.functions[0].body;
+        let stmts = parse_body(&f.tokens, body.0, body.1);
+        let cfg = Cfg::build(&stmts);
+        (f, cfg)
+    }
+
+    /// Node id of the statement starting at `line`.
+    fn at_line(cfg: &Cfg, line: u32) -> NodeId {
+        cfg.real_nodes()
+            .find(|&n| cfg.nodes[n].line == line)
+            .unwrap_or_else(|| panic!("no node at line {line}"))
+    }
+
+    #[test]
+    fn straight_line_chains_entry_to_exit() {
+        let (_, cfg) = build("fn f() { a(); b(); }");
+        let reach = cfg.reachable_from(ENTRY);
+        assert!(reach[EXIT]);
+        assert_eq!(cfg.real_nodes().count(), 2);
+    }
+
+    #[test]
+    fn early_return_diverges_but_later_code_stays_reachable() {
+        let (_, cfg) = build("fn f() {\nif a {\nreturn;\n}\nafter();\n}");
+        let ret = at_line(&cfg, 3);
+        let after = at_line(&cfg, 5);
+        // From the return node only EXIT is reachable, not `after`.
+        let from_ret = cfg.reachable_from(ret);
+        assert!(from_ret[EXIT]);
+        assert!(!from_ret[after]);
+        // But `after` is reachable from entry via the else fall-through.
+        assert!(cfg.reachable_from(ENTRY)[after]);
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_breaks_leave_them() {
+        let (_, cfg) = build("fn f() {\nloop {\nstep();\nif done {\nbreak;\n}\n}\ntail();\n}");
+        let header = at_line(&cfg, 2);
+        let step = at_line(&cfg, 3);
+        let tail = at_line(&cfg, 8);
+        // step flows back to the header (via the if fall-through).
+        assert!(cfg
+            .reachable_from(step)
+            .iter()
+            .enumerate()
+            .any(|(n, &r)| r && n == header));
+        // break reaches tail without passing the header again.
+        let brk = at_line(&cfg, 5);
+        assert!(cfg.reachable_from(brk)[tail]);
+    }
+
+    #[test]
+    fn continue_returns_to_innermost_header_only() {
+        let (_, cfg) =
+            build("fn f() {\nfor x in xs {\nfor y in ys {\ncontinue;\nnever();\n}\n}\n}");
+        let inner = at_line(&cfg, 3);
+        let cont = at_line(&cfg, 4);
+        let from_cont = cfg.reachable_from(cont);
+        assert!(from_cont[inner], "continue targets the inner header");
+        // `never` diverges off every path, so it is not lowered at all —
+        // unreachable statements get no CFG nodes.
+        assert!(cfg.real_nodes().all(|n| cfg.nodes[n].line != 5));
+    }
+
+    #[test]
+    fn match_arms_fork_and_rejoin() {
+        let (_, cfg) =
+            build("fn f(x: u64) {\nmatch x {\n0 => a(),\n_ => {\nb();\n}\n}\nafter();\n}");
+        let head = at_line(&cfg, 2);
+        let after = at_line(&cfg, 8);
+        // Both arm bodies are successors-of-successors of the head and
+        // all paths reach `after`.
+        assert!(cfg.reachable_from(head)[after]);
+        assert!(
+            cfg.nodes[head].succs.len() >= 2,
+            "arms fork from the match head"
+        );
+    }
+
+    #[test]
+    fn match_guards_keep_arm_bodies_reachable() {
+        let (_, cfg) =
+            build("fn f(x: u64) {\nmatch x {\nn if n > 3 => big(),\n_ => small(),\n}\n}");
+        let reach = cfg.reachable_from(ENTRY);
+        assert!(reach[EXIT]);
+        assert_eq!(cfg.real_nodes().count(), 3, "match head + two arm bodies");
+    }
+
+    #[test]
+    fn loop_depth_is_recorded_per_node() {
+        let (_, cfg) = build("fn f() {\nfor a in xs {\nwhile b {\ndeep();\n}\n}\n}");
+        let deep = at_line(&cfg, 4);
+        assert_eq!(cfg.nodes[deep].loop_depth, 2);
+        let outer = at_line(&cfg, 2);
+        assert_eq!(cfg.nodes[outer].loop_depth, 0);
+    }
+}

@@ -46,6 +46,17 @@ pub struct Config {
     pub telemetry_paths: Vec<String>,
     /// D4: files whose non-test code must not panic.
     pub panic_hot_paths: Vec<String>,
+    /// D5: path prefixes whose loops are allocation-audited (the
+    /// interning-campaign work list).
+    pub hotloop_paths: Vec<String>,
+    /// D6: identifier substrings that prove a seed expression is
+    /// schedule-derived (matched case-insensitively).
+    pub rng_seed_idents: Vec<String>,
+    /// D6: path prefixes exempt from RNG lineage analysis.
+    pub rng_allow: Vec<String>,
+    /// D8: path prefixes containing scoped-thread worker closures whose
+    /// captures are audited.
+    pub parallel_harness_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -87,6 +98,23 @@ impl Default for Config {
                 "crates/rcstore/src/log.rs".into(),
                 "crates/faas/src/platform.rs".into(),
             ],
+            hotloop_paths: vec![
+                "crates/rcstore/src/node.rs".into(),
+                "crates/rcstore/src/log.rs".into(),
+                "crates/rcstore/src/cluster.rs".into(),
+                "crates/rcstore/src/shard.rs".into(),
+                "crates/core/src/cache.rs".into(),
+                "crates/core/src/agent.rs".into(),
+            ],
+            rng_seed_idents: vec![
+                "seed".into(),
+                "stream".into(),
+                "schedule".into(),
+                "chaos".into(),
+                "rng".into(),
+            ],
+            rng_allow: vec![],
+            parallel_harness_paths: vec!["crates/bench/".into()],
         }
     }
 }
@@ -126,6 +154,12 @@ impl Config {
                 ("telemetry.registry", Value::Str(s)) => cfg.telemetry_registry = s.clone(),
                 ("telemetry.paths", Value::List(v)) => cfg.telemetry_paths = v.clone(),
                 ("panics.hot_paths", Value::List(v)) => cfg.panic_hot_paths = v.clone(),
+                ("hotloops.paths", Value::List(v)) => cfg.hotloop_paths = v.clone(),
+                ("rng.seed_idents", Value::List(v)) => cfg.rng_seed_idents = v.clone(),
+                ("rng.allow_paths", Value::List(v)) => cfg.rng_allow = v.clone(),
+                ("parallel.harness_paths", Value::List(v)) => {
+                    cfg.parallel_harness_paths = v.clone()
+                }
                 (other, _) => {
                     return Err(ConfigError(format!(
                         "unknown or mistyped key \"{other}\" (string vs list?)"
@@ -262,6 +296,18 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.panic_hot_paths, vec!["a.rs", "b.rs"]);
         assert!(!cfg.lock_scope_per_file);
+    }
+
+    #[test]
+    fn analyzer_v2_sections_parse() {
+        let cfg = Config::parse(
+            "[hotloops]\npaths = [\"x.rs\"]\n[rng]\nseed_idents = [\"seed\"]\nallow_paths = [\"y/\"]\n[parallel]\nharness_paths = [\"z/\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.hotloop_paths, vec!["x.rs"]);
+        assert_eq!(cfg.rng_seed_idents, vec!["seed"]);
+        assert_eq!(cfg.rng_allow, vec!["y/"]);
+        assert_eq!(cfg.parallel_harness_paths, vec!["z/"]);
     }
 
     #[test]

@@ -16,49 +16,86 @@
 //!   abort, unless a site documents its invariant with
 //!   `// ofc-lint: allow(panic) reason=...`.
 //!
+//! Since v2 the engine is no longer purely token-level: a lightweight
+//! statement parser ([`parser`]) and per-function control-flow graph
+//! ([`cfg`]) feed the dataflow rules —
+//!
+//! * **D5 hot-loop allocations** — allocation sites inside loops in the
+//!   configured hot paths, exported as the machine-readable interning
+//!   work-list (`--emit-hotspots`, ROADMAP item 2);
+//! * **D6 RNG taint lineage** — every RNG construction must derive its
+//!   seed from a schedule source, proven by interprocedural may-taint
+//!   dataflow ([`summaries`], the same fixpoint machinery as D2);
+//! * **D7 dead telemetry** — D3 made bidirectional: registry consts no
+//!   analyzed call site ever emits are reported;
+//! * **D8 parallel-capture hygiene** — scoped-thread worker closures may
+//!   share only atomics, channels, and Mutex slots.
+//!
 //! The crate is dependency-free and offline-safe: a hand-rolled Rust
 //! tokenizer (no syn, no proc-macro machinery), a TOML-subset config
 //! parser, and plain `std::fs` workspace walking. Rules pattern-match
-//! over token streams — deliberately approximate, tuned to this
-//! workspace's idioms, with a pragma escape hatch for the rest.
+//! over token streams and the statement tree — deliberately approximate,
+//! tuned to this workspace's idioms, with a pragma escape hatch for the
+//! rest.
 
+pub mod cfg;
 pub mod config;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod summaries;
 pub mod tokenizer;
 pub mod workspace;
 
 pub use config::Config;
-pub use report::Finding;
+pub use report::{Finding, Hotspot};
 
 use rules::telemetry::NameRegistry;
 use source::SourceFile;
 use std::path::Path;
 
+/// The result of one analysis pass: findings for the gate, plus the D5
+/// hotspot inventory (all allocation sites, suppressed ones included).
+pub struct Analysis {
+    /// Sorted findings (canonical report order).
+    pub findings: Vec<Finding>,
+    /// Sorted D5 hotspot inventory.
+    pub hotspots: Vec<Hotspot>,
+}
+
 /// Analyzes already-parsed sources under `cfg` and returns sorted
-/// findings. `registry_src` is the contents of the metric-name registry
-/// module, if available (D3 is skipped without it).
-pub fn analyze(files: &[SourceFile], cfg: &Config, registry_src: Option<&str>) -> Vec<Finding> {
+/// findings plus the hotspot inventory. `registry_src` is the contents of
+/// the metric-name registry module, if available (D3/D7 are skipped
+/// without it).
+pub fn analyze(files: &[SourceFile], cfg: &Config, registry_src: Option<&str>) -> Analysis {
     let registry = registry_src
         .map(|src| NameRegistry::parse(&SourceFile::parse(cfg.telemetry_registry.clone(), src)));
     let mut findings = Vec::new();
+    let mut hotspots = Vec::new();
     for file in files {
         rules::check_pragmas(file, &mut findings);
         rules::determinism::check(file, cfg, &mut findings);
         rules::panics::check(file, cfg, &mut findings);
+        rules::hotloops::check(file, cfg, &mut findings, &mut hotspots);
+        rules::capture::check(file, cfg, &mut findings);
         if let Some(reg) = &registry {
             rules::telemetry::check(file, cfg, reg, &mut findings);
         }
     }
     rules::locks::check(files, cfg, &mut findings);
+    rules::rng::check(files, cfg, &mut findings);
+    if let Some(reg) = &registry {
+        rules::telemetry::check_dead(files, cfg, reg, &mut findings);
+    }
     report::sort_findings(&mut findings);
-    findings
+    report::sort_hotspots(&mut hotspots);
+    Analysis { findings, hotspots }
 }
 
 /// Loads, parses, and analyzes every non-excluded `.rs` file under
 /// `root`, resolving the telemetry registry from the configured path.
-pub fn run_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+pub fn run_workspace(root: &Path, cfg: &Config) -> std::io::Result<Analysis> {
     let rel_paths = workspace::discover(root, &cfg.exclude)?;
     let mut files = Vec::with_capacity(rel_paths.len());
     for rel in &rel_paths {
@@ -88,17 +125,41 @@ mod tests {
             &cfg(),
             Some("pub const GOOD: &str = \"plane.good\";"),
         )
+        .findings
     }
 
     #[test]
     fn clean_file_has_no_findings() {
         let src = r#"
             use std::collections::BTreeMap;
-            pub fn snapshot(m: &BTreeMap<u64, u64>) -> Vec<u64> {
+            pub fn snapshot(m: &BTreeMap<u64, u64>, t: &T) -> Vec<u64> {
+                t.counter("plane.good").inc();
                 m.values().copied().collect()
             }
         "#;
         assert!(lint("hot.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unused_registry_const_is_dead_telemetry() {
+        // A file that never emits "plane.good": D7 reports the registry
+        // const at its declaration site.
+        let fs = lint("hot.rs", "pub fn quiet() {}");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "D7-DEAD-TELEMETRY");
+        assert_eq!(fs[0].path, Config::default().telemetry_registry);
+    }
+
+    #[test]
+    fn hotspot_inventory_rides_along_with_findings() {
+        let files = vec![SourceFile::parse(
+            "crates/rcstore/src/node.rs".into(),
+            "fn sweep(ks: &[K]) { for k in ks { out.push(k.clone()); } }",
+        )];
+        let analysis = analyze(&files, &Config::default(), None);
+        assert_eq!(analysis.hotspots.len(), 1);
+        assert_eq!(analysis.hotspots[0].kind, "clone");
+        assert!(analysis.findings.iter().any(|f| f.rule == "D5-HOTLOOP"));
     }
 
     #[test]

@@ -23,6 +23,8 @@ OPTIONS:
     --baseline <file>         Only fail on findings not in the baseline
     --write-baseline <file>   Record current findings as the baseline and
                               exit 0
+    --emit-hotspots <file>    Write the D5 hot-loop allocation inventory
+                              (suppressed sites included) as JSON
     --quiet                   Suppress the summary line on success
     --help                    Show this help
 ";
@@ -33,6 +35,7 @@ struct Args {
     format_json: bool,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    emit_hotspots: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -43,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         format_json: false,
         baseline: None,
         write_baseline: None,
+        emit_hotspots: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -62,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
             "--write-baseline" => {
                 args.write_baseline = Some(next_path(&mut it, "--write-baseline")?)
             }
+            "--emit-hotspots" => args.emit_hotspots = Some(next_path(&mut it, "--emit-hotspots")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -121,13 +126,28 @@ fn main() -> ExitCode {
         Config::default()
     };
 
-    let findings = match ofc_lint::run_workspace(&root, &cfg) {
-        Ok(f) => f,
+    let analysis = match ofc_lint::run_workspace(&root, &cfg) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("ofc-lint: analysis failed: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &args.emit_hotspots {
+        if let Err(e) = std::fs::write(path, report::format_hotspots_json(&analysis.hotspots)) {
+            eprintln!("ofc-lint: cannot write hotspots {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !args.quiet && !args.format_json {
+            println!(
+                "ofc-lint: {} hotspot(s) written to {}",
+                analysis.hotspots.len(),
+                workspace::relative(&root, path)
+            );
+        }
+    }
+    let findings = analysis.findings;
 
     if let Some(path) = args.write_baseline {
         if let Err(e) = std::fs::write(&path, report::write_baseline(&findings)) {

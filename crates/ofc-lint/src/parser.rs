@@ -1,0 +1,690 @@
+//! A lightweight statement parser over the flat token stream.
+//!
+//! [`parse_body`] turns one function body into a tree of [`Stmt`]s — just
+//! enough structure for control-flow-aware rules: `let` bindings with
+//! their initializer spans, `if`/`else` chains, the three loop forms,
+//! `match` arms (with guards), `return`/`break`/`continue`, and bare
+//! blocks. Everything else is an opaque expression statement whose token
+//! span the rules scan directly.
+//!
+//! The parser is deliberately approximate in the same way the tokenizer
+//! is: it balances all three bracket kinds, so closures, nested blocks,
+//! and struct literals inside expressions never derail statement
+//! boundaries, but it does not build full expression trees. The CFG
+//! builder ([`crate::cfg`]) and the dataflow rules (D5/D6) consume this
+//! tree.
+
+use crate::tokenizer::{TokKind, Token};
+
+/// Inclusive token-index span.
+pub type Span = (usize, usize);
+
+/// Which loop form introduced a [`StmtKind::Loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for pat in iter { .. }`
+    For,
+    /// `while cond { .. }` / `while let pat = e { .. }`
+    While,
+    /// `loop { .. }`
+    Loop,
+}
+
+/// One `match` arm: pattern (with optional guard) and body.
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// Pattern tokens, guard included.
+    pub pattern: Span,
+    /// Guard expression span (`pat if guard =>`), if present.
+    pub guard: Option<Span>,
+    /// Arm body statements (a block, or a single expression statement).
+    pub body: Vec<Stmt>,
+    /// 1-based line of the pattern's first token.
+    pub line: u32,
+}
+
+/// Statement payload.
+#[derive(Debug, Clone)]
+pub enum StmtKind {
+    /// `let <name> = <init>;` — `name` is the first bound identifier
+    /// (after `mut`/`ref`); tuple patterns keep only the first name.
+    Let {
+        /// First bound identifier, if any.
+        name: Option<String>,
+        /// Initializer token span (after `=`), if initialized.
+        init: Option<Span>,
+    },
+    /// Any other expression/item statement; the span is scanned raw.
+    Expr,
+    /// `if cond { .. } [else ..]`.
+    If {
+        /// Condition span.
+        cond: Span,
+        /// Then-branch statements.
+        then_branch: Vec<Stmt>,
+        /// Else-branch statements (an `else if` is a single nested `If`).
+        else_branch: Option<Vec<Stmt>>,
+    },
+    /// `for`/`while`/`loop`.
+    Loop {
+        /// Which loop form.
+        kind: LoopKind,
+        /// Header span (`pat in iter`, `cond`; empty for `loop`).
+        header: Span,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// Scrutinee span.
+        scrutinee: Span,
+        /// The arms in source order.
+        arms: Vec<MatchArm>,
+    },
+    /// `return [expr];`
+    Return {
+        /// Returned expression span, if any.
+        value: Option<Span>,
+    },
+    /// `break [label/value];`
+    Break,
+    /// `continue [label];`
+    Continue,
+    /// A bare `{ .. }` block statement.
+    Block(Vec<Stmt>),
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// Statement payload.
+    pub kind: StmtKind,
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// Inclusive token span of the whole statement (body included).
+    pub span: Span,
+}
+
+/// Item keywords that can open a braced item inside a function body; an
+/// expression statement starting with one of these ends at its closing
+/// brace (no trailing `;`).
+const ITEM_KEYWORDS: [&str; 7] = ["fn", "struct", "enum", "impl", "mod", "trait", "union"];
+
+/// Parses the statements of a function body whose braces sit at token
+/// indices `open` and `close` (as found by [`crate::source::match_brace`]).
+pub fn parse_body(tokens: &[Token], open: usize, close: usize) -> Vec<Stmt> {
+    let mut p = Parser { tokens };
+    p.stmts(open + 1, close)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+}
+
+impl<'a> Parser<'a> {
+    fn line(&self, i: usize) -> u32 {
+        self.tokens.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.tokens.get(i).and_then(|t| t.kind.ident())
+    }
+
+    fn punct_at(&self, i: usize, c: char) -> bool {
+        self.tokens.get(i).is_some_and(|t| t.kind.is_punct(c))
+    }
+
+    /// Index of the bracket matching the opener at `open` (any of
+    /// `(`/`[`/`{`), or `end` if unbalanced.
+    fn matching(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            match &self.tokens[i].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Scans from `i` to the statement terminator `;` at depth 0 (all
+    /// bracket kinds balanced), stopping at `end`. Returns the index of
+    /// the `;` (or `end`).
+    fn stmt_end(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            match &self.tokens[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+                TokKind::Punct(';') if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Scans from `i` to the `{` opening the next block at depth 0 —
+    /// the end of an `if`/`while`/`for`/`match` header. Struct literals
+    /// in headers are rare enough in this workspace to ignore.
+    fn header_end(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            match &self.tokens[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct('{') if depth == 0 => return j,
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    fn stmts(&mut self, start: usize, end: usize) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < end {
+            if self.punct_at(i, ';') {
+                i += 1; // empty statement
+                continue;
+            }
+            let (stmt, next) = self.stmt(i, end);
+            out.push(stmt);
+            i = next;
+        }
+        out
+    }
+
+    /// Parses one statement starting at `i`; returns it and the index
+    /// just past it.
+    fn stmt(&mut self, i: usize, end: usize) -> (Stmt, usize) {
+        let line = self.line(i);
+        match self.ident_at(i) {
+            Some("let") => self.let_stmt(i, end),
+            Some("if") => self.if_stmt(i, end),
+            Some("while") => self.loop_stmt(i, end, LoopKind::While),
+            Some("for") => self.loop_stmt(i, end, LoopKind::For),
+            Some("loop") => self.loop_stmt(i, end, LoopKind::Loop),
+            Some("match") => self.match_stmt(i, end),
+            Some("return") => {
+                let semi = self.stmt_end(i + 1, end);
+                let value = (semi > i + 1).then_some((i + 1, semi - 1));
+                (
+                    Stmt {
+                        kind: StmtKind::Return { value },
+                        line,
+                        span: (i, semi.min(end.saturating_sub(1)).max(i)),
+                    },
+                    semi + 1,
+                )
+            }
+            Some("break") => {
+                let semi = self.stmt_end(i + 1, end);
+                (
+                    Stmt {
+                        kind: StmtKind::Break,
+                        line,
+                        span: (i, semi.min(end.saturating_sub(1)).max(i)),
+                    },
+                    semi + 1,
+                )
+            }
+            Some("continue") => {
+                let semi = self.stmt_end(i + 1, end);
+                (
+                    Stmt {
+                        kind: StmtKind::Continue,
+                        line,
+                        span: (i, semi.min(end.saturating_sub(1)).max(i)),
+                    },
+                    semi + 1,
+                )
+            }
+            _ if self.punct_at(i, '{') => {
+                let close = self.matching(i, end);
+                let body = self.stmts(i + 1, close);
+                (
+                    Stmt {
+                        kind: StmtKind::Block(body),
+                        line,
+                        span: (i, close),
+                    },
+                    close + 1,
+                )
+            }
+            _ => self.expr_stmt(i, end),
+        }
+    }
+
+    fn let_stmt(&mut self, i: usize, end: usize) -> (Stmt, usize) {
+        let line = self.line(i);
+        // First plain identifier after `let` (skipping `mut`/`ref`)
+        // approximates the binding name, as in the D2 walker.
+        let mut j = i + 1;
+        while matches!(self.ident_at(j), Some("mut") | Some("ref")) {
+            j += 1;
+        }
+        let name = self.ident_at(j).map(String::from);
+        let semi = self.stmt_end(i + 1, end);
+        // Initializer: tokens after the first depth-0 `=` (not `==`, and
+        // not the `=` of a `<=`/`>=`/closure default — a plain `=`
+        // surrounded by non-`=` works for `let` grammar).
+        let mut init = None;
+        let mut depth = 0i32;
+        let mut k = i + 1;
+        while k < semi {
+            match &self.tokens[k].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+                TokKind::Punct('=')
+                    if depth == 0
+                        && !self.punct_at(k + 1, '=')
+                        && !self.punct_at(k.wrapping_sub(1), '=')
+                        && !self.punct_at(k.wrapping_sub(1), '<')
+                        && !self.punct_at(k.wrapping_sub(1), '>')
+                        && !self.punct_at(k.wrapping_sub(1), '!') =>
+                {
+                    if k + 1 < semi {
+                        init = Some((k + 1, semi - 1));
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        (
+            Stmt {
+                kind: StmtKind::Let { name, init },
+                line,
+                span: (i, semi.min(end.saturating_sub(1)).max(i)),
+            },
+            semi + 1,
+        )
+    }
+
+    fn if_stmt(&mut self, i: usize, end: usize) -> (Stmt, usize) {
+        let line = self.line(i);
+        let open = self.header_end(i + 1, end);
+        let cond = (i + 1, open.saturating_sub(1).max(i + 1));
+        let close = self.matching(open, end);
+        let then_branch = self.stmts(open + 1, close);
+        let mut span_end = close;
+        let mut next = close + 1;
+        let mut else_branch = None;
+        if self.ident_at(close + 1) == Some("else") {
+            if self.ident_at(close + 2) == Some("if") {
+                let (nested, after) = self.if_stmt(close + 2, end);
+                span_end = nested.span.1;
+                else_branch = Some(vec![nested]);
+                next = after;
+            } else if self.punct_at(close + 2, '{') {
+                let else_close = self.matching(close + 2, end);
+                else_branch = Some(self.stmts(close + 3, else_close));
+                span_end = else_close;
+                next = else_close + 1;
+            }
+        }
+        (
+            Stmt {
+                kind: StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                },
+                line,
+                span: (i, span_end),
+            },
+            next,
+        )
+    }
+
+    fn loop_stmt(&mut self, i: usize, end: usize, kind: LoopKind) -> (Stmt, usize) {
+        let line = self.line(i);
+        let open = self.header_end(i + 1, end);
+        let header = (i + 1, open.saturating_sub(1).max(i + 1));
+        let close = self.matching(open, end);
+        let body = self.stmts(open + 1, close);
+        (
+            Stmt {
+                kind: StmtKind::Loop { kind, header, body },
+                line,
+                span: (i, close),
+            },
+            close + 1,
+        )
+    }
+
+    fn match_stmt(&mut self, i: usize, end: usize) -> (Stmt, usize) {
+        let line = self.line(i);
+        let open = self.header_end(i + 1, end);
+        let scrutinee = (i + 1, open.saturating_sub(1).max(i + 1));
+        let close = self.matching(open, end);
+        let arms = self.match_arms(open + 1, close);
+        // A match used as an initializer/argument continues past `}`; as
+        // a statement the caller's scan resumes right after. Either way
+        // the span covers scrutinee + arms.
+        let semi = if self.punct_at(close + 1, ';') {
+            close + 1
+        } else {
+            close
+        };
+        (
+            Stmt {
+                kind: StmtKind::Match { scrutinee, arms },
+                line,
+                span: (i, semi),
+            },
+            semi + 1,
+        )
+    }
+
+    fn match_arms(&mut self, start: usize, end: usize) -> Vec<MatchArm> {
+        let mut arms = Vec::new();
+        let mut i = start;
+        while i < end {
+            if self.punct_at(i, ',') {
+                i += 1;
+                continue;
+            }
+            // Pattern: tokens until `=>` at depth 0.
+            let pat_start = i;
+            let mut depth = 0i32;
+            let mut guard_start = None;
+            let mut arrow = end;
+            let mut j = i;
+            while j < end {
+                match &self.tokens[j].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+                    TokKind::Punct('=') if depth == 0 && self.punct_at(j + 1, '>') => {
+                        arrow = j;
+                        break;
+                    }
+                    TokKind::Ident(id) if id == "if" && depth == 0 && guard_start.is_none() => {
+                        guard_start = Some(j + 1);
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if arrow >= end {
+                break; // trailing tokens that aren't an arm
+            }
+            let pattern = (pat_start, arrow.saturating_sub(1).max(pat_start));
+            let guard = guard_start
+                .filter(|&g| g < arrow)
+                .map(|g| (g, arrow.saturating_sub(1).max(g)));
+            let line = self.line(pat_start);
+            let body_start = arrow + 2;
+            let (body, next) = if self.punct_at(body_start, '{') {
+                let bclose = self.matching(body_start, end);
+                (self.stmts(body_start + 1, bclose), bclose + 1)
+            } else {
+                // Expression arm: runs to `,` at depth 0 or the match end.
+                let mut depth = 0i32;
+                let mut k = body_start;
+                while k < end {
+                    match &self.tokens[k].kind {
+                        TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                            depth += 1
+                        }
+                        TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                            depth -= 1
+                        }
+                        TokKind::Punct(',') if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let body = if k > body_start {
+                    vec![Stmt {
+                        kind: StmtKind::Expr,
+                        line: self.line(body_start),
+                        span: (body_start, k.saturating_sub(1).max(body_start)),
+                    }]
+                } else {
+                    Vec::new()
+                };
+                (body, k + 1)
+            };
+            arms.push(MatchArm {
+                pattern,
+                guard,
+                body,
+                line,
+            });
+            i = next;
+        }
+        arms
+    }
+
+    fn expr_stmt(&mut self, i: usize, end: usize) -> (Stmt, usize) {
+        let line = self.line(i);
+        // Items nested in a body (`fn helper() { .. }`) end at their
+        // closing brace; macro invocations with brace bodies too.
+        let is_item = self
+            .ident_at(i)
+            .is_some_and(|id| ITEM_KEYWORDS.contains(&id))
+            || matches!(self.ident_at(i), Some("pub") | Some("unsafe"))
+            || (self.ident_at(i).is_some()
+                && self.punct_at(i + 1, '!')
+                && self.punct_at(i + 2, '{'));
+        if is_item {
+            // Scan to the first depth-0 `{`, balance it; a `;` first means
+            // a bodiless item (`macro_rules` never appears in fn bodies).
+            let mut j = i;
+            while j < end {
+                if self.punct_at(j, ';') {
+                    return (
+                        Stmt {
+                            kind: StmtKind::Expr,
+                            line,
+                            span: (i, j),
+                        },
+                        j + 1,
+                    );
+                }
+                if self.punct_at(j, '{') {
+                    let close = self.matching(j, end);
+                    return (
+                        Stmt {
+                            kind: StmtKind::Expr,
+                            line,
+                            span: (i, close),
+                        },
+                        close + 1,
+                    );
+                }
+                j += 1;
+            }
+            return (
+                Stmt {
+                    kind: StmtKind::Expr,
+                    line,
+                    span: (i, end.saturating_sub(1).max(i)),
+                },
+                end,
+            );
+        }
+        let semi = self.stmt_end(i, end);
+        (
+            Stmt {
+                kind: StmtKind::Expr,
+                line,
+                span: (i, semi.min(end.saturating_sub(1)).max(i)),
+            },
+            semi + 1,
+        )
+    }
+}
+
+/// Depth-first walk over a statement tree, calling `f` with each
+/// statement and the loop depth it executes at (0 = outside any loop).
+pub fn walk_with_loop_depth<'a>(stmts: &'a [Stmt], depth: u32, f: &mut impl FnMut(&'a Stmt, u32)) {
+    for s in stmts {
+        f(s, depth);
+        match &s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk_with_loop_depth(then_branch, depth, f);
+                if let Some(e) = else_branch {
+                    walk_with_loop_depth(e, depth, f);
+                }
+            }
+            StmtKind::Loop { body, .. } => walk_with_loop_depth(body, depth + 1, f),
+            StmtKind::Match { arms, .. } => {
+                for arm in arms {
+                    walk_with_loop_depth(&arm.body, depth, f);
+                }
+            }
+            StmtKind::Block(body) => walk_with_loop_depth(body, depth, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn parse(src: &str) -> (SourceFile, Vec<Stmt>) {
+        let f = SourceFile::parse("t.rs".into(), src);
+        let body = f.functions[0].body;
+        let stmts = parse_body(&f.tokens, body.0, body.1);
+        (f, stmts)
+    }
+
+    #[test]
+    fn lets_and_exprs_split_on_semicolons() {
+        let (_, s) = parse("fn f() { let x = g(1, 2); x.h(); let y; }");
+        assert_eq!(s.len(), 3);
+        assert!(matches!(&s[0].kind, StmtKind::Let { name: Some(n), init: Some(_) } if n == "x"));
+        assert!(matches!(&s[1].kind, StmtKind::Expr));
+        assert!(matches!(&s[2].kind, StmtKind::Let { init: None, .. }));
+    }
+
+    #[test]
+    fn nested_loops_nest_in_the_tree() {
+        let (_, s) = parse("fn f() { for a in xs { while b { loop { c(); } } } }");
+        let StmtKind::Loop { kind, body, .. } = &s[0].kind else {
+            panic!("outer for");
+        };
+        assert_eq!(*kind, LoopKind::For);
+        let StmtKind::Loop { kind, body, .. } = &body[0].kind else {
+            panic!("while");
+        };
+        assert_eq!(*kind, LoopKind::While);
+        let StmtKind::Loop { kind, body, .. } = &body[0].kind else {
+            panic!("loop");
+        };
+        assert_eq!(*kind, LoopKind::Loop);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn loop_depth_walk_counts_nesting() {
+        let (_, s) = parse("fn f() { a(); for x in xs { b(); for y in ys { c(); } } }");
+        let mut depths = Vec::new();
+        walk_with_loop_depth(&s, 0, &mut |st, d| {
+            if matches!(st.kind, StmtKind::Expr) {
+                depths.push(d);
+            }
+        });
+        assert_eq!(depths, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn if_else_chains_parse_with_both_branches() {
+        let (_, s) = parse("fn f() { if a { b(); } else if c { d(); } else { e(); } }");
+        let StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &s[0].kind
+        else {
+            panic!("if");
+        };
+        assert_eq!(then_branch.len(), 1);
+        let nested = else_branch.as_ref().unwrap();
+        let StmtKind::If { else_branch, .. } = &nested[0].kind else {
+            panic!("else-if nests");
+        };
+        assert_eq!(else_branch.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn match_arms_and_guards_are_extracted() {
+        let (f, s) =
+            parse("fn f(x: u64) { match x { 0 => a(), n if n > 3 => { b(); c(); } _ => d(), } }");
+        let StmtKind::Match { arms, .. } = &s[0].kind else {
+            panic!("match");
+        };
+        assert_eq!(arms.len(), 3);
+        assert!(arms[0].guard.is_none());
+        let g = arms[1].guard.expect("guard on arm 1");
+        let guard_idents: Vec<&str> = f.tokens[g.0..=g.1]
+            .iter()
+            .filter_map(|t| t.kind.ident())
+            .collect();
+        assert_eq!(guard_idents, vec!["n"]);
+        assert_eq!(arms[1].body.len(), 2);
+        assert_eq!(arms[2].body.len(), 1);
+    }
+
+    #[test]
+    fn early_return_and_break_terminate_statements() {
+        let (_, s) = parse("fn f() { if a { return 1; } for x in xs { break; } g(); }");
+        assert_eq!(s.len(), 3);
+        let StmtKind::If { then_branch, .. } = &s[0].kind else {
+            panic!("if");
+        };
+        assert!(matches!(
+            then_branch[0].kind,
+            StmtKind::Return { value: Some(_) }
+        ));
+        let StmtKind::Loop { body, .. } = &s[1].kind else {
+            panic!("for");
+        };
+        assert!(matches!(body[0].kind, StmtKind::Break));
+    }
+
+    #[test]
+    fn closures_and_nested_braces_do_not_split_statements() {
+        let (_, s) = parse("fn f() { xs.iter().for_each(|x| { a(x); b(x); }); c(); }");
+        assert_eq!(s.len(), 2, "closure body stays inside one statement");
+    }
+
+    #[test]
+    fn while_let_headers_parse() {
+        let (_, s) = parse("fn f() { while let Some(x) = it.next() { use_it(x); } }");
+        let StmtKind::Loop { kind, body, .. } = &s[0].kind else {
+            panic!("while let");
+        };
+        assert_eq!(*kind, LoopKind::While);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn nested_fn_items_do_not_swallow_following_statements() {
+        let (_, s) = parse("fn f() { fn helper() { x(); } after(); }");
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -45,9 +45,37 @@ pub fn format_text(findings: &[Finding]) -> String {
     out
 }
 
-/// Renders the findings as a JSON array (stable field order).
+/// Versioned identifier of the findings-report JSON document.
+pub const REPORT_SCHEMA: &str = "ofc-lint-report/2";
+/// Versioned identifier of the hotspot-inventory JSON document.
+pub const HOTSPOTS_SCHEMA: &str = "ofc-lint-hotspots/1";
+
+/// One D5 allocation site inside a hot-path loop — the unit of the
+/// committed interning work-list (`results/lint_hotspots.json`).
+///
+/// Suppressed sites are **kept** in the inventory (flagged) so a pragma
+/// silences the finding without deleting the site from the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line of the allocation.
+    pub line: u32,
+    /// Loop nesting depth (1 = directly inside one loop).
+    pub loop_depth: u32,
+    /// Allocation kind: `clone`, `to_string`, `to_owned`, `format`,
+    /// `collect`, `string_from`, `to_vec`, `string_map_key`.
+    pub kind: &'static str,
+    /// Enclosing function name.
+    pub function: String,
+    /// Whether an `allow(hotloop)` pragma covers the site.
+    pub suppressed: bool,
+}
+
+/// Renders the findings under the versioned report schema:
+/// `{"schema":"ofc-lint-report/2","findings":[...]}` (stable field order).
 pub fn format_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
+    let mut out = format!("{{\"schema\":\"{REPORT_SCHEMA}\",\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -60,8 +88,35 @@ pub fn format_json(findings: &[Finding]) -> String {
             escape_json(&f.message)
         ));
     }
-    out.push(']');
+    out.push_str("]}");
     out
+}
+
+/// Renders the hotspot inventory under its versioned schema, one object
+/// per line for reviewable diffs.
+pub fn format_hotspots_json(hotspots: &[Hotspot]) -> String {
+    let mut out = format!("{{\"schema\":\"{HOTSPOTS_SCHEMA}\",\"hotspots\":[\n");
+    for (i, h) in hotspots.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"path\":\"{}\",\"line\":{},\"loop_depth\":{},\"kind\":\"{}\",\"function\":\"{}\",\"suppressed\":{}}}{}\n",
+            escape_json(&h.path),
+            h.line,
+            h.loop_depth,
+            escape_json(h.kind),
+            escape_json(&h.function),
+            h.suppressed,
+            if i + 1 < hotspots.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Sorts hotspots into the canonical inventory order.
+pub fn sort_hotspots(hotspots: &mut [Hotspot]) {
+    hotspots.sort_by(|a, b| {
+        (&a.path, a.line, a.kind, &a.function).cmp(&(&b.path, b.line, b.kind, &b.function))
+    });
 }
 
 fn escape_json(s: &str) -> String {
@@ -146,11 +201,41 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_quotes() {
+    fn json_escapes_quotes_and_carries_the_schema() {
         let fs = vec![f("D3-TELEMETRY", "a.rs", 1, "name \"x\" unknown")];
         let j = format_json(&fs);
         assert!(j.contains("\\\"x\\\""));
-        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.starts_with("{\"schema\":\"ofc-lint-report/2\",\"findings\":["));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn hotspot_inventory_is_versioned_and_line_per_entry() {
+        let mut hs = vec![
+            Hotspot {
+                path: "b.rs".into(),
+                line: 9,
+                loop_depth: 2,
+                kind: "clone",
+                function: "g".into(),
+                suppressed: true,
+            },
+            Hotspot {
+                path: "a.rs".into(),
+                line: 3,
+                loop_depth: 1,
+                kind: "format",
+                function: "f".into(),
+                suppressed: false,
+            },
+        ];
+        sort_hotspots(&mut hs);
+        let j = format_hotspots_json(&hs);
+        assert!(j.starts_with("{\"schema\":\"ofc-lint-hotspots/1\",\"hotspots\":[\n"));
+        let lines: Vec<&str> = j.lines().collect();
+        assert!(lines[1].contains("\"path\":\"a.rs\"") && lines[1].ends_with(','));
+        assert!(lines[2].contains("\"suppressed\":true"));
+        assert_eq!(*lines.last().unwrap(), "]}");
     }
 
     #[test]

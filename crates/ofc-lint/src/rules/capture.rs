@@ -1,0 +1,276 @@
+//! Rule D8 — parallel-harness capture hygiene.
+//!
+//! The `ofc_bench::par` pattern fans replay bins out over scoped threads;
+//! byte-identical output depends on workers sharing **only** atomics,
+//! channels, and the submission-order slot-write idiom (`Mutex<Option<T>>`
+//! per slot). A worker closure that captures a `Rc`/`RefCell`/`Cell`
+//! binding or takes `&mut` to enclosing state is either a data race
+//! (threaded) or a nondeterminism hazard (if the harness ever reorders) —
+//! both invisible to rustc when the capture is behind an interior-mutable
+//! type.
+//!
+//! In files under `parallel.harness_paths`, every closure passed to a
+//! `spawn(..)` call is audited:
+//!
+//! * uses of an enclosing `let` whose initializer mentions `Rc`,
+//!   `RefCell`, or `Cell` are flagged (building such state *inside* the
+//!   worker is fine — the chaos bin builds Rc testbeds per job);
+//! * `&mut name` where `name` is not closure-local is flagged.
+//!
+//! Atomics (`Atomic*`), channels (`mpsc`, `Sender`, `Receiver`), and
+//! `Mutex` slots are admitted. Suppress with
+//! `// ofc-lint: allow(capture) reason=...`.
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::{Function, SourceFile};
+use crate::tokenizer::TokKind;
+use crate::workspace::matches_prefix;
+use std::collections::BTreeMap;
+
+/// Pragma group for this rule.
+pub const PRAGMA: &str = "capture";
+/// Rule id.
+pub const RULE: &str = "D8-CAPTURE";
+
+/// Interior-mutability constructors that must not cross into a worker.
+const SUSPECT_TYPES: [&str; 3] = ["Rc", "RefCell", "Cell"];
+
+/// Runs D8 over one file.
+pub fn check(file: &SourceFile, cfg: &Config, findings: &mut Vec<Finding>) {
+    if !matches_prefix(&file.path, &cfg.parallel_harness_paths) {
+        return;
+    }
+    for func in &file.functions {
+        if func.in_test {
+            continue;
+        }
+        check_fn(file, func, findings);
+    }
+}
+
+fn check_fn(file: &SourceFile, func: &Function, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+
+    // Worker closures: the argument of every `spawn(..)` call, with the
+    // closure's own parameter names (those are worker-local state).
+    let mut closures: Vec<(usize, usize, Vec<String>)> = Vec::new();
+    for i in func.body.0 + 1..func.body.1 {
+        if !toks[i].kind.is_ident("spawn") || !toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+        {
+            continue;
+        }
+        let Some(close) = match_paren(toks, i + 1) else {
+            continue;
+        };
+        // The closure: first `|` inside the args; params end at the next
+        // `|`; `||` means no params.
+        let mut j = i + 2;
+        while j < close && !toks[j].kind.is_punct('|') {
+            j += 1;
+        }
+        if j >= close {
+            continue; // spawn of a named fn — nothing to audit here
+        }
+        let mut params_end = j + 1;
+        let mut params = Vec::new();
+        let mut after_colon = false;
+        while params_end < close && !toks[params_end].kind.is_punct('|') {
+            match &toks[params_end].kind {
+                TokKind::Punct(':') => after_colon = true,
+                TokKind::Punct(',') => after_colon = false,
+                TokKind::Ident(p) if !after_colon && p != "mut" && p != "ref" => {
+                    params.push(p.clone());
+                }
+                _ => {}
+            }
+            params_end += 1;
+        }
+        let body_start = params_end + 1;
+        let body_end = if toks.get(body_start).is_some_and(|t| t.kind.is_punct('{')) {
+            crate::source::match_brace(toks, body_start).unwrap_or(close)
+        } else {
+            close
+        };
+        closures.push((body_start, body_end, params));
+    }
+    if closures.is_empty() {
+        return;
+    }
+
+    // Enclosing-scope bindings whose initializer builds interior-mutable
+    // state, excluding lets inside the worker closures themselves.
+    let mut suspect_lets: BTreeMap<String, &'static str> = BTreeMap::new();
+    let inside_closure = |i: usize| closures.iter().any(|(s, e, _)| i >= *s && i <= *e);
+    let mut i = func.body.0 + 1;
+    while i < func.body.1 {
+        if toks[i].kind.is_ident("let") && !inside_closure(i) {
+            // Binding name: first plain ident after `let` (skip mut/ref).
+            let mut j = i + 1;
+            while matches!(
+                toks.get(j).and_then(|t| t.kind.ident()),
+                Some("mut") | Some("ref")
+            ) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(|t| t.kind.ident()) {
+                // Scan the statement for a suspect constructor.
+                let mut k = j + 1;
+                while k < func.body.1 && !toks[k].kind.is_punct(';') {
+                    if let Some(id) = toks[k].kind.ident() {
+                        if let Some(&sus) = SUSPECT_TYPES.iter().find(|s| **s == id) {
+                            suspect_lets.insert(name.to_string(), sus);
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    for (start, end, params) in &closures {
+        let (start, end) = (*start, *end);
+        // Closure-local bindings shadow/own their state — collect them,
+        // starting from the closure's parameters.
+        let mut local: Vec<String> = params.clone();
+        let mut k = start;
+        while k <= end {
+            if toks[k].kind.is_ident("let") {
+                let mut j = k + 1;
+                while matches!(
+                    toks.get(j).and_then(|t| t.kind.ident()),
+                    Some("mut") | Some("ref")
+                ) {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).and_then(|t| t.kind.ident()) {
+                    local.push(name.to_string());
+                }
+            }
+            k += 1;
+        }
+
+        for k in start..=end.min(toks.len().saturating_sub(1)) {
+            let line = toks[k].line;
+            match &toks[k].kind {
+                TokKind::Ident(id) => {
+                    if let Some(&sus) = suspect_lets.get(id.as_str()) {
+                        if !local.contains(id) && !file.suppressed(PRAGMA, line) {
+                            findings.push(Finding {
+                                rule: RULE,
+                                path: file.path.clone(),
+                                line,
+                                message: format!(
+                                    "worker closure captures `{id}` ({sus} state from the enclosing scope) — share only atomics, channels, or Mutex slots (allow({PRAGMA}) to override)"
+                                ),
+                            });
+                        }
+                    }
+                }
+                TokKind::Punct('&') if toks.get(k + 1).is_some_and(|t| t.kind.is_ident("mut")) => {
+                    if let Some(name) = toks.get(k + 2).and_then(|t| t.kind.ident()) {
+                        if !local.contains(&name.to_string()) && !file.suppressed(PRAGMA, line) {
+                            findings.push(Finding {
+                                rule: RULE,
+                                path: file.path.clone(),
+                                line,
+                                message: format!(
+                                    "worker closure takes `&mut {name}` to enclosing state — submission-order slots or channels only (allow({PRAGMA}) to override)"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(toks: &[crate::tokenizer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind.is_punct('(') {
+            depth += 1;
+        } else if t.kind.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/bench/src/w.rs".into(), src);
+        let cfg = Config::default();
+        let mut findings = Vec::new();
+        check(&file, &cfg, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn atomics_and_mutex_slots_are_admitted() {
+        let f = run(
+            "fn fan_out() { let next = AtomicUsize::new(0); let slots = mk_slots(); s.spawn(|| { let t = next.fetch_add(1, Ordering::Relaxed); *slots[t].lock().unwrap() = Some(run(t)); }); }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn captured_refcell_is_flagged() {
+        let f = run(
+            "fn fan_out() { let shared = RefCell::new(Vec::new()); s.spawn(|| { shared.borrow_mut().push(1); }); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("RefCell"));
+    }
+
+    #[test]
+    fn rc_built_inside_the_worker_is_fine() {
+        let f = run(
+            "fn fan_out() { s.spawn(|| { let testbed = Rc::new(RefCell::new(build())); testbed.borrow_mut().run(); }); }",
+        );
+        assert!(
+            f.is_empty(),
+            "closure-local interior mutability is admitted"
+        );
+    }
+
+    #[test]
+    fn captured_mut_borrow_is_flagged_and_pragma_suppresses() {
+        let f = run("fn fan_out() { let mut acc = Vec::new(); s.spawn(|| { fill(&mut acc); }); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("&mut acc"));
+        let f = run(
+            "fn fan_out() { let mut acc = Vec::new(); s.spawn(|| {\n// ofc-lint: allow(capture) reason=single worker owns acc\nfill(&mut acc); }); }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn closure_params_are_local() {
+        // `acc` is a closure param: `&mut acc` inside is worker-own state.
+        let f = run("fn fan_out() { s.spawn(move |mut acc| { fill(&mut acc); }); }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn files_outside_harness_paths_are_skipped() {
+        let file = SourceFile::parse(
+            "crates/core/src/x.rs".into(),
+            "fn f() { let c = RefCell::new(0); s.spawn(|| { c.borrow_mut(); }); }",
+        );
+        let mut findings = Vec::new();
+        check(&file, &Config::default(), &mut findings);
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! Rule D5 — allocations inside hot-path loops.
+//!
+//! ROADMAP item 2's interning campaign needs a complete work-list of the
+//! allocation sites that run per-key per-sweep: `clone()` / `to_string()`
+//! / `to_owned()` / `format!` / `String::from` / `to_vec()` / `collect()`
+//! into owned containers, and `String`-keyed map types — *inside loops*
+//! in the configured hot paths ([`crate::config::Config::hotloop_paths`]).
+//!
+//! Built on the statement parser: every statement gets a loop depth from
+//! [`crate::parser::walk_with_loop_depth`], and closures passed to the
+//! common in-place iterator methods (`for_each`, `retain`,
+//! `sort_by_key`, `sort_unstable_by_key`) count as one more loop level —
+//! an allocation in a `retain` predicate runs exactly as often as one in
+//! a `for` body. Plain `map`/`filter` chains are deliberately *not*
+//! treated as loops to bound noise: they usually feed a `collect`, which
+//! is flagged at the collect site itself.
+//!
+//! Every site becomes a [`Hotspot`] in the machine-readable inventory
+//! (`--emit-hotspots`), suppressed or not; only unsuppressed sites become
+//! findings. A pragma therefore quiets the gate without deleting the
+//! site from the committed campaign work-list.
+
+use crate::config::Config;
+use crate::parser::{parse_body, walk_with_loop_depth, Stmt, StmtKind};
+use crate::report::{Finding, Hotspot};
+use crate::source::SourceFile;
+use crate::tokenizer::TokKind;
+use crate::workspace::matches_prefix;
+
+/// Pragma group for this rule.
+pub const PRAGMA: &str = "hotloop";
+/// Rule id.
+pub const RULE: &str = "D5-HOTLOOP";
+
+/// Method calls that allocate an owned value.
+const ALLOC_METHODS: [(&str, &str); 5] = [
+    ("clone", "clone"),
+    ("to_string", "to_string"),
+    ("to_owned", "to_owned"),
+    ("to_vec", "to_vec"),
+    ("collect", "collect"),
+];
+
+/// Iterator methods whose closure argument executes once per element.
+const ITER_METHODS: [&str; 4] = ["for_each", "retain", "sort_by_key", "sort_unstable_by_key"];
+
+/// Runs D5 over one file, appending findings and inventory entries.
+pub fn check(
+    file: &SourceFile,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+    hotspots: &mut Vec<Hotspot>,
+) {
+    if !matches_prefix(&file.path, &cfg.hotloop_paths) {
+        return;
+    }
+    for func in &file.functions {
+        if func.in_test {
+            continue;
+        }
+        let stmts = parse_body(&file.tokens, func.body.0, func.body.1);
+        scan_fn(file, func.name.as_str(), &stmts, findings, hotspots);
+    }
+}
+
+fn scan_fn(
+    file: &SourceFile,
+    fn_name: &str,
+    stmts: &[Stmt],
+    findings: &mut Vec<Finding>,
+    hotspots: &mut Vec<Hotspot>,
+) {
+    // Scan only the *direct* token span of each statement: compound
+    // statements (if/loop/match) contain their bodies in their span, but
+    // those inner statements are walked separately at the right depth, so
+    // the compound's own scan must stop at its body brace.
+    walk_with_loop_depth(stmts, 0, &mut |s, depth| {
+        let (lo, hi) = direct_span(s);
+        scan_span(file, fn_name, lo, hi, depth, findings, hotspots);
+    });
+}
+
+/// The token range a statement owns directly (header only, for compound
+/// statements whose bodies are walked as their own statements).
+fn direct_span(s: &Stmt) -> (usize, usize) {
+    match &s.kind {
+        StmtKind::If { cond, .. } => (s.span.0, cond.1),
+        StmtKind::Loop { header, .. } => (s.span.0, header.1),
+        StmtKind::Match { scrutinee, .. } => (s.span.0, scrutinee.1),
+        StmtKind::Block(_) => (s.span.0, s.span.0),
+        _ => s.span,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_span(
+    file: &SourceFile,
+    fn_name: &str,
+    lo: usize,
+    hi: usize,
+    base_depth: u32,
+    findings: &mut Vec<Finding>,
+    hotspots: &mut Vec<Hotspot>,
+) {
+    let toks = &file.tokens;
+    // Closure args of in-place iterator methods add a loop level for the
+    // rest of their parenthesized call; track the paren index at which
+    // each synthetic level ends.
+    let mut iter_ends: Vec<usize> = Vec::new();
+    let mut i = lo;
+    while i <= hi.min(toks.len().saturating_sub(1)) {
+        while iter_ends.last().is_some_and(|&e| i > e) {
+            iter_ends.pop();
+        }
+        let depth = base_depth + iter_ends.len() as u32;
+        if let TokKind::Ident(id) = &toks[i].kind {
+            let after_dot = i > 0 && toks[i - 1].kind.is_punct('.');
+            let callish = toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+            if after_dot && callish && ITER_METHODS.contains(&id.as_str()) {
+                if let Some(close) = match_paren(toks, i + 1) {
+                    iter_ends.push(close);
+                    i += 2; // skip past the `(` so it isn't rescanned
+                    continue;
+                }
+            }
+            if depth > 0 {
+                let kind = classify(toks, i, after_dot, callish);
+                if let Some(kind) = kind {
+                    record(file, fn_name, toks[i].line, depth, kind, findings, hotspots);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Classifies the allocation at token `i`, if any.
+fn classify(
+    toks: &[crate::tokenizer::Token],
+    i: usize,
+    after_dot: bool,
+    callish: bool,
+) -> Option<&'static str> {
+    let id = toks[i].kind.ident()?;
+    if after_dot && callish {
+        if let Some(&(_, kind)) = ALLOC_METHODS.iter().find(|(m, _)| *m == id) {
+            return Some(kind);
+        }
+        // `.collect::<Vec<_>>()` — the turbofish separates `collect`
+        // from its `(`; catch the `::<` shape too.
+        return None;
+    }
+    if after_dot && id == "collect" && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(':')) {
+        return Some("collect");
+    }
+    match id {
+        "format" if toks.get(i + 1).is_some_and(|t| t.kind.is_punct('!')) => Some("format"),
+        "String"
+            if toks.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.kind.is_ident("from")) =>
+        {
+            Some("string_from")
+        }
+        "HashMap" | "BTreeMap"
+            if toks.get(i + 1).is_some_and(|t| t.kind.is_punct('<'))
+                && toks.get(i + 2).is_some_and(|t| t.kind.is_ident("String")) =>
+        {
+            Some("string_map_key")
+        }
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    file: &SourceFile,
+    fn_name: &str,
+    line: u32,
+    depth: u32,
+    kind: &'static str,
+    findings: &mut Vec<Finding>,
+    hotspots: &mut Vec<Hotspot>,
+) {
+    let suppressed = file.suppressed(PRAGMA, line);
+    hotspots.push(Hotspot {
+        path: file.path.clone(),
+        line,
+        loop_depth: depth,
+        kind,
+        function: fn_name.to_string(),
+        suppressed,
+    });
+    if !suppressed {
+        findings.push(Finding {
+            rule: RULE,
+            path: file.path.clone(),
+            line,
+            message: format!(
+                "`{kind}` allocation at loop depth {depth} in hot fn `{fn_name}` — intern or hoist (ROADMAP item 2), or justify with allow({PRAGMA})"
+            ),
+        });
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(toks: &[crate::tokenizer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind.is_punct('(') {
+            depth += 1;
+        } else if t.kind.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Finding>, Vec<Hotspot>) {
+        let file = SourceFile::parse("hot.rs".into(), src);
+        let cfg = Config {
+            hotloop_paths: vec!["hot.rs".into()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        let mut hotspots = Vec::new();
+        check(&file, &cfg, &mut findings, &mut hotspots);
+        (findings, hotspots)
+    }
+
+    #[test]
+    fn clone_outside_a_loop_is_not_flagged() {
+        let (f, h) = run("fn f(k: &K) { let owned = k.clone(); }");
+        assert!(f.is_empty() && h.is_empty());
+    }
+
+    #[test]
+    fn clone_inside_a_loop_is_flagged_with_depth() {
+        let (f, h) = run("fn f(ks: &[K]) { for k in ks { use_key(k.clone()); } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].kind, "clone");
+        assert_eq!(h[0].loop_depth, 1);
+        assert_eq!(h[0].function, "f");
+    }
+
+    #[test]
+    fn retain_closure_counts_as_a_loop_level() {
+        let (f, h) = run(
+            "fn f(m: &mut M) { for s in m.shards { s.retain(|k, _| k.to_string() != gone); } }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(h[0].loop_depth, 2, "for + retain closure");
+        assert_eq!(h[0].kind, "to_string");
+    }
+
+    #[test]
+    fn pragma_keeps_the_hotspot_but_drops_the_finding() {
+        let (f, h) = run(
+            "fn f(ks: &[K]) {\nfor k in ks {\n// ofc-lint: allow(hotloop) reason=victims are returned by value\nout.push(k.clone());\n}\n}",
+        );
+        assert!(f.is_empty(), "pragma suppresses the finding");
+        assert_eq!(h.len(), 1, "inventory keeps the site");
+        assert!(h[0].suppressed);
+    }
+
+    #[test]
+    fn format_collect_and_string_maps_are_classified() {
+        let (f, _) = run(
+            "fn f(xs: &[X]) { while go() { let k = format!(\"k{}\", 1); let v: Vec<u64> = xs.iter().map(|x| x.n).collect(); let m: BTreeMap<String, u64> = BTreeMap::new(); } }",
+        );
+        let kinds: Vec<&str> = f
+            .iter()
+            .map(|x| x.message.split('`').nth(1).unwrap())
+            .collect();
+        assert!(kinds.contains(&"format"));
+        assert!(kinds.contains(&"collect"));
+        assert!(kinds.contains(&"string_map_key"));
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let (f, h) = run("#[cfg(test)]\nmod t { fn f(ks: &[K]) { for k in ks { k.clone(); } } }");
+        assert!(f.is_empty() && h.is_empty());
+    }
+}

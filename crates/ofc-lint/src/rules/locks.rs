@@ -25,6 +25,7 @@
 use crate::config::Config;
 use crate::report::Finding;
 use crate::source::{Function, SourceFile};
+use crate::summaries::{fixpoint_map, CallIndex, FnSite};
 use crate::tokenizer::TokKind;
 use crate::workspace::matches_prefix;
 use std::collections::{BTreeMap, BTreeSet};
@@ -65,26 +66,13 @@ struct FnLocks {
 
 /// Runs D2 across the whole workspace at once (the lock graph is global).
 pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
-    // name -> (file index, function index) for call resolution.
-    let mut fn_sites: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
-    for (fi, file) in files.iter().enumerate() {
-        if matches_prefix(&file.path, &cfg.locks_allow) {
-            continue;
-        }
-        for (gi, func) in file.functions.iter().enumerate() {
-            if !func.in_test {
-                fn_sites
-                    .entry(func.name.as_str())
-                    .or_default()
-                    .push((fi, gi));
-            }
-        }
-    }
+    // Shared call index for resolving bare call names (summaries.rs).
+    let index = CallIndex::build(files, |f| matches_prefix(&f.path, &cfg.locks_allow));
 
     // Edges A -> B with first witness (path, line).
     let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
     // Per (file, fn) lock summary for the inter-procedural pass.
-    let mut summaries: BTreeMap<(usize, usize), FnLocks> = BTreeMap::new();
+    let mut summaries: BTreeMap<FnSite, FnLocks> = BTreeMap::new();
 
     for (fi, file) in files.iter().enumerate() {
         if matches_prefix(&file.path, &cfg.locks_allow) {
@@ -99,7 +87,7 @@ pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
         }
     }
 
-    interprocedural_edges(files, &fn_sites, &summaries, &mut edges);
+    interprocedural_edges(files, &index, &summaries, &mut edges);
     report_cycles(&edges, findings);
 }
 
@@ -246,41 +234,32 @@ fn walk_function(
 /// gets an edge `A -> B`.
 fn interprocedural_edges(
     files: &[SourceFile],
-    fn_sites: &BTreeMap<&str, Vec<(usize, usize)>>,
-    summaries: &BTreeMap<(usize, usize), FnLocks>,
+    index: &CallIndex,
+    summaries: &BTreeMap<FnSite, FnLocks>,
     edges: &mut BTreeMap<(String, String), (String, u32)>,
 ) {
     // Fixpoint: locks reachable from each function through resolved calls.
-    let mut reach: BTreeMap<(usize, usize), BTreeSet<String>> = summaries
+    let mut reach: BTreeMap<FnSite, BTreeSet<String>> = summaries
         .iter()
         .map(|(k, s)| (*k, s.acquired.clone()))
         .collect();
-    loop {
-        let mut changed = false;
-        for (site, summary) in summaries {
-            let mut add = BTreeSet::new();
-            for (callee, _, _) in &summary.calls {
-                for target in resolve(callee, site.0, fn_sites) {
-                    if let Some(r) = reach.get(&target) {
-                        add.extend(r.iter().cloned());
-                    }
+    fixpoint_map(&mut reach, |site, state| {
+        let mut next = state[&site].clone();
+        for (callee, _, _) in &summaries[&site].calls {
+            for target in index.resolve(callee, site.0) {
+                if let Some(r) = state.get(&target) {
+                    next.extend(r.iter().cloned());
                 }
             }
-            let cur = reach.entry(*site).or_default();
-            let before = cur.len();
-            cur.extend(add);
-            changed |= cur.len() != before;
         }
-        if !changed {
-            break;
-        }
-    }
+        next
+    });
     for (site, summary) in summaries {
         for (callee, held, line) in &summary.calls {
             if held.is_empty() {
                 continue;
             }
-            for target in resolve(callee, site.0, fn_sites) {
+            for target in index.resolve(callee, site.0) {
                 if let Some(reached) = reach.get(&target) {
                     for b in reached {
                         for a in held {
@@ -295,30 +274,6 @@ fn interprocedural_edges(
             }
         }
     }
-}
-
-/// Resolves a bare call name: same-file functions win; otherwise a unique
-/// global match; ambiguous names are skipped (better silent than wrong).
-fn resolve(
-    callee: &str,
-    file_idx: usize,
-    fn_sites: &BTreeMap<&str, Vec<(usize, usize)>>,
-) -> Vec<(usize, usize)> {
-    let Some(sites) = fn_sites.get(callee) else {
-        return Vec::new();
-    };
-    let local: Vec<(usize, usize)> = sites
-        .iter()
-        .copied()
-        .filter(|(f, _)| *f == file_idx)
-        .collect();
-    if !local.is_empty() {
-        return local;
-    }
-    if sites.len() == 1 {
-        return sites.clone();
-    }
-    Vec::new()
 }
 
 /// Reports one finding per strongly connected component of size >= 2 in

@@ -1,0 +1,378 @@
+//! Rule D6 — seeded-RNG taint lineage.
+//!
+//! Every RNG constructed in non-test code must provably derive its seed
+//! from the simulation's schedule: a seed parameter, a `ChaosSchedule`
+//! stream, or a value computed from one. D1 bans ambient entropy by
+//! identifier; D6 goes further and *proves lineage* — an RNG seeded from
+//! a bare literal or an unproven variable is an error even though no
+//! banned identifier appears.
+//!
+//! The analysis is a may-taint dataflow, deliberately over-approximate
+//! (over-approximating taint can only make more RNGs provable — it never
+//! flags correct code):
+//!
+//! * an identifier is a **taint source** when its lowercase form contains
+//!   one of `rng.seed_idents` (`seed`, `stream`, `schedule`, ...) —
+//!   this covers seed parameters and schedule fields by naming
+//!   convention;
+//! * a `let` binding is tainted when its initializer span is tainted;
+//!   bindings are collected only from statements **reachable** in the
+//!   function's CFG (dead code proves nothing);
+//! * a call taints when the callee's interprocedural summary is tainted —
+//!   computed to fixpoint over the whole workspace with the same
+//!   call-resolution policy as D2 ([`crate::summaries`]): a function's
+//!   summary is tainted when its body mentions a taint source or a
+//!   tainted callee.
+//!
+//! `from_entropy` is unconditionally an error. Suppress with
+//! `// ofc-lint: allow(rng) reason=...` (e.g. fixed experiment seeds in
+//! figure binaries).
+
+use crate::cfg::{Cfg, ENTRY};
+use crate::config::Config;
+use crate::parser::{parse_body, walk_with_loop_depth, Stmt, StmtKind};
+use crate::report::Finding;
+use crate::source::SourceFile;
+use crate::summaries::{fixpoint_map, CallIndex, FnSite};
+use crate::tokenizer::TokKind;
+use crate::workspace::matches_prefix;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pragma group for this rule.
+pub const PRAGMA: &str = "rng";
+/// Rule id.
+pub const RULE: &str = "D6-RNG-SEED";
+
+/// Seeding constructors whose argument must carry taint.
+const SEED_CTORS: [&str; 2] = ["seed_from_u64", "from_seed"];
+/// Constructors that are never schedule-derived.
+const ENTROPY_CTORS: [&str; 2] = ["from_entropy", "from_os_rng"];
+
+/// Runs D6 across the whole workspace (summaries are interprocedural).
+pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    let skip = |f: &SourceFile| matches_prefix(&f.path, &cfg.rng_allow);
+    let index = CallIndex::build(files, skip);
+
+    // Interprocedural pass: a function's summary is tainted when its body
+    // mentions a seed-convention identifier or calls a tainted function.
+    let mut calls: BTreeMap<FnSite, Vec<String>> = BTreeMap::new();
+    let mut tainted: BTreeMap<FnSite, bool> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if skip(file) {
+            continue;
+        }
+        for (gi, func) in file.functions.iter().enumerate() {
+            if func.in_test {
+                continue;
+            }
+            let toks = &file.tokens[func.body.0..=func.body.1];
+            let mut body_calls = Vec::new();
+            let mut seeded = false;
+            for (k, t) in toks.iter().enumerate() {
+                if let TokKind::Ident(id) = &t.kind {
+                    if is_seed_ident(id, cfg) {
+                        seeded = true;
+                    }
+                    if toks.get(k + 1).is_some_and(|t| t.kind.is_punct('(')) {
+                        body_calls.push(id.clone());
+                    }
+                }
+            }
+            calls.insert((fi, gi), body_calls);
+            tainted.insert((fi, gi), seeded);
+        }
+    }
+    fixpoint_map(&mut tainted, |site, state| {
+        state[&site]
+            || calls[&site].iter().any(|callee| {
+                index
+                    .resolve(callee, site.0)
+                    .iter()
+                    .any(|t| state.get(t).copied().unwrap_or(false))
+            })
+    });
+
+    for (fi, file) in files.iter().enumerate() {
+        if skip(file) {
+            continue;
+        }
+        for (gi, func) in file.functions.iter().enumerate() {
+            if func.in_test {
+                continue;
+            }
+            check_fn(file, (fi, gi), cfg, &index, &tainted, findings);
+        }
+    }
+}
+
+fn is_seed_ident(id: &str, cfg: &Config) -> bool {
+    let lower = id.to_ascii_lowercase();
+    cfg.rng_seed_idents
+        .iter()
+        .any(|s| lower.contains(s.as_str()))
+}
+
+fn check_fn(
+    file: &SourceFile,
+    site: FnSite,
+    cfg: &Config,
+    index: &CallIndex,
+    summaries: &BTreeMap<FnSite, bool>,
+    findings: &mut Vec<Finding>,
+) {
+    let func = &file.functions[site.1];
+    let toks = &file.tokens;
+
+    // Find the RNG construction sites first; the dataflow below is only
+    // worth running when the function builds an RNG at all.
+    let mut ctor_sites: Vec<(usize, bool)> = Vec::new(); // (ctor token idx, is_entropy)
+    for i in func.body.0 + 1..func.body.1 {
+        if let TokKind::Ident(id) = &toks[i].kind {
+            let callish = toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+            if !callish {
+                continue;
+            }
+            if SEED_CTORS.contains(&id.as_str()) {
+                ctor_sites.push((i, false));
+            } else if ENTROPY_CTORS.contains(&id.as_str()) {
+                ctor_sites.push((i, true));
+            }
+        }
+    }
+    if ctor_sites.is_empty() {
+        return;
+    }
+
+    // Local taint: let-bindings in CFG-reachable statements whose
+    // initializer is tainted, iterated to fixpoint.
+    let stmts = parse_body(toks, func.body.0, func.body.1);
+    let cfg_graph = Cfg::build(&stmts);
+    let reach = cfg_graph.reachable_from(ENTRY);
+    let reachable_spans: BTreeSet<(usize, usize)> = cfg_graph
+        .real_nodes()
+        .filter(|&n| reach[n])
+        .filter_map(|n| cfg_graph.nodes[n].span)
+        .collect();
+    let mut lets: Vec<(String, (usize, usize))> = Vec::new();
+    walk_with_loop_depth(&stmts, 0, &mut |s: &Stmt, _| {
+        if let StmtKind::Let {
+            name: Some(name),
+            init: Some(init),
+        } = &s.kind
+        {
+            if reachable_spans.contains(&s.span) {
+                lets.push((name.clone(), *init));
+            }
+        }
+    });
+    let mut local_tainted: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let before = local_tainted.len();
+        for (name, init) in &lets {
+            if !local_tainted.contains(name)
+                && span_tainted(file, site.0, *init, cfg, index, summaries, &local_tainted)
+            {
+                local_tainted.insert(name.clone());
+            }
+        }
+        if local_tainted.len() == before {
+            break;
+        }
+    }
+
+    for (i, is_entropy) in ctor_sites {
+        let line = toks[i].line;
+        if file.suppressed(PRAGMA, line) {
+            continue;
+        }
+        let id = toks[i].kind.ident().unwrap_or_default();
+        if is_entropy {
+            findings.push(Finding {
+                rule: RULE,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "`{id}` draws ambient entropy — every RNG must be seeded from the schedule (allow({PRAGMA}) to override)"
+                ),
+            });
+            continue;
+        }
+        // Argument span of the seed expression.
+        let Some(close) = match_paren(toks, i + 1) else {
+            continue;
+        };
+        if close == i + 2 {
+            // `seed_from_u64()` — malformed; let rustc complain.
+            continue;
+        }
+        let arg = (i + 2, close - 1);
+        if !span_tainted(file, site.0, arg, cfg, index, summaries, &local_tainted) {
+            let shown = render_span(toks, arg);
+            findings.push(Finding {
+                rule: RULE,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "RNG seed `{shown}` has no provable schedule lineage — derive it from a seed/schedule value or justify with allow({PRAGMA})"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether any identifier in `span` carries taint: seed-convention name,
+/// tainted local, or call to a summary-tainted function.
+fn span_tainted(
+    file: &SourceFile,
+    file_idx: usize,
+    span: (usize, usize),
+    cfg: &Config,
+    index: &CallIndex,
+    summaries: &BTreeMap<FnSite, bool>,
+    local_tainted: &BTreeSet<String>,
+) -> bool {
+    let toks = &file.tokens;
+    for i in span.0..=span.1.min(toks.len().saturating_sub(1)) {
+        if let TokKind::Ident(id) = &toks[i].kind {
+            if is_seed_ident(id, cfg) || local_tainted.contains(id) {
+                return true;
+            }
+            if toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+                && index
+                    .resolve(id, file_idx)
+                    .iter()
+                    .any(|t| summaries.get(t).copied().unwrap_or(false))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn render_span(toks: &[crate::tokenizer::Token], span: (usize, usize)) -> String {
+    let mut out = String::new();
+    for t in toks
+        .iter()
+        .take(span.1.min(toks.len().saturating_sub(1)) + 1)
+        .skip(span.0)
+        .take(12)
+    {
+        match &t.kind {
+            TokKind::Ident(s) => {
+                if !out.is_empty() && out.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                    out.push(' ');
+                }
+                out.push_str(s);
+            }
+            TokKind::Num(n) => out.push_str(n),
+            TokKind::Str(_) => out.push_str("\"..\""),
+            TokKind::Char => out.push_str("'..'"),
+            TokKind::Lifetime(l) => {
+                out.push('\'');
+                out.push_str(l);
+            }
+            TokKind::Punct(c) => out.push(*c),
+        }
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(toks: &[crate::tokenizer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind.is_punct('(') {
+            depth += 1;
+        } else if t.kind.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[&str]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SourceFile::parse(format!("f{i}.rs"), s))
+            .collect();
+        let cfg = Config::default();
+        let mut findings = Vec::new();
+        check(&files, &cfg, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn seed_parameter_lineage_is_proven() {
+        let f = run(&["fn mk(seed: u64) { let rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37); }"]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bare_literal_seed_is_an_error() {
+        let f = run(&["fn mk() { let r = ChaCha8Rng::seed_from_u64(42); }"]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE);
+        assert!(f[0].message.contains("42"));
+    }
+
+    #[test]
+    fn lineage_flows_through_local_lets() {
+        let f = run(&[
+            "fn mk(schedule: &S) { let base = schedule.base(); let derived = base + 7; let r = ChaCha8Rng::seed_from_u64(derived); }",
+        ]);
+        assert!(f.is_empty(), "taint flows schedule -> base -> derived");
+    }
+
+    #[test]
+    fn lineage_flows_through_calls_across_files() {
+        // The callee's *name* proves nothing; its body touches a
+        // schedule-convention value, so its summary carries the taint.
+        let f = run(&[
+            "fn derive_for_app(app: u64) -> u64 { app ^ BASE_SEED }",
+            "fn mk(x: u64) { let r = ChaCha8Rng::seed_from_u64(derive_for_app(x)); }",
+        ]);
+        assert!(f.is_empty(), "callee summary carries taint across files");
+    }
+
+    #[test]
+    fn unproven_variable_is_an_error_and_pragma_suppresses() {
+        let f = run(&["fn mk(x: u64) { let r = ChaCha8Rng::seed_from_u64(x); }"]);
+        assert_eq!(f.len(), 1);
+        let f = run(&[
+            "fn mk(x: u64) {\n// ofc-lint: allow(rng) reason=fixed experiment id\nlet r = ChaCha8Rng::seed_from_u64(x);\n}",
+        ]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn from_entropy_is_always_an_error() {
+        let f = run(&["fn mk(seed: u64) { let r = StdRng::from_entropy(); let _ = seed; }"]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("ambient entropy"));
+    }
+
+    #[test]
+    fn dead_code_lets_do_not_prove_lineage() {
+        // `alias` would prove lineage textually, but it binds after an
+        // unconditional return — the CFG says it never executes.
+        let f = run(&[
+            "fn mk(seed_src: u64) {\nreturn;\nlet alias = seed_src;\nlet r = ChaCha8Rng::seed_from_u64(alias);\n}",
+        ]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let f = run(&["#[cfg(test)]\nmod t { fn mk() { let r = ChaCha8Rng::seed_from_u64(1); } }"]);
+        assert!(f.is_empty());
+    }
+}

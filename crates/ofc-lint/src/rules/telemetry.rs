@@ -24,6 +24,10 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const PRAGMA: &str = "telemetry";
 /// Rule id.
 pub const RULE: &str = "D3-TELEMETRY";
+/// Rule id for registry consts no call site ever emits (D7 makes the D3
+/// check bidirectional: names must be registered, and registrations must
+/// be used, so the registry can't rot).
+pub const RULE_DEAD: &str = "D7-DEAD-TELEMETRY";
 
 const METRIC_METHODS: [&str; 5] = [
     "counter",
@@ -37,6 +41,8 @@ const METRIC_METHODS: [&str; 5] = [
 pub struct NameRegistry {
     /// `pub const FOO: &str = "foo.bar";` pairs from the registry module.
     pub consts: BTreeMap<String, String>,
+    /// Declaration line of each constant, for D7 reporting.
+    pub decl_lines: BTreeMap<String, u32>,
 }
 
 impl NameRegistry {
@@ -45,6 +51,7 @@ impl NameRegistry {
     pub fn parse(file: &SourceFile) -> NameRegistry {
         let toks = &file.tokens;
         let mut consts = BTreeMap::new();
+        let mut decl_lines = BTreeMap::new();
         for i in 0..toks.len() {
             if !toks[i].kind.is_ident("const") {
                 continue;
@@ -57,6 +64,7 @@ impl NameRegistry {
                 if toks[j].kind.is_punct('=') {
                     if let Some(TokKind::Str(v)) = toks.get(j + 1).map(|t| &t.kind) {
                         consts.insert(name.to_string(), v.clone());
+                        decl_lines.insert(name.to_string(), toks[i].line);
                     }
                     break;
                 }
@@ -65,7 +73,7 @@ impl NameRegistry {
                 }
             }
         }
-        NameRegistry { consts }
+        NameRegistry { consts, decl_lines }
     }
 
     /// Whether `name` is a registered metric name.
@@ -149,6 +157,64 @@ pub fn check(
 
 fn file_hint(cfg: &Config) -> String {
     cfg.telemetry_registry.clone()
+}
+
+/// Runs D7 across the whole workspace: any registry const whose name (as
+/// an identifier) or value (as a string literal) never appears in an
+/// analyzed file outside the registry module is dead telemetry.
+///
+/// The registry file itself is excluded from the usage scan — its `ALL`
+/// slice references every const by construction. Suppress at the
+/// declaration with `// ofc-lint: allow(telemetry) reason=...` (e.g. a
+/// name reserved for a wired-but-unlanded subsystem).
+pub fn check_dead(
+    files: &[SourceFile],
+    cfg: &Config,
+    registry: &NameRegistry,
+    findings: &mut Vec<Finding>,
+) {
+    let value_to_const: BTreeMap<&str, &str> = registry
+        .consts
+        .iter()
+        .map(|(k, v)| (v.as_str(), k.as_str()))
+        .collect();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        if file.path == cfg.telemetry_registry {
+            continue;
+        }
+        for t in &file.tokens {
+            match &t.kind {
+                TokKind::Ident(id) if registry.has_const(id) => {
+                    used.insert(id.clone());
+                }
+                TokKind::Str(s) => {
+                    if let Some(c) = value_to_const.get(s.as_str()) {
+                        used.insert((*c).to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let reg_file = files.iter().find(|f| f.path == cfg.telemetry_registry);
+    for (name, value) in &registry.consts {
+        if used.contains(name) {
+            continue;
+        }
+        let line = registry.decl_lines.get(name).copied().unwrap_or(1);
+        if reg_file.is_some_and(|f| f.suppressed(PRAGMA, line)) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RULE_DEAD,
+            path: cfg.telemetry_registry.clone(),
+            line,
+            message: format!(
+                "registry const `{name}` (\"{value}\") is never emitted or read by any analyzed call site — dead telemetry"
+            ),
+        });
+    }
 }
 
 /// For an argument starting at `start` with an identifier, returns the

@@ -1,0 +1,141 @@
+//! Interprocedural call-summary infrastructure shared by the dataflow
+//! rules (D2 lock reachability, D6 RNG taint lineage).
+//!
+//! Two pieces, both extracted from the original D2 implementation so the
+//! rules agree on call-resolution semantics:
+//!
+//! * [`CallIndex`] — a workspace-wide map from bare function names to
+//!   their definition sites, with the D2 resolution policy: same-file
+//!   definitions win, otherwise a unique global match, and ambiguous
+//!   names resolve to nothing (better silent than wrong).
+//! * [`fixpoint_map`] — a plain iterate-to-fixpoint driver over a
+//!   per-function summary map; each rule supplies the transfer function
+//!   that recomputes one function's summary from the current state.
+
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// A function's definition site: (file index, function index).
+pub type FnSite = (usize, usize);
+
+/// Workspace-wide index of non-test function definitions by bare name.
+pub struct CallIndex {
+    map: BTreeMap<String, Vec<FnSite>>,
+}
+
+impl CallIndex {
+    /// Builds the index over `files`, skipping files for which `skip`
+    /// returns true (rule-specific allow lists) and all test functions.
+    pub fn build(files: &[SourceFile], skip: impl Fn(&SourceFile) -> bool) -> CallIndex {
+        let mut map: BTreeMap<String, Vec<FnSite>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            if skip(file) {
+                continue;
+            }
+            for (gi, func) in file.functions.iter().enumerate() {
+                if !func.in_test {
+                    map.entry(func.name.clone()).or_default().push((fi, gi));
+                }
+            }
+        }
+        CallIndex { map }
+    }
+
+    /// Resolves a bare call name from `file_idx`: same-file functions
+    /// win; otherwise a unique global match; ambiguous names are skipped.
+    pub fn resolve(&self, callee: &str, file_idx: usize) -> Vec<FnSite> {
+        let Some(sites) = self.map.get(callee) else {
+            return Vec::new();
+        };
+        let local: Vec<FnSite> = sites
+            .iter()
+            .copied()
+            .filter(|(f, _)| *f == file_idx)
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+        if sites.len() == 1 {
+            return sites.clone();
+        }
+        Vec::new()
+    }
+
+    /// All definition sites of `callee`, unresolved (for diagnostics).
+    pub fn sites(&self, callee: &str) -> &[FnSite] {
+        self.map.get(callee).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Iterates `update` over every key of `state` until no summary changes.
+///
+/// `update` recomputes one function's summary from the whole current
+/// state (so it can consult callee summaries through a [`CallIndex`]).
+/// Summaries must grow monotonically for termination — both current
+/// users (lock-reachability sets, boolean taint) do.
+pub fn fixpoint_map<K: Ord + Copy, V: PartialEq>(
+    state: &mut BTreeMap<K, V>,
+    mut update: impl FnMut(K, &BTreeMap<K, V>) -> V,
+) {
+    loop {
+        let mut changed = false;
+        let keys: Vec<K> = state.keys().copied().collect();
+        for k in keys {
+            let next = update(k, state);
+            let cur = state.get_mut(&k).expect("key came from the map");
+            if *cur != next {
+                *cur = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[&str]) -> Vec<SourceFile> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, s)| SourceFile::parse(format!("f{i}.rs"), s))
+            .collect()
+    }
+
+    #[test]
+    fn same_file_definitions_shadow_global_ones() {
+        let fs = files(&["fn helper() {}\nfn user() { helper(); }", "fn helper() {}"]);
+        let idx = CallIndex::build(&fs, |_| false);
+        assert_eq!(idx.resolve("helper", 0), vec![(0, 0)]);
+        assert_eq!(idx.resolve("helper", 1), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn ambiguous_cross_file_names_resolve_to_nothing() {
+        let fs = files(&["fn dup() {}", "fn dup() {}", "fn caller() { dup(); }"]);
+        let idx = CallIndex::build(&fs, |_| false);
+        assert!(idx.resolve("dup", 2).is_empty());
+        assert_eq!(idx.sites("dup").len(), 2);
+    }
+
+    #[test]
+    fn unique_global_match_resolves() {
+        let fs = files(&["fn only() {}", "fn caller() { only(); }"]);
+        let idx = CallIndex::build(&fs, |_| false);
+        assert_eq!(idx.resolve("only", 1), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn fixpoint_propagates_through_chains() {
+        // a -> b -> c; c is the source. Boolean taint reaches a.
+        let calls: BTreeMap<u32, Vec<u32>> = [(0, vec![1]), (1, vec![2]), (2, vec![])].into();
+        let mut state: BTreeMap<u32, bool> = [(0, false), (1, false), (2, true)].into();
+        fixpoint_map(&mut state, |k, st| {
+            st[&k] || calls[&k].iter().any(|c| st[c])
+        });
+        assert!(state[&0] && state[&1] && state[&2]);
+    }
+}

@@ -1,0 +1,20 @@
+//! D5 fixture (fail): per-iteration allocations in a hot loop, plus one
+//! justified site that stays in the inventory but out of the findings.
+
+pub fn sweep(keys: &mut Vec<Key>, gone: &Key, out: &mut Vec<Key>) {
+    for k in keys.iter() {
+        out.push(k.clone());
+        let label = format!("{k}");
+        drop(label);
+    }
+    keys.retain(|k| k.to_string() != gone.to_string());
+}
+
+pub fn victims(keys: &[Key]) -> Vec<Key> {
+    let mut out = Vec::new();
+    for k in keys {
+        // ofc-lint: allow(hotloop) reason=victims are returned by value
+        out.push(k.clone());
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! D5 fixture (pass): allocations hoisted out of the hot loop.
+
+pub fn sweep(keys: &[Key], out: &mut Vec<u64>) {
+    let salt = String::from("k");
+    let bound = keys.len();
+    for k in keys {
+        if k.len() > salt.len() && bound > 0 {
+            out.push(k.id());
+        }
+    }
+}

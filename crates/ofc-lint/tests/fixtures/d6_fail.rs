@@ -1,0 +1,20 @@
+//! D6 fixture (fail): a bare literal seed, a laundered unproven value,
+//! ambient entropy, and one pragma'd fixed experiment seed.
+
+pub fn fixed() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(12345)
+}
+
+pub fn laundered(x: u64) -> ChaCha8Rng {
+    let value = x + 1;
+    ChaCha8Rng::seed_from_u64(value)
+}
+
+pub fn ambient() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn pardoned() -> ChaCha8Rng {
+    // ofc-lint: allow(rng) reason=fixed experiment id for the ablation grid
+    ChaCha8Rng::seed_from_u64(34)
+}

@@ -1,0 +1,13 @@
+//! D6 fixture (pass): every RNG's seed lineage is provable — a seed
+//! parameter, a local derived from it, and a callee whose body touches a
+//! schedule value.
+
+fn derive(app: u64) -> u64 {
+    app ^ BASE_SEED
+}
+
+pub fn build(seed: u64, app: u64) -> ChaCha8Rng {
+    let base = derive(app);
+    let mixed = base ^ seed;
+    ChaCha8Rng::seed_from_u64(mixed)
+}

@@ -1,0 +1,6 @@
+//! D7 fixture (fail): only one of the two registry consts is ever
+//! emitted — the other is dead telemetry.
+
+pub fn record(t: &Telemetry) {
+    t.counter(CACHE_HITS).inc();
+}

@@ -1,0 +1,6 @@
+//! D7 fixture (pass): every registry const is emitted somewhere.
+
+pub fn record(t: &Telemetry) {
+    t.counter("cache.hits").inc();
+    t.counter(CACHE_MISSES).inc();
+}

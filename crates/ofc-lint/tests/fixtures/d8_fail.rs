@@ -1,0 +1,14 @@
+//! D8 fixture (fail): the worker captures enclosing interior-mutable
+//! state and takes `&mut` to a shared accumulator.
+
+pub fn bad_fan_out(jobs: Vec<Job>) -> Vec<Out> {
+    let shared = RefCell::new(Vec::new());
+    let mut raw = Vec::new();
+    thread::scope(|s| {
+        s.spawn(|| {
+            shared.borrow_mut().push(run_one(&jobs));
+            collect_into(&mut raw);
+        });
+    });
+    finish(shared, raw)
+}

@@ -1,0 +1,19 @@
+//! D8 fixture (pass): workers share only the atomic ticket counter and
+//! the submission-order Mutex slots; interior mutability is built inside
+//! the worker.
+
+pub fn fan_out(jobs: Vec<Job>) -> Vec<Out> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Out>>> = mk_slots(jobs.len());
+    thread::scope(|s| {
+        s.spawn(|| loop {
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= jobs.len() {
+                break;
+            }
+            let testbed = Rc::new(RefCell::new(build(&jobs[t])));
+            *slots[t].lock().unwrap() = Some(run(&testbed));
+        });
+    });
+    drain(slots)
+}

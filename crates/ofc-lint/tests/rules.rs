@@ -1,17 +1,18 @@
 //! Fixture-driven integration tests: one passing and one failing fixture
-//! per rule (D1–D4), plus a golden test pinning the exact report format.
+//! per rule (D1–D8), plus golden tests pinning the exact text report and
+//! the versioned JSON report.
 //!
 //! The fixtures under `tests/fixtures/` are lint inputs, not compiled
 //! code — they are excluded from workspace analysis by the shipped
 //! config and read here as plain text.
 //!
-//! To regenerate the golden report after an intentional format change:
+//! To regenerate the goldens after an intentional format change:
 //! `BLESS=1 cargo test -p ofc-lint --test rules`.
 
 use ofc_lint::config::Config;
 use ofc_lint::report;
 use ofc_lint::source::SourceFile;
-use ofc_lint::Finding;
+use ofc_lint::{Analysis, Finding};
 use std::path::{Path, PathBuf};
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -31,13 +32,26 @@ fn cfg() -> Config {
     c.determinism_allow.clear();
     c.telemetry_paths = vec!["d3_pass.rs".into(), "d3_fail.rs".into()];
     c.panic_hot_paths = vec!["d4_pass.rs".into(), "d4_fail.rs".into()];
+    c.hotloop_paths = vec!["d5_pass.rs".into(), "d5_fail.rs".into()];
+    c.parallel_harness_paths = vec!["d8_pass.rs".into(), "d8_fail.rs".into()];
     c
 }
 
-fn lint(names: &[&str]) -> Vec<Finding> {
+fn analyze(names: &[&str]) -> Analysis {
     let files: Vec<SourceFile> = names.iter().map(|n| fixture(n)).collect();
     let registry = std::fs::read_to_string(fixture_path("registry.rs")).expect("registry fixture");
     ofc_lint::analyze(&files, &cfg(), Some(&registry))
+}
+
+/// Lints `names` with `d3_pass.rs` riding along as the usage anchor that
+/// keeps every registry const alive, so D7 stays out of tests that
+/// target other rules.
+fn lint(names: &[&str]) -> Vec<Finding> {
+    let mut all = names.to_vec();
+    if !all.contains(&"d3_pass.rs") {
+        all.push("d3_pass.rs");
+    }
+    analyze(&all).findings
 }
 
 fn rules(findings: &[Finding]) -> Vec<&'static str> {
@@ -46,7 +60,16 @@ fn rules(findings: &[Finding]) -> Vec<&'static str> {
 
 #[test]
 fn all_pass_fixtures_are_clean_together() {
-    let f = lint(&["d1_pass.rs", "d2_pass.rs", "d3_pass.rs", "d4_pass.rs"]);
+    let f = lint(&[
+        "d1_pass.rs",
+        "d2_pass.rs",
+        "d3_pass.rs",
+        "d4_pass.rs",
+        "d5_pass.rs",
+        "d6_pass.rs",
+        "d7_pass.rs",
+        "d8_pass.rs",
+    ]);
     assert!(
         f.is_empty(),
         "expected clean, got:\n{}",
@@ -110,8 +133,80 @@ fn d4_fail_flags_aborts_and_reasonless_pragma() {
 }
 
 #[test]
+fn d5_fail_flags_loop_allocations_and_closure_levels() {
+    let f = lint(&["d5_fail.rs"]);
+    assert!(f.iter().all(|x| x.rule == "D5-HOTLOOP"));
+    let kinds: Vec<&str> = f
+        .iter()
+        .map(|x| x.message.split('`').nth(1).unwrap())
+        .collect();
+    assert!(kinds.contains(&"clone"));
+    assert!(kinds.contains(&"format"));
+    // `retain` predicate counts as a loop level: both to_string calls.
+    assert_eq!(kinds.iter().filter(|k| **k == "to_string").count(), 2);
+    // The pragma'd clone in `victims` is not a finding...
+    assert!(!f.iter().any(|x| x.message.contains("victims")));
+}
+
+#[test]
+fn d5_inventory_keeps_pragmad_sites() {
+    let a = analyze(&["d5_fail.rs"]);
+    let suppressed: Vec<_> = a.hotspots.iter().filter(|h| h.suppressed).collect();
+    assert_eq!(suppressed.len(), 1, "...but it stays in the inventory");
+    assert_eq!(suppressed[0].function, "victims");
+    assert_eq!(suppressed[0].kind, "clone");
+    assert!(a.hotspots.len() > suppressed.len());
+}
+
+#[test]
+fn d6_fail_flags_unproven_seeds_and_entropy() {
+    let f = lint(&["d6_fail.rs"]);
+    assert!(f.iter().all(|x| x.rule == "D6-RNG-SEED"));
+    assert_eq!(
+        f.len(),
+        3,
+        "fixed, laundered, ambient — pardoned is pragma'd"
+    );
+    assert!(f.iter().any(|x| x.message.contains("12345")));
+    assert!(f.iter().any(|x| x.message.contains("`value`")));
+    assert!(f.iter().any(|x| x.message.contains("ambient entropy")));
+}
+
+#[test]
+fn d7_fail_reports_the_dead_registry_const() {
+    let a = analyze(&["d7_fail.rs"]);
+    let dead: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|x| x.rule == "D7-DEAD-TELEMETRY")
+        .collect();
+    assert_eq!(dead.len(), 1);
+    assert!(dead[0].message.contains("CACHE_MISSES"));
+    assert_eq!(dead[0].path, Config::default().telemetry_registry);
+    // The pass twin emits both consts: no dead telemetry.
+    let a = analyze(&["d7_pass.rs"]);
+    assert!(a.findings.iter().all(|x| x.rule != "D7-DEAD-TELEMETRY"));
+}
+
+#[test]
+fn d8_fail_flags_captured_refcell_and_mut_borrow() {
+    let f = lint(&["d8_fail.rs"]);
+    assert_eq!(rules(&f), vec!["D8-CAPTURE", "D8-CAPTURE"]);
+    assert!(f.iter().any(|x| x.message.contains("`shared`")));
+    assert!(f.iter().any(|x| x.message.contains("`&mut raw`")));
+}
+
+#[test]
 fn failing_fixtures_match_golden_report() {
-    let f = lint(&["d1_fail.rs", "d2_fail.rs", "d3_fail.rs", "d4_fail.rs"]);
+    let f = lint(&[
+        "d1_fail.rs",
+        "d2_fail.rs",
+        "d3_fail.rs",
+        "d4_fail.rs",
+        "d5_fail.rs",
+        "d6_fail.rs",
+        "d8_fail.rs",
+    ]);
     let text = report::format_text(&f);
     let golden = fixture_path("golden.txt");
     if std::env::var_os("BLESS").is_some() {
@@ -121,6 +216,27 @@ fn failing_fixtures_match_golden_report() {
     assert_eq!(
         text, expected,
         "report format drifted; if intentional, regenerate with BLESS=1"
+    );
+}
+
+/// Golden JSON report over the v2 (D5–D8) failing fixtures, without the
+/// usage anchor so D7's dead-registry findings appear too.
+#[test]
+fn v2_failing_fixtures_match_golden_json_report() {
+    let a = analyze(&["d5_fail.rs", "d6_fail.rs", "d7_fail.rs", "d8_fail.rs"]);
+    let json = report::format_json(&a.findings);
+    assert!(json.starts_with(&format!(
+        "{{\"schema\":\"{}\",\"findings\":[",
+        report::REPORT_SCHEMA
+    )));
+    let golden = fixture_path("golden.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden, &json).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(&golden).expect("golden fixture (BLESS=1 to create)");
+    assert_eq!(
+        json, expected,
+        "JSON report drifted; if intentional, regenerate with BLESS=1"
     );
 }
 
@@ -134,7 +250,7 @@ fn json_format_is_stable() {
     }];
     assert_eq!(
         report::format_json(&f),
-        r#"[{"rule":"D3-TELEMETRY","path":"a.rs","line":7,"message":"metric name \"x\" unknown"}]"#
+        r#"{"schema":"ofc-lint-report/2","findings":[{"rule":"D3-TELEMETRY","path":"a.rs","line":7,"message":"metric name \"x\" unknown"}]}"#
     );
 }
 

@@ -296,6 +296,7 @@ impl Cluster {
             // reaching the batch threshold flushes inline.
             for &b in &backups {
                 self.metrics.batched_appends.inc();
+                // ofc-lint: allow(hotloop) reason=replication fan-out hands each backup an owned copy; key/value are Arc-backed refcount bumps
                 if self.batcher.enqueue(shard, b, key.clone(), value.clone())
                     >= self.cfg.shard.batch_max_entries
                 {
@@ -304,6 +305,7 @@ impl Cluster {
             }
         } else {
             for &b in &backups {
+                // ofc-lint: allow(hotloop) reason=replication fan-out hands each backup an owned copy; key/value are Arc-backed refcount bumps
                 self.nodes[b].store_backup(key.clone(), value.clone());
             }
         }
@@ -516,6 +518,7 @@ impl Cluster {
                 .iter()
                 .copied()
                 .filter(|&b| self.nodes[b].is_up() && self.nodes[b].has_backup(&key))
+                // ofc-lint: allow(hotloop) reason=recovery snapshots the surviving backup set before mutating nodes
                 .collect();
             let Some(&new_master) = survivors.first() else {
                 self.remove_entry(&key);
@@ -538,27 +541,19 @@ impl Cluster {
                 continue;
             }
             latency += self.cfg.latency.promote(size.max(1));
+            // ofc-lint: allow(hotloop) reason=tablet owns its key; re-mastering is an Arc refcount bump
             self.tablet.insert(key.clone(), new_master);
-            let mut backups: Vec<NodeId> = survivors[1..].to_vec();
+            // ofc-lint: allow(hotloop) reason=recovery builds an owned backup list from the survivor tail
+            let backups: Vec<NodeId> = survivors[1..].to_vec();
             // Restore the replication factor from the new master's copy.
             let value = self.nodes[new_master]
                 .peek_master(&key)
+                // ofc-lint: allow(hotloop) reason=promoted master's value feeds re-replication as an owned copy
                 .map(|o| o.value.clone());
-            if let Some(value) = value {
-                let ring: Vec<NodeId> = self.ring_from(new_master).collect();
-                for candidate in ring {
-                    if backups.len() >= self.cfg.replication_factor {
-                        break;
-                    }
-                    if candidate != new_master
-                        && self.nodes[candidate].is_up()
-                        && !backups.contains(&candidate)
-                    {
-                        self.nodes[candidate].store_backup(key.clone(), value.clone());
-                        backups.push(candidate);
-                    }
-                }
-            }
+            let backups = match value {
+                Some(value) => self.top_up_replication(&key, new_master, &value, backups),
+                None => backups,
+            };
             self.replicas.insert(key, backups);
         }
 
@@ -574,27 +569,17 @@ impl Cluster {
                 continue;
             };
             let value = match self.nodes[master].peek_master(&key) {
+                // ofc-lint: allow(hotloop) reason=master's value feeds re-replication as an owned copy
                 Some(o) => o.value.clone(),
                 None => continue,
             };
-            let mut backups: Vec<NodeId> = self.replicas[&key]
+            let backups: Vec<NodeId> = self.replicas[&key]
                 .iter()
                 .copied()
                 .filter(|&b| b != node)
+                // ofc-lint: allow(hotloop) reason=recovery snapshots the remaining backup set before mutating nodes
                 .collect();
-            let ring: Vec<NodeId> = self.ring_from(master).collect();
-            for candidate in ring {
-                if backups.len() >= self.cfg.replication_factor {
-                    break;
-                }
-                if candidate != master
-                    && self.nodes[candidate].is_up()
-                    && !backups.contains(&candidate)
-                {
-                    self.nodes[candidate].store_backup(key.clone(), value.clone());
-                    backups.push(candidate);
-                }
-            }
+            let backups = self.top_up_replication(&key, master, &value, backups);
             self.replicas.insert(key, backups);
         }
 
@@ -633,27 +618,17 @@ impl Cluster {
                 continue;
             };
             let value = match self.nodes[master].peek_master(&key) {
+                // ofc-lint: allow(hotloop) reason=master's value feeds re-replication as an owned copy
                 Some(o) => o.value.clone(),
                 None => continue,
             };
-            let mut backups: Vec<NodeId> = self.replicas[&key]
+            let backups: Vec<NodeId> = self.replicas[&key]
                 .iter()
                 .copied()
                 .filter(|&b| self.nodes[b].is_up() && self.nodes[b].has_backup(&key))
+                // ofc-lint: allow(hotloop) reason=recovery snapshots the live backup set before mutating nodes
                 .collect();
-            let ring: Vec<NodeId> = self.ring_from(master).collect();
-            for candidate in ring {
-                if backups.len() >= self.cfg.replication_factor {
-                    break;
-                }
-                if candidate != master
-                    && self.nodes[candidate].is_up()
-                    && !backups.contains(&candidate)
-                {
-                    self.nodes[candidate].store_backup(key.clone(), value.clone());
-                    backups.push(candidate);
-                }
-            }
+            let backups = self.top_up_replication(&key, master, &value, backups);
             self.replicas.insert(key, backups);
         }
     }
@@ -701,6 +676,7 @@ impl Cluster {
                     // No eligible backup: fall back to a coordinator-driven
                     // copy onto the roomiest other live node.
                     let (value, dirty) = match self.nodes[node].peek_master(&key) {
+                        // ofc-lint: allow(hotloop) reason=drained master's value feeds the fallback copy as an owned payload
                         Some(o) => (o.value.clone(), o.dirty),
                         None => continue,
                     };
@@ -718,10 +694,12 @@ impl Cluster {
                         Some(target) => {
                             let size = value.size();
                             if self.nodes[target]
+                                // ofc-lint: allow(hotloop) reason=target node owns its key; Arc refcount bump
                                 .insert_master(key.clone(), value, now, dirty)
                                 .is_ok()
                             {
                                 self.nodes[node].remove_master(&key);
+                                // ofc-lint: allow(hotloop) reason=tablet owns its key; Arc refcount bump
                                 self.tablet.insert(key.clone(), target);
                                 // Full copy over the network, unlike promotion.
                                 latency += self.cfg.latency.write(size, true);
@@ -891,6 +869,31 @@ impl Cluster {
     fn ring_from(&self, start: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         let n = self.nodes.len();
         (1..=n).map(move |i| (start + i) % n)
+    }
+
+    /// Walks the ring from `master`, storing backup copies of `key` on
+    /// live nodes until `backups` reaches the replication factor. Shared
+    /// tail of the crash/restart/drain re-replication paths.
+    fn top_up_replication(
+        &mut self,
+        key: &Key,
+        master: NodeId,
+        value: &Value,
+        mut backups: Vec<NodeId>,
+    ) -> Vec<NodeId> {
+        let ring: Vec<NodeId> = self.ring_from(master).collect();
+        for candidate in ring {
+            if backups.len() >= self.cfg.replication_factor {
+                break;
+            }
+            if candidate != master && self.nodes[candidate].is_up() && !backups.contains(&candidate)
+            {
+                // ofc-lint: allow(hotloop) reason=re-replication hands each new backup an owned copy; key/value are Arc-backed refcount bumps
+                self.nodes[candidate].store_backup(key.clone(), value.clone());
+                backups.push(candidate);
+            }
+        }
+        backups
     }
 
     /// Number of shards of the key space (1 = unsharded).

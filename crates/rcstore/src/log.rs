@@ -302,6 +302,7 @@ impl Log {
                 // ofc-lint: allow(panic) reason=fitting_head/open_head_unchecked only return allocated slots
                 let h = self.segments[head].as_mut().expect("head allocated");
                 h.used += size;
+                // ofc-lint: allow(hotloop) reason=segment and location maps both own the key; Arc refcount bump
                 h.live.insert(key.clone(), size);
                 self.locations.insert(key, head);
             }

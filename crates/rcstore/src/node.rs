@@ -214,6 +214,7 @@ impl StorageNode {
         self.cold_index.clear();
         for (key, obj) in &self.master {
             if obj.stats.n_access < min_access {
+                // ofc-lint: allow(hotloop) reason=index rebuild must own its keys and Key is Arc<str> so the clone is a refcount bump
                 self.cold_index.insert((obj.stats.created, key.clone()));
             }
         }
@@ -233,7 +234,9 @@ impl StorageNode {
         min_idle: Duration,
     ) -> (Vec<(Key, bool)>, u64) {
         let mut visited = 0u64;
-        let mut victims: BTreeMap<Key, bool> = BTreeMap::new();
+        // Borrow candidate keys while scanning; the owned clones happen
+        // once, below, only for keys that actually survive as victims.
+        let mut victims: BTreeMap<&Key, bool> = BTreeMap::new();
         for (t_access, key) in &self.idle_index {
             visited += 1;
             if now.saturating_since(*t_access) < min_idle {
@@ -243,7 +246,7 @@ impl StorageNode {
                 debug_assert!(false, "idle index references a missing master");
                 continue;
             };
-            victims.insert(key.clone(), obj.dirty);
+            victims.insert(key, obj.dirty);
         }
         for (created, key) in &self.cold_index {
             visited += 1;
@@ -254,9 +257,10 @@ impl StorageNode {
                 debug_assert!(false, "cold index references a missing master");
                 continue;
             };
-            victims.insert(key.clone(), obj.dirty);
+            victims.insert(key, obj.dirty);
         }
-        (victims.into_iter().collect(), visited)
+        let victims = victims.into_iter().map(|(k, d)| (k.clone(), d)).collect();
+        (victims, visited)
     }
 
     /// Sets the dirty flag of a master copy.
@@ -326,7 +330,8 @@ impl StorageNode {
             .iter()
             .map(|(k, o)| (k, o.stats.t_access))
             .collect();
-        keys.sort_by_key(|&(k, t)| (t, k.clone()));
+        // Compare by (time, key) without cloning the key per comparison.
+        keys.sort_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
         keys.into_iter().map(|(k, _)| k.clone()).collect()
     }
 

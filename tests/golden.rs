@@ -174,7 +174,13 @@ fn macro24_smoke_parallel_matches_serial_golden() {
     let Some(fresh) = regenerate_with(
         "macro24",
         "macro24_smoke",
-        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "4")],
+        &[
+            ("OFC_MACRO_SMOKE", "1"),
+            ("OFC_BENCH_THREADS", "4"),
+            // Defeat the small-bin serial fallback: this variant exists
+            // to drive the parallel runner.
+            ("OFC_BENCH_MIN_PAR_SIMS", "1"),
+        ],
     ) else {
         return;
     };
@@ -201,7 +207,13 @@ fn fig9_smoke_parallel_matches_serial_golden() {
     let Some(fresh) = regenerate_with(
         "fig9",
         "fig9_smoke",
-        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "4")],
+        &[
+            ("OFC_MACRO_SMOKE", "1"),
+            ("OFC_BENCH_THREADS", "4"),
+            // Defeat the small-bin serial fallback: this variant exists
+            // to drive the parallel runner.
+            ("OFC_BENCH_MIN_PAR_SIMS", "1"),
+        ],
     ) else {
         return;
     };
@@ -228,7 +240,13 @@ fn bakeoff_smoke_parallel_matches_serial_golden() {
     let Some(fresh) = regenerate_with(
         "bakeoff",
         "bakeoff_smoke",
-        &[("OFC_MACRO_SMOKE", "1"), ("OFC_BENCH_THREADS", "4")],
+        &[
+            ("OFC_MACRO_SMOKE", "1"),
+            ("OFC_BENCH_THREADS", "4"),
+            // Defeat the small-bin serial fallback: this variant exists
+            // to drive the parallel runner.
+            ("OFC_BENCH_MIN_PAR_SIMS", "1"),
+        ],
     ) else {
         return;
     };
