@@ -9,6 +9,14 @@
 //! running twice with the same environment produces byte-identical
 //! `results/chaos.json`.
 //!
+//! `OFC_CHAOS_FAILOVER=1` switches to the control-plane drill (DESIGN.md
+//! §16): the cache store runs a 3-replica Raft-style coordinator with
+//! gossip membership, and the schedule adds coordinator crashes, leader
+//! isolations, and network partitions. The report (then saved as
+//! `results/failover.json`) carries the `raft.*`/`gossip.*` counters, and
+//! the fault-free baseline keeps the default single coordinator — the
+//! hit/latency deltas thus bound the replication overhead end to end.
+//!
 //! The fault-free baseline and the chaos run are independent sims and fan
 //! out through [`ofc_bench::par`]; the chaos job builds its testbed,
 //! installs the schedule, and extracts every durability metric inside the
@@ -55,6 +63,14 @@ struct ChaosOutcome {
     slowdowns: u64,
     transient_bursts: u64,
     persistor_failures: u64,
+    coordinator_crashes: u64,
+    leader_isolations: u64,
+    partitions: u64,
+    raft_elections: u64,
+    raft_commits: u64,
+    raft_no_quorum_rejects: u64,
+    gossip_rounds: u64,
+    gossip_confirms: u64,
     degraded_bypasses: u64,
     persist_retries: u64,
     persist_dead_letters: u64,
@@ -72,7 +88,12 @@ enum RunOut {
 
 /// The chaos run: assemble the testbed, install the fault schedule, run
 /// the macro workload, and read every metric while the testbed is alive.
-fn chaos_run(seed: u64, dur: Duration, events: Vec<ofc_chaos::FaultEvent>) -> ChaosOutcome {
+fn chaos_run(
+    seed: u64,
+    dur: Duration,
+    events: Vec<ofc_chaos::FaultEvent>,
+    cfg: OfcConfig,
+) -> ChaosOutcome {
     let handles: Rc<RefCell<Option<Handles>>> = Rc::new(RefCell::new(None));
     let stash = Rc::clone(&handles);
     let chaos = run_macro_hooked(
@@ -81,7 +102,7 @@ fn chaos_run(seed: u64, dur: Duration, events: Vec<ofc_chaos::FaultEvent>) -> Ch
         1,
         dur,
         seed,
-        OfcConfig::default(),
+        cfg,
         64 << 30,
         move |tb: &mut Testbed| {
             let ofc = tb.ofc.as_ref().expect("ofc testbed");
@@ -105,7 +126,7 @@ fn chaos_run(seed: u64, dur: Duration, events: Vec<ofc_chaos::FaultEvent>) -> Ch
                             c.crash_node(*n, now);
                         }
                     }
-                    FaultKind::NodeRestart(n) => c.restart_node(*n),
+                    FaultKind::NodeRestart(n) => c.restart_node(*n, now),
                     FaultKind::SlowNode { node, factor } => c.set_node_slowdown(*node, *factor),
                     FaultKind::RestoreNodeSpeed { node } => c.clear_node_slowdown(*node),
                     FaultKind::TransientStoreErrors { ops } => c.inject_transient_errors(*ops),
@@ -118,6 +139,13 @@ fn chaos_run(seed: u64, dur: Duration, events: Vec<ofc_chaos::FaultEvent>) -> Ch
                             c.crash_node(node, now);
                         }
                     }
+                    FaultKind::CoordinatorCrash(r) => c.crash_coordinator(*r, now),
+                    FaultKind::CoordinatorRestart(r) => c.restart_coordinator(*r, now),
+                    FaultKind::LeaderIsolate => {
+                        c.isolate_leader(now);
+                    }
+                    FaultKind::Partition { groups } => c.partition_network(groups, now),
+                    FaultKind::HealPartition => c.heal_partition(now),
                 }
             });
             ofc_chaos::install(&mut tb.sim, events, &telemetry, sink);
@@ -139,6 +167,14 @@ fn chaos_run(seed: u64, dur: Duration, events: Vec<ofc_chaos::FaultEvent>) -> Ch
         slowdowns: m.counter("chaos.slowdowns"),
         transient_bursts: m.counter("chaos.transient_bursts"),
         persistor_failures: m.counter("chaos.persistor_failures"),
+        coordinator_crashes: m.counter("chaos.coordinator_crashes"),
+        leader_isolations: m.counter("chaos.leader_isolations"),
+        partitions: m.counter("chaos.partitions"),
+        raft_elections: m.counter("raft.elections"),
+        raft_commits: m.counter("raft.commits"),
+        raft_no_quorum_rejects: m.counter("raft.no_quorum_rejects"),
+        gossip_rounds: m.counter("gossip.rounds"),
+        gossip_confirms: m.counter("gossip.confirms"),
         degraded_bypasses: m.counter("plane.degraded_bypasses"),
         persist_retries: m.counter("persist.retries"),
         persist_dead_letters: m.counter("persist.dead_letters"),
@@ -160,6 +196,15 @@ struct ChaosReport {
     slowdowns: u64,
     transient_bursts: u64,
     persistor_failures: u64,
+    // Control-plane drill (zero outside OFC_CHAOS_FAILOVER=1).
+    coordinator_crashes: u64,
+    leader_isolations: u64,
+    partitions: u64,
+    raft_elections: u64,
+    raft_commits: u64,
+    raft_no_quorum_rejects: u64,
+    gossip_rounds: u64,
+    gossip_confirms: u64,
     // Degradation machinery.
     degraded_bypasses: u64,
     persist_retries: u64,
@@ -185,12 +230,13 @@ fn total_s(m: &MacroResult) -> f64 {
 fn main() {
     let seed = env_u64("OFC_CHAOS_SEED", 42);
     let minutes = env_u64("OFC_MACRO_MINS", 10);
+    let failover = env_u64("OFC_CHAOS_FAILOVER", 0) == 1;
     let dur = Duration::from_secs(60 * minutes);
 
     // Fault window: [60 s, dur - 60 s] so every fault ceases well before
     // the 600 s settle phase — durability is judged on a quiet system.
     let window_end = SimTime::ZERO + dur.saturating_sub(Duration::from_secs(60));
-    let schedule = ChaosSchedule::new(WORKER_NODES)
+    let mut schedule = ChaosSchedule::new(WORKER_NODES)
         .one_shot(SimTime::from_secs(90), FaultKind::NodeCrash(1))
         .one_shot(SimTime::from_secs(240), FaultKind::NodeRestart(1))
         .recurring(Recurring {
@@ -214,13 +260,54 @@ fn main() {
             from: SimTime::from_secs(60),
             until: window_end,
         });
+    if failover {
+        // Control-plane drill: coordinator crashes, leader isolations,
+        // and network partitions ride along, each with a paired heal so
+        // the final settle phase always runs on a whole cluster.
+        schedule = schedule
+            .coordinators(3)
+            .recurring(Recurring {
+                template: FaultTemplate::CoordinatorCrash {
+                    heal_after: Duration::from_secs(30),
+                },
+                mean_interval: Duration::from_secs(150),
+                from: SimTime::from_secs(60),
+                until: window_end,
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::LeaderIsolate {
+                    heal_after: Duration::from_secs(25),
+                },
+                mean_interval: Duration::from_secs(200),
+                from: SimTime::from_secs(60),
+                until: window_end,
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::Partition {
+                    heal_after: Duration::from_secs(30),
+                },
+                mean_interval: Duration::from_secs(200),
+                from: SimTime::from_secs(60),
+                until: window_end,
+            });
+    }
     let events = schedule.generate(seed);
     eprintln!(
-        "[chaos: {} fault events over {} min]",
+        "[chaos{}: {} fault events over {} min]",
+        if failover { " (failover drill)" } else { "" },
         events.len(),
         minutes
     );
 
+    let chaos_cfg = if failover {
+        OfcConfig {
+            coordinator_replicas: 3,
+            gossip: true,
+            ..OfcConfig::default()
+        }
+    } else {
+        OfcConfig::default()
+    };
     let jobs: Vec<Box<dyn FnOnce() -> RunOut + Send>> = vec![
         Box::new(move || {
             RunOut::Baseline(Box::new(run_macro(
@@ -231,7 +318,7 @@ fn main() {
                 seed,
             )))
         }),
-        Box::new(move || RunOut::Chaos(Box::new(chaos_run(seed, dur, events)))),
+        Box::new(move || RunOut::Chaos(Box::new(chaos_run(seed, dur, events, chaos_cfg)))),
     ];
     let mut runs = par::run_jobs(jobs).into_iter();
     let (Some(RunOut::Baseline(baseline)), Some(RunOut::Chaos(chaos))) = (runs.next(), runs.next())
@@ -250,6 +337,14 @@ fn main() {
         slowdowns: chaos.slowdowns,
         transient_bursts: chaos.transient_bursts,
         persistor_failures: chaos.persistor_failures,
+        coordinator_crashes: chaos.coordinator_crashes,
+        leader_isolations: chaos.leader_isolations,
+        partitions: chaos.partitions,
+        raft_elections: chaos.raft_elections,
+        raft_commits: chaos.raft_commits,
+        raft_no_quorum_rejects: chaos.raft_no_quorum_rejects,
+        gossip_rounds: chaos.gossip_rounds,
+        gossip_confirms: chaos.gossip_confirms,
         degraded_bypasses: chaos.degraded_bypasses,
         persist_retries: chaos.persist_retries,
         persist_dead_letters: chaos.persist_dead_letters,
@@ -269,7 +364,13 @@ fn main() {
         dead_after: chaos.dead_after,
     };
 
-    println!("Chaos — Fig 9 macro workload under a fault schedule (seed {seed})\n");
+    if failover {
+        println!(
+            "Chaos failover drill — Fig 9 macro workload, 3-replica coordinator + gossip (seed {seed})\n"
+        );
+    } else {
+        println!("Chaos — Fig 9 macro workload under a fault schedule (seed {seed})\n");
+    }
     println!(
         "{}",
         report::table(
@@ -308,7 +409,16 @@ fn main() {
             ],
         )
     );
-    report::save_json("chaos", &report);
+    if failover {
+        println!(
+            "\ncontrol plane: {} elections, {} commits, {} no-quorum rejects, {} gossip confirms",
+            report.raft_elections,
+            report.raft_commits,
+            report.raft_no_quorum_rejects,
+            report.gossip_confirms
+        );
+    }
+    report::save_json(if failover { "failover" } else { "chaos" }, &report);
 
     let mut failures = Vec::new();
     if report.objects_lost != 0 {

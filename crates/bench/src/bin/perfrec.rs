@@ -1,7 +1,9 @@
 //! `perfrec`: the BENCH perf record. Times every parallel-runner bin
 //! serial vs parallel (same seeds, byte-compared JSON), A/Bs the periodic
-//! eviction sweep (candidate index vs full scan), and writes the result as
-//! a `BENCH_<n>.json` record so the perf trajectory of this repo is
+//! eviction sweep (candidate index vs full scan), A/Bs the control plane
+//! (single omniscient coordinator vs 3-replica Raft-style group with
+//! gossip membership — DESIGN.md §16), and writes the result as a
+//! `BENCH_<n>.json` record so the perf trajectory of this repo is
 //! machine-readable PR over PR.
 //!
 //! Invocation (after `cargo build --release`):
@@ -17,7 +19,7 @@
 //! * `OFC_PERFREC_LTO_CHECK=1` — additionally time `macro24` serially at
 //!   the full 30-minute window, filling the LTO after-measurement of the
 //!   committed record (slow; off in CI).
-//! * `OFC_BENCH_RECORD` — output path (default `BENCH_7.json`).
+//! * `OFC_BENCH_RECORD` — output path (default `BENCH_8.json`).
 //! * `OFC_BENCH_THREADS` — worker count for the parallel pass (default:
 //!   available parallelism).
 
@@ -100,6 +102,30 @@ struct PolicyTiming {
 }
 
 #[derive(Serialize)]
+struct CoordSide {
+    wall_s: f64,
+    hit_ratio_pct: f64,
+    /// Sum of per-function execution time across the window (the latency
+    /// the platform's tenants actually observe).
+    total_exec_s: f64,
+    /// Control-plane mutations committed through the replicated log
+    /// (zero on the single-coordinator side: no log exists).
+    raft_commits: u64,
+}
+
+/// Fault-free control-plane A/B (DESIGN.md §16): the same Fig 9 macro
+/// window with the default single coordinator vs a 3-replica group with
+/// gossip membership. The exec-time delta is the end-to-end price of
+/// commit-on-majority consensus on every tablet assignment.
+#[derive(Serialize)]
+struct FailoverRecord {
+    single: CoordSide,
+    replicated: CoordSide,
+    /// `100 * (replicated.total_exec_s / single.total_exec_s - 1)`.
+    exec_overhead_pct: f64,
+}
+
+#[derive(Serialize)]
 struct BenchRecord {
     record: u64,
     window_mins: u64,
@@ -112,6 +138,7 @@ struct BenchRecord {
     /// the bake-off's wall-time record.
     policies: Vec<PolicyTiming>,
     evict_sweep: SweepRecord,
+    coordinator: FailoverRecord,
     lto: LtoRecord,
     /// Sims executed through the parallel runner across the parallel pass
     /// (also recorded as the `bench.par_runs` counter).
@@ -202,6 +229,35 @@ fn sweep_side(full_scan: bool, mins: u64) -> SweepSide {
     }
 }
 
+/// One in-process macro run under the given control-plane layout, reading
+/// hit ratio, tenant-observed exec time, and the raft commit counter.
+fn coord_side(cfg: OfcConfig, mins: u64) -> CoordSide {
+    let stash: Rc<RefCell<Option<Telemetry>>> = Rc::new(RefCell::new(None));
+    let sink = Rc::clone(&stash);
+    let started = Instant::now();
+    let result = run_macro_hooked(
+        PlaneKind::Ofc,
+        TenantProfile::Normal,
+        1,
+        Duration::from_secs(60 * mins),
+        29,
+        cfg,
+        64 << 30,
+        move |tb: &mut Testbed| {
+            let ofc = tb.ofc.as_ref().expect("ofc testbed");
+            *sink.borrow_mut() = Some(ofc.telemetry().clone());
+        },
+    );
+    let wall_s = started.elapsed().as_secs_f64();
+    let telemetry = stash.borrow_mut().take().expect("hook ran");
+    CoordSide {
+        wall_s,
+        hit_ratio_pct: result.table2.hit_ratio_pct,
+        total_exec_s: result.per_function_total_s.values().sum(),
+        raft_commits: telemetry.metrics().counter(names::RAFT_COMMITS),
+    }
+}
+
 fn main() {
     let mins = env_u64("OFC_PERFREC_MINS", 5);
     let threads = par::threads();
@@ -279,6 +335,34 @@ fn main() {
     );
     let visited_ratio = full_scan.visited as f64 / indexed.visited.max(1) as f64;
 
+    println!("\n  control-plane A/B ({mins} min window, fault-free, in-process):");
+    let single = coord_side(OfcConfig::default(), mins);
+    let replicated = coord_side(
+        OfcConfig {
+            coordinator_replicas: 3,
+            gossip: true,
+            ..OfcConfig::default()
+        },
+        mins,
+    );
+    println!(
+        "    single      wall {:5.2}s   hit {:5.1}%   exec {:7.1}s",
+        single.wall_s, single.hit_ratio_pct, single.total_exec_s
+    );
+    println!(
+        "    3 replicas  wall {:5.2}s   hit {:5.1}%   exec {:7.1}s   {} commits",
+        replicated.wall_s,
+        replicated.hit_ratio_pct,
+        replicated.total_exec_s,
+        replicated.raft_commits
+    );
+    let exec_overhead_pct = if single.total_exec_s > 0.0 {
+        100.0 * (replicated.total_exec_s / single.total_exec_s - 1.0)
+    } else {
+        0.0
+    };
+    println!("    consensus exec overhead: {exec_overhead_pct:+.2}%");
+
     let lto_after = if std::env::var("OFC_PERFREC_LTO_CHECK").map(|v| v == "1") == Ok(true) {
         println!("\n  LTO check: timing macro24 serially at the 30 min window...");
         let dir = std::env::temp_dir().join(format!("ofc-perfrec-lto-{}", std::process::id()));
@@ -297,7 +381,7 @@ fn main() {
     let par_runs = telemetry.metrics().counter(names::BENCH_PAR_RUNS);
 
     let record = BenchRecord {
-        record: 7,
+        record: 8,
         window_mins: mins,
         threads,
         min_par_sims: par::min_par_sims(),
@@ -308,13 +392,18 @@ fn main() {
             full_scan,
             visited_ratio,
         },
+        coordinator: FailoverRecord {
+            single,
+            replicated,
+            exec_overhead_pct,
+        },
         lto: LtoRecord {
             macro24_serial_before_s: MACRO24_PRE_LTO_SERIAL_S,
             macro24_serial_after_s: lto_after,
         },
         par_runs,
     };
-    let path = std::env::var("OFC_BENCH_RECORD").unwrap_or_else(|_| "BENCH_7.json".into());
+    let path = std::env::var("OFC_BENCH_RECORD").unwrap_or_else(|_| "BENCH_8.json".into());
     let json = serde_json::to_string_pretty(&record).expect("serializable record");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("\n[saved {path}]");

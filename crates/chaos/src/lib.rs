@@ -137,6 +137,27 @@ pub enum FaultKind {
     /// cluster must flush pending buffers first, so no acked write on the
     /// shard is lost.
     ShardCrash(usize),
+    /// Fail-stop crash of a coordinator replica (the control-plane
+    /// process, independent of the co-located storage node). A crashed
+    /// leader forces a timed re-election.
+    CoordinatorCrash(usize),
+    /// A crashed coordinator replica rejoins and catches up by log replay
+    /// or snapshot install.
+    CoordinatorRestart(usize),
+    /// Isolate the current coordinator leader's node from every other
+    /// node: the classic Raft drill — the majority side re-elects, the old
+    /// leader steps down, and a [`FaultKind::HealPartition`] reunites them.
+    LeaderIsolate,
+    /// Split the network into the given reachability groups (nodes listed
+    /// nowhere become singleton islands). Storage and coordinator planes
+    /// split together.
+    Partition {
+        /// The reachability groups, each a list of node ids.
+        groups: Vec<Vec<usize>>,
+    },
+    /// End of a partition episode: full connectivity returns, fenced
+    /// copies are expunged, and deferred recoveries drain.
+    HealPartition,
 }
 
 /// A fault pinned to a virtual-time instant.
@@ -175,6 +196,25 @@ pub enum FaultTemplate {
     /// Crash the master of a uniformly drawn shard (requires
     /// [`ChaosSchedule::shards`]).
     ShardCrash,
+    /// Crash a uniformly drawn coordinator replica (requires
+    /// [`ChaosSchedule::coordinators`]); a matching restart is emitted
+    /// `heal_after` later so the group never drifts headless forever.
+    CoordinatorCrash {
+        /// How long the replica stays down.
+        heal_after: Duration,
+    },
+    /// Isolate the coordinator leader; a matching heal is emitted
+    /// `heal_after` later.
+    LeaderIsolate {
+        /// Episode length.
+        heal_after: Duration,
+    },
+    /// Split the cluster along a uniformly drawn non-trivial bipartition;
+    /// a matching heal is emitted `heal_after` later.
+    Partition {
+        /// Episode length.
+        heal_after: Duration,
+    },
 }
 
 /// A Poisson-recurring fault source: occurrences arrive with exponential
@@ -202,6 +242,7 @@ pub struct Recurring {
 pub struct ChaosSchedule {
     nodes: usize,
     shards: usize,
+    coordinators: usize,
     one_shots: Vec<FaultEvent>,
     recurring: Vec<Recurring>,
 }
@@ -212,6 +253,7 @@ impl ChaosSchedule {
         ChaosSchedule {
             nodes,
             shards: 0,
+            coordinators: 0,
             one_shots: Vec::new(),
             recurring: Vec::new(),
         }
@@ -222,6 +264,13 @@ impl ChaosSchedule {
     /// are unaffected: each recurring source has its own RNG stream.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Declares the coordinator-replica count so
+    /// [`FaultTemplate::CoordinatorCrash`] sources can draw targets.
+    pub fn coordinators(mut self, coordinators: usize) -> Self {
+        self.coordinators = coordinators;
         self
     }
 
@@ -304,6 +353,54 @@ impl ChaosSchedule {
                             kind: FaultKind::ShardCrash(shard),
                         });
                     }
+                    FaultTemplate::CoordinatorCrash { heal_after } => {
+                        let replica = rng.gen_range(0..self.coordinators.max(1));
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::CoordinatorCrash(replica),
+                        });
+                        events.push(FaultEvent {
+                            at: at + *heal_after,
+                            kind: FaultKind::CoordinatorRestart(replica),
+                        });
+                    }
+                    FaultTemplate::LeaderIsolate { heal_after } => {
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::LeaderIsolate,
+                        });
+                        events.push(FaultEvent {
+                            at: at + *heal_after,
+                            kind: FaultKind::HealPartition,
+                        });
+                    }
+                    FaultTemplate::Partition { heal_after } => {
+                        // A uniformly drawn non-trivial bipartition: node 0
+                        // anchors one side, and at least one node lands on
+                        // the other.
+                        let n = self.nodes.max(2);
+                        let mut a = vec![0usize];
+                        let mut b = Vec::new();
+                        for node in 1..n {
+                            if rng.gen::<bool>() {
+                                a.push(node);
+                            } else {
+                                b.push(node);
+                            }
+                        }
+                        if b.is_empty() {
+                            // ofc-lint: allow(panic) reason=n >= 2 and b empty means every node 1..n landed in a, so a holds at least two
+                            b.push(a.pop().expect("side A holds at least two nodes"));
+                        }
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::Partition { groups: vec![a, b] },
+                        });
+                        events.push(FaultEvent {
+                            at: at + *heal_after,
+                            kind: FaultKind::HealPartition,
+                        });
+                    }
                 }
             }
         }
@@ -323,6 +420,10 @@ struct ChaosMetrics {
     transient_bursts: Counter,
     persistor_failures: Counter,
     shard_crashes: Counter,
+    coordinator_crashes: Counter,
+    coordinator_restarts: Counter,
+    leader_isolations: Counter,
+    partitions: Counter,
 }
 
 impl ChaosMetrics {
@@ -335,6 +436,10 @@ impl ChaosMetrics {
             transient_bursts: t.counter("chaos.transient_bursts"),
             persistor_failures: t.counter("chaos.persistor_failures"),
             shard_crashes: t.counter("chaos.shard_crashes"),
+            coordinator_crashes: t.counter("chaos.coordinator_crashes"),
+            coordinator_restarts: t.counter("chaos.coordinator_restarts"),
+            leader_isolations: t.counter("chaos.leader_isolations"),
+            partitions: t.counter("chaos.partitions"),
         }
     }
 
@@ -366,6 +471,24 @@ impl ChaosMetrics {
                 self.injected.inc();
                 self.shard_crashes.inc();
             }
+            FaultKind::CoordinatorCrash(_) => {
+                self.injected.inc();
+                self.coordinator_crashes.inc();
+            }
+            FaultKind::CoordinatorRestart(_) => {
+                self.injected.inc();
+                self.coordinator_restarts.inc();
+            }
+            FaultKind::LeaderIsolate => {
+                self.injected.inc();
+                self.leader_isolations.inc();
+            }
+            FaultKind::Partition { .. } => {
+                self.injected.inc();
+                self.partitions.inc();
+            }
+            // The paired heal is the end of a partition, not a fault.
+            FaultKind::HealPartition => {}
         }
     }
 }
@@ -502,6 +625,173 @@ mod tests {
         assert!(!shard_crashes.is_empty(), "shard source fired");
         assert!(shard_crashes.iter().all(|&s| s < 8), "targets in range");
         assert_eq!(with_shards.generate(11), b, "deterministic per seed");
+    }
+
+    #[test]
+    fn failover_sources_pair_heals_and_leave_existing_streams_untouched() {
+        let base = ChaosSchedule::new(4)
+            .recurring(Recurring {
+                template: FaultTemplate::Crash,
+                mean_interval: Duration::from_secs(60),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(600),
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::Slow {
+                    factor: 4.0,
+                    duration: Duration::from_secs(30),
+                },
+                mean_interval: Duration::from_secs(90),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(600),
+            });
+        let with_failover = base
+            .clone()
+            .coordinators(3)
+            .recurring(Recurring {
+                template: FaultTemplate::CoordinatorCrash {
+                    heal_after: Duration::from_secs(20),
+                },
+                mean_interval: Duration::from_secs(80),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(600),
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::LeaderIsolate {
+                    heal_after: Duration::from_secs(15),
+                },
+                mean_interval: Duration::from_secs(120),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(600),
+            })
+            .recurring(Recurring {
+                template: FaultTemplate::Partition {
+                    heal_after: Duration::from_secs(25),
+                },
+                mean_interval: Duration::from_secs(150),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(600),
+            });
+        let a = base.generate(7);
+        let b = with_failover.generate(7);
+        // Per-source RNG streams: pre-existing arrivals are byte-identical
+        // with the failover sources riding along.
+        let legacy = |evs: &[FaultEvent]| {
+            evs.iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        FaultKind::NodeCrash(_)
+                            | FaultKind::NodeRestart(_)
+                            | FaultKind::SlowNode { .. }
+                            | FaultKind::RestoreNodeSpeed { .. }
+                    )
+                })
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(legacy(&a), legacy(&b));
+        assert_eq!(with_failover.generate(7), b, "deterministic per seed");
+
+        // Every coordinator crash draws a replica in range and pairs with a
+        // restart of the same replica exactly heal_after later.
+        let crashes: Vec<(SimTime, usize)> = b
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::CoordinatorCrash(r) => Some((e.at, r)),
+                _ => None,
+            })
+            .collect();
+        assert!(!crashes.is_empty(), "coordinator source fired");
+        for (at, r) in &crashes {
+            assert!(*r < 3, "replica target in range");
+            assert!(
+                b.iter().any(|e| e.at == *at + Duration::from_secs(20)
+                    && matches!(e.kind, FaultKind::CoordinatorRestart(x) if x == *r)),
+                "paired restart present"
+            );
+        }
+
+        // Isolations and partitions each pair with a heal, and partitions
+        // are non-trivial bipartitions covering every node exactly once.
+        let mut heals = 0usize;
+        for e in &b {
+            match &e.kind {
+                FaultKind::LeaderIsolate => {
+                    assert!(b.iter().any(|h| h.at == e.at + Duration::from_secs(15)
+                        && matches!(h.kind, FaultKind::HealPartition)));
+                }
+                FaultKind::Partition { groups } => {
+                    assert_eq!(groups.len(), 2);
+                    assert!(groups.iter().all(|g| !g.is_empty()), "no empty side");
+                    let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+                    all.sort_unstable();
+                    assert_eq!(all, vec![0, 1, 2, 3], "bipartition covers the cluster");
+                    assert!(b.iter().any(|h| h.at == e.at + Duration::from_secs(25)
+                        && matches!(h.kind, FaultKind::HealPartition)));
+                }
+                FaultKind::HealPartition => heals += 1,
+                _ => {}
+            }
+        }
+        let episodes = b
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::LeaderIsolate | FaultKind::Partition { .. }
+                )
+            })
+            .count();
+        assert!(episodes > 0, "isolation/partition sources fired");
+        assert_eq!(heals, episodes, "one heal per episode");
+    }
+
+    #[test]
+    fn failover_events_count_on_their_own_counters() {
+        let telemetry = Telemetry::standalone();
+        let mut sim = Sim::new(0);
+        let events = vec![
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::CoordinatorCrash(2),
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::LeaderIsolate,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(3),
+                kind: FaultKind::Partition {
+                    groups: vec![vec![0, 1], vec![2, 3]],
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(4),
+                kind: FaultKind::HealPartition,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(5),
+                kind: FaultKind::CoordinatorRestart(2),
+            },
+        ];
+        let seen: Rc<RefCell<Vec<FaultKind>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        install(
+            &mut sim,
+            events,
+            &telemetry,
+            Rc::new(move |_, kind| sink.borrow_mut().push(kind.clone())),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(seen.borrow().len(), 5);
+        let m = telemetry.metrics();
+        assert_eq!(m.counter("chaos.coordinator_crashes"), 1);
+        assert_eq!(m.counter("chaos.coordinator_restarts"), 1);
+        assert_eq!(m.counter("chaos.leader_isolations"), 1);
+        assert_eq!(m.counter("chaos.partitions"), 1);
+        // The heal ends an episode; it is not itself a fault.
+        assert_eq!(m.counter("chaos.faults_injected"), 4);
     }
 
     #[test]

@@ -289,8 +289,9 @@ pub struct OfcPlane {
     /// Health monitor: per-shard breakers that trip open after consecutive
     /// transient store failures; reads/writes for a tripped shard then
     /// bypass to the RSDS while healthy shards keep serving (DESIGN.md
-    /// §10, §11).
-    breaker: ShardBreakers,
+    /// §10, §11). Shared so the gossip loop can trip a shard's breaker the
+    /// moment membership confirms its anchor dead (DESIGN.md §16).
+    breaker: Rc<RefCell<ShardBreakers>>,
     /// Monotonic id tagging persistor spans in the trace stream.
     persist_seq: u64,
     /// Chunk manifests of striped large objects: key → chunk count
@@ -343,7 +344,11 @@ impl OfcPlane {
                     }
                 }));
         }
-        let breaker = ShardBreakers::new(cfg.breaker.clone(), cluster.borrow().shards(), telemetry);
+        let breaker = Rc::new(RefCell::new(ShardBreakers::new(
+            cfg.breaker.clone(),
+            cluster.borrow().shards(),
+            telemetry,
+        )));
         OfcPlane {
             cfg,
             cluster,
@@ -366,12 +371,18 @@ impl OfcPlane {
     /// Current worst breaker state across shards (tests and the chaos
     /// bench); with one shard this is exactly the old plane-wide breaker.
     pub fn breaker_state(&self) -> crate::health::BreakerState {
-        self.breaker.max_state()
+        self.breaker.borrow().max_state()
     }
 
     /// Breaker state of one shard (shard-targeted chaos assertions).
     pub fn shard_breaker_state(&self, shard: usize) -> crate::health::BreakerState {
-        self.breaker.state(shard)
+        self.breaker.borrow().state(shard)
+    }
+
+    /// Shared handle to the per-shard breakers, for out-of-band trips
+    /// (the gossip membership loop; DESIGN.md §16).
+    pub fn breakers(&self) -> Rc<RefCell<ShardBreakers>> {
+        Rc::clone(&self.breaker)
     }
 
     fn chunk_key(key: &Key, i: u32) -> Key {
@@ -536,7 +547,7 @@ impl DataPlane for OfcPlane {
         let shard = self.cluster.borrow().shard_of(&key);
         // Degraded operation: an open breaker bypasses the cache for this
         // key's shard — OFC must never be worse than the vanilla platform.
-        if !self.breaker.allow(shard, now) {
+        if !self.breaker.borrow_mut().allow(shard, now) {
             self.metrics.degraded_bypasses.inc();
             let (_, latency) = self.store.borrow_mut().get(&obj.id);
             return ReadOutcome {
@@ -548,7 +559,7 @@ impl DataPlane for OfcPlane {
         let hit = self.cluster.borrow_mut().read(node, &key, now);
         match hit.result {
             Ok((_value, locality)) => {
-                self.breaker.record_success(shard, now);
+                self.breaker.borrow_mut().record_success(shard, now);
                 if let Some(p) = &self.policy {
                     p.borrow_mut().on_access(&key, obj.size, node, true);
                 }
@@ -570,7 +581,7 @@ impl DataPlane for OfcPlane {
             Err(e) if e.is_transient() => {
                 // A sick store is not a miss: record the failure, bypass
                 // to the RSDS, and do not fill the cache.
-                self.breaker.record_failure(shard, now);
+                self.breaker.borrow_mut().record_failure(shard, now);
                 self.metrics.degraded_bypasses.inc();
                 let (_, latency) = self.store.borrow_mut().get(&obj.id);
                 return ReadOutcome {
@@ -579,7 +590,7 @@ impl DataPlane for OfcPlane {
                 };
             }
             // NotFound is a healthy response — the normal miss path below.
-            Err(_) => self.breaker.record_success(shard, now),
+            Err(_) => self.breaker.borrow_mut().record_success(shard, now),
         }
         // A policy-private cold tier (e.g. InfiniCache's parked objects)
         // may still hold the object: restore it into RAM and serve the
@@ -712,7 +723,7 @@ impl DataPlane for OfcPlane {
 
         // Degraded operation: an open breaker writes straight to the RSDS.
         let shard = self.cluster.borrow().shard_of(&key);
-        if !self.breaker.allow(shard, now) {
+        if !self.breaker.borrow_mut().allow(shard, now) {
             self.metrics.degraded_bypasses.inc();
             let (_, latency) = self.store.borrow_mut().put(
                 &obj.id,
@@ -733,7 +744,7 @@ impl DataPlane for OfcPlane {
             // Transient store trouble feeds the breaker; a full cache
             // (OutOfMemory) is a capacity signal, not a health one.
             if e.is_transient() {
-                self.breaker.record_failure(shard, now);
+                self.breaker.borrow_mut().record_failure(shard, now);
                 self.metrics.degraded_bypasses.inc();
             }
             // Either way: fall back to the RSDS path, as without OFC.
@@ -745,7 +756,7 @@ impl DataPlane for OfcPlane {
             );
             return WriteOutcome { latency: l };
         }
-        self.breaker.record_success(shard, now);
+        self.breaker.borrow_mut().record_success(shard, now);
 
         let intermediate = pipeline.is_some() && !obj.is_final;
         if intermediate {

@@ -154,6 +154,20 @@ impl BreakerCore {
         }
     }
 
+    /// Forces the breaker open at `now` regardless of the failure streak:
+    /// an out-of-band liveness verdict (gossip confirming a shard's anchor
+    /// dead) should not wait for `failure_threshold` real requests to eat
+    /// timeouts first. Returns whether the state changed.
+    pub fn trip(&mut self, now: SimTime) -> bool {
+        if self.state == BreakerState::Open {
+            // Re-arm the cool-down: the verdict is fresh evidence.
+            self.opened_at = now;
+            return false;
+        }
+        self.transition(BreakerState::Open, now);
+        true
+    }
+
     fn transition(&mut self, to: BreakerState, now: SimTime) {
         self.state = to;
         self.consecutive_failures = 0;
@@ -208,6 +222,13 @@ impl CircuitBreaker {
     /// Records a failed (transient) store operation.
     pub fn record_failure(&mut self, now: SimTime) {
         if self.core.record_failure(now) {
+            self.gauge.set(now, self.core.state().gauge_value());
+        }
+    }
+
+    /// Forces the breaker open on an out-of-band liveness verdict.
+    pub fn trip(&mut self, now: SimTime) {
+        if self.core.trip(now) {
             self.gauge.set(now, self.core.state().gauge_value());
         }
     }
@@ -277,6 +298,15 @@ impl ShardBreakers {
     pub fn record_failure(&mut self, shard: usize, now: SimTime) {
         let idx = shard % self.cores.len();
         if self.cores[idx].record_failure(now) {
+            self.publish(now);
+        }
+    }
+
+    /// Forces one shard's breaker open on an out-of-band liveness verdict
+    /// (e.g. gossip confirmed the shard's anchor node dead).
+    pub fn trip(&mut self, shard: usize, now: SimTime) {
+        let idx = shard % self.cores.len();
+        if self.cores[idx].trip(now) {
             self.publish(now);
         }
     }
@@ -382,6 +412,31 @@ mod tests {
         b.record_success(2, SimTime::from_secs(10));
         assert_eq!(b.state(2), BreakerState::Closed);
         assert_eq!(t.metrics().gauge("plane.breaker_state"), Some(0.0));
+    }
+
+    #[test]
+    fn trip_forces_open_and_rearms_the_cooldown() {
+        let t = Telemetry::standalone();
+        let mut b = ShardBreakers::new(
+            BreakerConfig {
+                failure_threshold: 3,
+                open_for: Duration::from_secs(10),
+                half_open_successes: 1,
+            },
+            4,
+            &t,
+        );
+        // One verdict opens the shard immediately — no failure streak.
+        b.trip(1, SimTime::from_secs(1));
+        assert_eq!(b.state(1), BreakerState::Open);
+        assert!(!b.allow(1, SimTime::from_secs(5)));
+        assert_eq!(t.metrics().gauge("plane.breaker_state"), Some(2.0));
+        // A fresh verdict restarts the cool-down clock.
+        b.trip(1, SimTime::from_secs(8));
+        assert!(!b.allow(1, SimTime::from_secs(12)), "cool-down re-armed");
+        assert!(b.allow(1, SimTime::from_secs(18)), "probe after re-arm");
+        // Other shards keep serving throughout.
+        assert!(b.allow(0, SimTime::from_secs(5)));
     }
 
     #[test]

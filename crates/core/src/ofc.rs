@@ -69,6 +69,14 @@ pub struct OfcConfig {
     /// periodic flush tick). `0` or `1` keeps unbatched synchronous
     /// replication.
     pub replication_batch: usize,
+    /// Coordinator replicas of the cache store's control plane
+    /// (DESIGN.md §16); `0` or `1` keeps the single omniscient
+    /// coordinator and is byte-identical to earlier revisions.
+    pub coordinator_replicas: usize,
+    /// Enables SWIM-style gossip membership (DESIGN.md §16): node
+    /// liveness is then learned by probing instead of assumed, and crash
+    /// recovery waits for a confirmed-dead verdict.
+    pub gossip: bool,
     /// Which cache policy to install (DESIGN.md §15). The default
     /// [`PolicyKind::Ofc`] reproduces the paper's behavior byte-for-byte;
     /// the rivals feed the `bakeoff` bench.
@@ -158,6 +166,19 @@ impl OfcBuilder {
         self
     }
 
+    /// Replicates the control plane across `replicas` coordinator
+    /// processes (DESIGN.md §16).
+    pub fn coordinator_replicas(mut self, replicas: usize) -> Self {
+        self.cfg.coordinator_replicas = replicas;
+        self
+    }
+
+    /// Enables gossip-based membership (DESIGN.md §16).
+    pub fn gossip(mut self, enabled: bool) -> Self {
+        self.cfg.gossip = enabled;
+        self
+    }
+
     /// Recording level of the shared observability plane.
     pub fn telemetry(mut self, level: TelemetryConfig) -> Self {
         self.cfg.telemetry = level;
@@ -233,6 +254,14 @@ impl OfcBuilder {
                 batch_max_entries: cfg.replication_batch.max(1),
                 ..ShardConfig::default()
             },
+            raft: ofc_rcstore::raft::RaftConfig {
+                replicas: cfg.coordinator_replicas.max(1),
+                ..ofc_rcstore::raft::RaftConfig::default()
+            },
+            gossip: ofc_rcstore::gossip::GossipConfig {
+                enabled: cfg.gossip,
+                ..ofc_rcstore::gossip::GossipConfig::default()
+            },
             ..ClusterConfig::default()
         });
         cluster.bind_telemetry(&telemetry);
@@ -257,6 +286,7 @@ impl OfcBuilder {
         );
         plane.set_policy(Rc::clone(&policy));
         let persistence = plane.persistence();
+        let breakers = plane.breakers();
         platform.set_dataplane(Box::new(plane));
 
         // Cache agent (broker seam) with the write-back hook.
@@ -309,6 +339,7 @@ impl OfcBuilder {
             persistence,
             telemetry,
             policy,
+            breakers,
         }
     }
 }
@@ -324,6 +355,55 @@ fn start_flush_tick(sim: &mut Sim, cluster: Rc<RefCell<Cluster>>) {
     sim.schedule_in(REPLICATION_FLUSH_TICK, move |sim| {
         cluster.borrow_mut().flush_replication();
         start_flush_tick(sim, cluster);
+    });
+}
+
+/// Recurring coordinator heartbeat (DESIGN.md §16): ticks the replicated
+/// control plane — elections fire on heartbeat loss, deferred recoveries
+/// drain once quorum returns — at the Raft heartbeat cadence.
+fn start_coordinator_tick(
+    sim: &mut Sim,
+    period: std::time::Duration,
+    cluster: Rc<RefCell<Cluster>>,
+) {
+    sim.schedule_in(period, move |sim| {
+        cluster.borrow_mut().coordinator_pump(sim.now());
+        start_coordinator_tick(sim, period, cluster);
+    });
+}
+
+/// Recurring gossip round (DESIGN.md §16): runs the SWIM probe cycle and
+/// reacts to membership verdicts. A quorum-side confirmed-dead verdict
+/// trips the breakers of every shard anchored on the dead node, so the
+/// data plane bypasses to the RSDS immediately instead of eating
+/// `failure_threshold` more timeouts while recovery runs.
+fn start_gossip_tick(
+    sim: &mut Sim,
+    period: std::time::Duration,
+    cluster: Rc<RefCell<Cluster>>,
+    breakers: Rc<RefCell<crate::health::ShardBreakers>>,
+) {
+    sim.schedule_in(period, move |sim| {
+        let now = sim.now();
+        let (events, anchors) = {
+            let mut c = cluster.borrow_mut();
+            // Snapshot shard anchors *before* the round: confirm-dead
+            // recovery reassigns them, and the breakers guard the shards
+            // whose requests were failing while the node was down.
+            let anchors: Vec<usize> = (0..c.shards()).map(|s| c.shard_master(s)).collect();
+            (c.gossip_round(now), anchors)
+        };
+        for ev in &events {
+            if let ofc_rcstore::gossip::GossipEvent::Confirmed { node, .. } = ev {
+                let mut b = breakers.borrow_mut();
+                for (shard, anchor) in anchors.iter().enumerate() {
+                    if anchor == node {
+                        b.trip(shard, now);
+                    }
+                }
+            }
+        }
+        start_gossip_tick(sim, period, cluster, breakers);
     });
 }
 
@@ -375,6 +455,7 @@ pub struct Ofc {
     pub persistence: Rc<RefCell<Persistence>>,
     telemetry: Telemetry,
     policy: PolicyHandle,
+    breakers: Rc<RefCell<crate::health::ShardBreakers>>,
 }
 
 impl Ofc {
@@ -398,6 +479,27 @@ impl Ofc {
         let batching = self.cluster.borrow().batching();
         if batching {
             start_flush_tick(sim, Rc::clone(&self.cluster));
+        }
+        // Control-plane loops (DESIGN.md §16): only scheduled when the
+        // knobs are on, so default runs stay event-for-event identical.
+        let (replicated, heartbeat, gossip_period) = {
+            let c = self.cluster.borrow();
+            (
+                c.coordinator().is_replicated(),
+                c.config().raft.heartbeat_interval,
+                c.gossip_enabled().then(|| c.gossip_period()),
+            )
+        };
+        if replicated {
+            start_coordinator_tick(sim, heartbeat, Rc::clone(&self.cluster));
+        }
+        if let Some(period) = gossip_period {
+            start_gossip_tick(
+                sim,
+                period,
+                Rc::clone(&self.cluster),
+                Rc::clone(&self.breakers),
+            );
         }
         // Policy tick (DESIGN.md §15): periodic policy work — prefetch
         // selection, cold-tier expiry, cost accrual. Returned prefetch

@@ -1,12 +1,14 @@
 //! The cluster: coordinator (tablet map, replica placement), client
 //! operations, migration-by-promotion, and crash recovery.
 
+use crate::gossip::{GossipEvent, GossipPlane, MemberState};
 use crate::node::StorageNode;
+use crate::raft::{Command, ReplicaId, ReplicatedCoordinator};
 use crate::shard::{ReplicationBatcher, ShardId, ShardRouter};
 use crate::{AccessStats, ClusterConfig, Key, NodeId, RcError, ReadLocality, Timed, Value};
 use ofc_simtime::SimTime;
 use ofc_telemetry::{Counter, Histogram, Phase, Telemetry};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
 
 /// Pre-registered recording handles for the store's `rcstore.*` metrics
@@ -79,6 +81,32 @@ pub struct Cluster {
     /// (inert with `batch_max_entries == 1`). Buffers survive node crashes;
     /// structural operations flush before mutating placement.
     batcher: ReplicationBatcher,
+    /// The replicated control plane (inert single authority by default).
+    /// Coordinator replica `r` is co-located with storage node `r`, so
+    /// partitions split the group the same way they split the data plane;
+    /// coordinator and storage processes fail independently
+    /// (`crash_coordinator` vs `crash_node`).
+    coord: ReplicatedCoordinator,
+    /// Observed membership (inert unless `cfg.gossip.enabled`): replaces
+    /// the omniscient crash/restart recovery trigger with SWIM-style
+    /// suspect/confirm rounds.
+    gossip: GossipPlane,
+    /// Active network partition: node → reachability group (`None` = fully
+    /// connected). Two nodes interact only within one group.
+    partition: Option<Vec<usize>>,
+    /// Nodes whose failure recovery is deferred until the control plane
+    /// regains a quorum (drained by [`Cluster::coordinator_pump`]).
+    pending_recovery: BTreeSet<NodeId>,
+    /// Master keys re-owned away from an unreachable-but-alive node
+    /// (fencing); their stale physical copies are expunged once the node
+    /// is reachable again.
+    fenced: BTreeMap<NodeId, Vec<Key>>,
+    /// Committed shard re-anchorings (confirmed-dead anchors), overriding
+    /// the default `shard % nodes` placement.
+    anchor_overrides: BTreeMap<ShardId, NodeId>,
+    /// Latest virtual instant any timed operation observed — the clock
+    /// used by control-plane gates on untimed operations (evict/delete).
+    clock: SimTime,
 }
 
 impl Cluster {
@@ -100,6 +128,12 @@ impl Cluster {
             cfg.max_object_bytes <= cfg.segment_bytes,
             "objects must fit in a log segment"
         );
+        assert!(
+            cfg.raft.replicas <= 1 || cfg.raft.replicas <= cfg.nodes,
+            "coordinator replicas ({}) are co-located with storage nodes ({})",
+            cfg.raft.replicas,
+            cfg.nodes
+        );
         let nodes = (0..cfg.nodes)
             .map(|id| StorageNode::new(id, cfg.segment_bytes, cfg.node_pool_bytes))
             .collect();
@@ -107,6 +141,8 @@ impl Cluster {
         let metrics = ClusterMetrics::new(&telemetry);
         let slowdown = vec![1.0; cfg.nodes];
         let router = ShardRouter::new(cfg.shard.shards.max(1), cfg.shard.router_seed);
+        let coord = ReplicatedCoordinator::new(cfg.raft.clone(), &telemetry);
+        let gossip = GossipPlane::new(cfg.gossip.clone(), cfg.nodes, &telemetry);
         Cluster {
             cfg,
             nodes,
@@ -120,6 +156,13 @@ impl Cluster {
             crash_after: None,
             router,
             batcher: ReplicationBatcher::new(),
+            coord,
+            gossip,
+            partition: None,
+            pending_recovery: BTreeSet::new(),
+            fenced: BTreeMap::new(),
+            anchor_overrides: BTreeMap::new(),
+            clock: SimTime::ZERO,
         }
     }
 
@@ -134,6 +177,8 @@ impl Cluster {
     pub fn bind_telemetry(&mut self, telemetry: &Telemetry) {
         self.telemetry = telemetry.clone();
         self.metrics = ClusterMetrics::new(&self.telemetry);
+        self.coord.bind_telemetry(&self.telemetry);
+        self.gossip.bind_telemetry(&self.telemetry);
     }
 
     /// The observability plane this store records into.
@@ -272,12 +317,20 @@ impl Cluster {
                 Duration::ZERO,
             );
         }
+        // Control-plane gate: the write's tablet assignment must commit on
+        // a coordinator quorum reachable from the writer (free and
+        // infallible with a single-replica coordinator).
+        if let Err(e) = self.coord_gate(home, now) {
+            return Timed::new(Err(e), Duration::ZERO);
+        }
         // An overwrite first retires the previous placement.
         if self.tablet.contains_key(key) {
             self.remove_entry(key);
         }
         let shard = self.router.shard_of(key);
         let Some(master) = self.place_master_in_shard(shard, home, size) else {
+            // Placement is reachability-filtered, so a partitioned side
+            // can exhaust its candidates while remote pools sit idle.
             return Timed::new(
                 Err(RcError::OutOfMemory {
                     requested: size,
@@ -309,6 +362,10 @@ impl Cluster {
                 self.nodes[b].store_backup(key.clone(), value.clone());
             }
         }
+        // Commit the assignment through the replicated log (free no-op in
+        // single-replica mode); the gate above guarantees the quorum, so
+        // this cannot fail between the gate and here.
+        let commit = self.commit_assignment(key, master, &backups);
         self.tablet.insert(key.clone(), master);
         self.replicas.insert(key.clone(), backups);
         *self.versions.entry(key.clone()).or_insert(0) += 1;
@@ -318,7 +375,7 @@ impl Cluster {
         } else {
             self.cfg.latency.write(size, master != home)
         };
-        let latency = self.inflate(master, base);
+        let latency = self.inflate(master, base) + commit;
         // Deterministic crash hook: the victim goes down after this write
         // completes, i.e. between the writes of a multi-object commit.
         if let Some((remaining, victim)) = self.crash_after {
@@ -346,6 +403,12 @@ impl Cluster {
             self.metrics.misses.inc();
             return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
         };
+        // Reads use the client-cached tablet map (no quorum round trip, as
+        // in RAMCloud) but still need a network path to the master.
+        if !self.reachable(from, master) {
+            self.metrics.misses.inc();
+            return Timed::new(Err(RcError::NodeUnavailable(master)), Duration::ZERO);
+        }
         let Some(obj) = self.nodes[master].read_master(key, now) else {
             self.metrics.misses.inc();
             return Timed::new(Err(RcError::NodeUnavailable(master)), Duration::ZERO);
@@ -386,6 +449,10 @@ impl Cluster {
         if self.nodes[master].peek_master(key).is_some_and(|o| o.dirty) {
             return Timed::new(Err(RcError::Dirty(key.clone())), Duration::ZERO);
         }
+        if let Err(e) = self.coord_gate(self.coord_origin(), self.clock) {
+            return Timed::new(Err(e), Duration::ZERO);
+        }
+        self.commit_retirement(key);
         let size = self.remove_entry(key);
         self.metrics.evictions.inc();
         Timed::new(Ok(size), self.cfg.latency.delete_base)
@@ -397,6 +464,10 @@ impl Cluster {
         if !self.tablet.contains_key(key) {
             return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
         }
+        if let Err(e) = self.coord_gate(self.coord_origin(), self.clock) {
+            return Timed::new(Err(e), Duration::ZERO);
+        }
+        self.commit_retirement(key);
         let size = self.remove_entry(key);
         Timed::new(Ok(size), self.cfg.latency.delete_base)
     }
@@ -413,6 +484,9 @@ impl Cluster {
         // Promotion consumes a physical backup copy: pending batches must
         // land first.
         self.flush_replication();
+        if let Err(e) = self.coord_gate(self.coord_origin(), now) {
+            return Timed::new(Err(e), Duration::ZERO);
+        }
         let Some(&old_master) = self.tablet.get(key) else {
             return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
         };
@@ -447,9 +521,10 @@ impl Cluster {
             .into_iter()
             .map(|b| if b == new_master { old_master } else { b })
             .collect();
+        let commit = self.commit_assignment(key, new_master, &new_backups);
         self.replicas.insert(key.clone(), new_backups);
         self.metrics.promotions.inc();
-        let latency = self.cfg.latency.promote(size);
+        let latency = self.cfg.latency.promote(size) + commit;
         self.metrics.migrate_nanos.record_duration(latency);
         self.telemetry
             .span_at(new_master as u64, Phase::Migrate, now, latency);
@@ -497,30 +572,99 @@ impl Cluster {
         if node >= self.nodes.len() || !self.nodes[node].is_up() {
             return Timed::new(0, Duration::ZERO);
         }
+        self.clock = self.clock.max(now);
         // An acked write's durability rests on its physical backup copies:
         // pending replica batches land before the node state mutates.
         self.flush_replication();
         self.nodes[node].set_up(false);
+        if self.gossip.enabled() {
+            // Failure detection is the membership plane's job now: recovery
+            // starts once a quorum-side probe confirms the death (or the
+            // node restarts first), not at the instant of the crash.
+            return Timed::new(0, Duration::ZERO);
+        }
+        if self.coord.is_replicated() {
+            self.coord.tick(now, self.partition.as_deref());
+            if !self
+                .coord
+                .can_serve(self.coord_origin(), self.partition.as_deref())
+            {
+                // Headless control plane: park the recovery until a leader
+                // with a quorum is back (drained by `coordinator_pump`).
+                self.pending_recovery.insert(node);
+                return Timed::new(0, Duration::ZERO);
+            }
+        }
+        self.recover_crashed(node, now)
+    }
 
+    /// The coordinator-driven recovery of a failed (or fenced) node:
+    /// re-masters its tablets onto reachable surviving backups and
+    /// restores the replication factor of every object that replicated
+    /// through it.
+    fn recover_crashed(&mut self, node: NodeId, now: SimTime) -> Timed<usize> {
+        let (lost, latency) = self.recover_tablets_of(node, now);
+        self.top_up_weakened_for(node);
+        self.metrics.objects_lost.add(lost as u64);
+        self.metrics.recovery_nanos.record_duration(latency);
+        self.telemetry
+            .span_at(node as u64, Phase::Recovery, now, latency);
+        Timed::new(lost, latency)
+    }
+
+    /// Re-masters every tablet pinned to `node` that the cluster can no
+    /// longer serve from it: the node is down, rejoined empty, or sits on
+    /// the far side of a partition — in which case its still-live master
+    /// copies are *fenced* (left in place, expunged once reachable again)
+    /// rather than declared lost. Returns `(objects lost, latency)`.
+    fn recover_tablets_of(&mut self, node: NodeId, now: SimTime) -> (usize, Duration) {
+        let origin = self.coord_origin();
+        let node_alive = self.nodes[node].is_up();
+        let node_reachable = self.reachable(origin, node);
         let mut latency = Duration::ZERO;
         let mut lost = 0usize;
-
-        // Re-master objects whose master crashed.
-        let orphaned: Vec<Key> = self
+        let mut orphaned: Vec<Key> = self
             .tablet
             .iter()
-            .filter(|&(_, &m)| m == node)
+            .filter(|&(k, &m)| {
+                m == node && (!node_alive || !node_reachable || !self.nodes[node].has_master(k))
+            })
             .map(|(k, _)| k.clone())
             .collect();
+        // Recovery order must not depend on hash-map iteration.
+        orphaned.sort();
         for key in orphaned {
             let survivors: Vec<NodeId> = self
                 .backups_of(&key)
                 .iter()
                 .copied()
-                .filter(|&b| self.nodes[b].is_up() && self.nodes[b].has_backup(&key))
+                .filter(|&b| {
+                    self.nodes[b].is_up()
+                        && self.nodes[b].has_backup(&key)
+                        && self.reachable(origin, b)
+                })
                 // ofc-lint: allow(hotloop) reason=recovery snapshots the surviving backup set before mutating nodes
                 .collect();
             let Some(&new_master) = survivors.first() else {
+                if node_alive && !node_reachable {
+                    // The only copy lives across the partition: leave the
+                    // tablet pointed there (reads fail transiently) rather
+                    // than declare an acked write lost.
+                    continue;
+                }
+                // A live backup across the partition still holds a copy:
+                // park the node so the pump re-walks it once the
+                // partition heals, instead of declaring the write lost.
+                let copy_across_partition = self.backups_of(&key).iter().any(|&b| {
+                    self.nodes[b].is_up()
+                        && self.nodes[b].has_backup(&key)
+                        && !self.reachable(origin, b)
+                });
+                if copy_across_partition {
+                    self.pending_recovery.insert(node);
+                    continue;
+                }
+                self.commit_retirement(&key);
                 self.remove_entry(&key);
                 lost += 1;
                 continue;
@@ -536,11 +680,18 @@ impl Cluster {
                 .promote_backup(&key, now, false)
                 .is_err()
             {
+                self.commit_retirement(&key);
                 self.remove_entry(&key);
                 lost += 1;
                 continue;
             }
             latency += self.cfg.latency.promote(size.max(1));
+            if node_alive && !node_reachable && self.nodes[node].has_master(&key) {
+                // Fence the unreachable-but-alive old master: its stale
+                // copy stays physical until the partition heals.
+                // ofc-lint: allow(hotloop) reason=fence ledger owns its key; Arc refcount bump on a partition-only path
+                self.fenced.entry(node).or_default().push(key.clone());
+            }
             // ofc-lint: allow(hotloop) reason=tablet owns its key; re-mastering is an Arc refcount bump
             self.tablet.insert(key.clone(), new_master);
             // ofc-lint: allow(hotloop) reason=recovery builds an owned backup list from the survivor tail
@@ -554,16 +705,22 @@ impl Cluster {
                 Some(value) => self.top_up_replication(&key, new_master, &value, backups),
                 None => backups,
             };
+            self.commit_assignment(&key, new_master, &backups);
             self.replicas.insert(key, backups);
         }
+        (lost, latency)
+    }
 
-        // Restore replicas that lived on the crashed node.
-        let weakened: Vec<Key> = self
+    /// Restores the replication factor of objects whose backup set named
+    /// `node` (the crash path's weakened walk).
+    fn top_up_weakened_for(&mut self, node: NodeId) {
+        let mut weakened: Vec<Key> = self
             .replicas
             .iter()
             .filter(|(_, bs)| bs.contains(&node))
             .map(|(k, _)| k.clone())
             .collect();
+        weakened.sort();
         for key in weakened {
             let Some(&master) = self.tablet.get(&key) else {
                 continue;
@@ -582,26 +739,57 @@ impl Cluster {
             let backups = self.top_up_replication(&key, master, &value, backups);
             self.replicas.insert(key, backups);
         }
-
-        self.metrics.objects_lost.add(lost as u64);
-        self.metrics.recovery_nanos.record_duration(latency);
-        self.telemetry
-            .span_at(node as u64, Phase::Recovery, now, latency);
-        Timed::new(lost, latency)
     }
 
-    /// Restarts a crashed node. It rejoins empty, and the coordinator
-    /// immediately tops up the replication of any object left below the
-    /// configured factor by earlier failures.
-    pub fn restart_node(&mut self, node: NodeId) {
+    /// Restarts a crashed node at `now`. It rejoins empty and announces
+    /// itself to the control plane, which reconciles any state still
+    /// naming it: stale tablet pointers left by a deferred recovery are
+    /// rescued from backups, fenced copies it no longer owns are expunged,
+    /// and every object below the replication factor is topped back up.
+    /// With a headless replicated coordinator the reconciliation parks
+    /// until a quorum returns (drained by [`Cluster::coordinator_pump`]).
+    pub fn restart_node(&mut self, node: NodeId, now: SimTime) {
         if node >= self.nodes.len() {
             return;
         }
+        self.clock = self.clock.max(now);
         // Land pending batches so the weakened-replica scan below sees the
         // true physical replication of every key.
         self.flush_replication();
         self.nodes[node].set_up(true);
-        let weakened: Vec<Key> = self
+        if self.coord.is_replicated() {
+            self.coord.tick(now, self.partition.as_deref());
+            if !self
+                .coord
+                .can_serve(self.coord_origin(), self.partition.as_deref())
+            {
+                self.pending_recovery.insert(node);
+                return;
+            }
+        }
+        self.pending_recovery.remove(&node);
+        self.reconcile_rejoin(node, now);
+    }
+
+    /// A node's rejoin reconciliation: rescue tablets still pinned to it
+    /// (it rejoined empty), drop fenced copies it no longer owns, and top
+    /// up every under-replicated object now that it hosts backups again.
+    fn reconcile_rejoin(&mut self, node: NodeId, now: SimTime) {
+        self.expunge_fenced(node);
+        let (lost, latency) = self.recover_tablets_of(node, now);
+        if lost > 0 || latency > Duration::ZERO {
+            self.metrics.objects_lost.add(lost as u64);
+            self.metrics.recovery_nanos.record_duration(latency);
+            self.telemetry
+                .span_at(node as u64, Phase::Recovery, now, latency);
+        }
+        self.top_up_all_weakened();
+    }
+
+    /// Tops up every object whose physical backup count fell below the
+    /// replication factor (restart/heal reconciliation).
+    fn top_up_all_weakened(&mut self) {
+        let mut weakened: Vec<Key> = self
             .replicas
             .iter()
             .filter(|(key, backups)| {
@@ -613,6 +801,7 @@ impl Cluster {
             })
             .map(|(k, _)| k.clone())
             .collect();
+        weakened.sort();
         for key in weakened {
             let Some(&master) = self.tablet.get(&key) else {
                 continue;
@@ -645,6 +834,13 @@ impl Cluster {
             .push(StorageNode::new(id, self.cfg.segment_bytes, pool_bytes));
         self.slowdown.push(1.0);
         self.cfg.nodes = self.nodes.len();
+        self.gossip.grow_to(self.nodes.len());
+        if let Some(groups) = &mut self.partition {
+            // A node added mid-partition joins as its own island until the
+            // network heals.
+            let next = groups.iter().copied().max().map_or(0, |g| g + 1);
+            groups.push(next);
+        }
         id
     }
 
@@ -657,6 +853,11 @@ impl Cluster {
     /// possible when the remaining nodes lack memory).
     pub fn drain_node(&mut self, node: NodeId, now: SimTime) -> Timed<usize> {
         if node >= self.nodes.len() || !self.nodes[node].is_up() {
+            return Timed::new(0, Duration::ZERO);
+        }
+        // A planned drain is one long control-plane mutation; refuse to
+        // start it headless rather than bypass consensus per key.
+        if self.coord_gate(self.coord_origin(), now).is_err() {
             return Timed::new(0, Duration::ZERO);
         }
         self.flush_replication();
@@ -717,8 +918,12 @@ impl Cluster {
             }
         }
         // Re-home the backups it held, then take it out of service; the
-        // crash path already knows how to restore replication.
-        let t = self.crash_node(node, now);
+        // crash-recovery walk restores replication. This is a planned
+        // removal the coordinator itself drives, so it runs inline even
+        // when failure *detection* is gossip's job.
+        self.flush_replication();
+        self.nodes[node].set_up(false);
+        let t = self.recover_crashed(node, now);
         latency += t.latency;
         self.metrics.objects_lost.add(lost as u64);
         Timed::new(lost + t.result, latency)
@@ -785,6 +990,324 @@ impl Cluster {
         self.crash_after = None;
     }
 
+    // --- Replicated control plane -------------------------------------
+
+    /// Splits the network into reachability `groups` (each a list of node
+    /// ids; nodes listed nowhere become singleton islands). Both planes
+    /// split together: coordinator replica `r` is co-located with storage
+    /// node `r`, so an isolated minority loses the control plane too.
+    pub fn partition_network(&mut self, groups: &[Vec<NodeId>], now: SimTime) {
+        self.clock = self.clock.max(now);
+        let mut assign = vec![usize::MAX; self.nodes.len()];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                if let Some(slot) = assign.get_mut(m) {
+                    *slot = g;
+                }
+            }
+        }
+        let mut next = groups.len();
+        for slot in &mut assign {
+            if *slot == usize::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        self.partition = Some(assign);
+        self.coordinator_pump(now);
+    }
+
+    /// Heals any active partition: fenced stale copies are expunged, the
+    /// control plane re-elects across the full group, deferred recoveries
+    /// drain, and partition-era short replication is topped back up.
+    pub fn heal_partition(&mut self, now: SimTime) {
+        self.clock = self.clock.max(now);
+        self.partition = None;
+        let fenced: Vec<NodeId> = self.fenced.keys().copied().collect();
+        for node in fenced {
+            self.expunge_fenced(node);
+        }
+        self.coordinator_pump(now);
+        if self
+            .coord
+            .can_serve(self.coord_origin(), self.partition.as_deref())
+        {
+            self.top_up_all_weakened();
+        }
+    }
+
+    /// Drives the control plane at `now`: elections/catch-up tick, then —
+    /// once a reachable leader with a quorum exists — drains every
+    /// deferred recovery and tops up replication weakened while headless.
+    /// The runtime schedules this at the raft heartbeat interval; fault
+    /// and heal paths call it inline.
+    pub fn coordinator_pump(&mut self, now: SimTime) {
+        self.clock = self.clock.max(now);
+        self.coord.tick(now, self.partition.as_deref());
+        if !self
+            .coord
+            .can_serve(self.coord_origin(), self.partition.as_deref())
+        {
+            return;
+        }
+        let pending: Vec<NodeId> = self.pending_recovery.iter().copied().collect();
+        let mut drained = false;
+        for node in pending {
+            // A down node's re-walk only becomes productive when the
+            // partition state changes (heal pumps right after clearing
+            // it); keep it parked rather than churn every heartbeat. Up
+            // nodes — rejoins, alive-but-unreachable verdicts — reconcile
+            // immediately.
+            if !self.nodes[node].is_up() && self.partition.is_some() {
+                continue;
+            }
+            self.pending_recovery.remove(&node);
+            self.reconcile_node(node, now);
+            drained = true;
+        }
+        if drained {
+            self.top_up_all_weakened();
+        }
+    }
+
+    /// Runs one gossip probe round at `now` and applies its membership
+    /// transitions: quorum-side confirmations trigger recovery (or fencing
+    /// of unreachable-but-alive nodes), quorum-side rejoins reconcile, and
+    /// minority-side observations park in the deferred queue. Returns the
+    /// round's events so upstream layers (circuit breakers) can react.
+    pub fn gossip_round(&mut self, now: SimTime) -> Vec<GossipEvent> {
+        self.clock = self.clock.max(now);
+        let up: Vec<bool> = self.nodes.iter().map(StorageNode::is_up).collect();
+        let partition = self.partition.clone();
+        let events = self.gossip.round(
+            now,
+            |n| up.get(n).copied().unwrap_or(false),
+            |a, b| match &partition {
+                Some(groups) => groups.get(a) == groups.get(b),
+                None => true,
+            },
+        );
+        for &event in &events {
+            match event {
+                GossipEvent::Confirmed { node, observer } => {
+                    if self.coord_observed_quorum(observer) {
+                        self.handle_confirmed_dead(node, now);
+                    } else {
+                        // A minority-side confirmation cannot mutate the
+                        // tablet map; remember it for the pump, which
+                        // re-checks liveness before acting.
+                        self.pending_recovery.insert(node);
+                    }
+                }
+                GossipEvent::Rejoined { node, observer } => {
+                    if self.coord_observed_quorum(observer) {
+                        self.pending_recovery.remove(&node);
+                        self.reconcile_rejoin(node, now);
+                    } else {
+                        self.pending_recovery.insert(node);
+                    }
+                }
+                GossipEvent::Suspected { .. } | GossipEvent::Refuted { .. } => {}
+            }
+        }
+        events
+    }
+
+    /// Crashes coordinator replica `r` (the co-located storage node keeps
+    /// serving data: the processes fail independently).
+    pub fn crash_coordinator(&mut self, r: ReplicaId, now: SimTime) {
+        self.clock = self.clock.max(now);
+        self.coord.crash_replica(r, now);
+    }
+
+    /// Restarts coordinator replica `r`; it catches up by log replay or
+    /// snapshot install on the next tick.
+    pub fn restart_coordinator(&mut self, r: ReplicaId, now: SimTime) {
+        self.clock = self.clock.max(now);
+        self.coord.restart_replica(r, now);
+        self.coordinator_pump(now);
+    }
+
+    /// Isolates the current leader's node from every other node (the
+    /// classic Raft partition drill). Returns the isolated replica, or
+    /// `None` when there is no leader to isolate.
+    pub fn isolate_leader(&mut self, now: SimTime) -> Option<ReplicaId> {
+        let leader = self.coord.leader()?;
+        let rest: Vec<NodeId> = (0..self.nodes.len()).filter(|&n| n != leader).collect();
+        self.partition_network(&[vec![leader], rest], now);
+        Some(leader)
+    }
+
+    /// The replicated coordinator group (inspection).
+    pub fn coordinator(&self) -> &ReplicatedCoordinator {
+        &self.coord
+    }
+
+    /// Whether gossip membership is active.
+    pub fn gossip_enabled(&self) -> bool {
+        self.gossip.enabled()
+    }
+
+    /// The gossip probe cadence (for the runtime's tick scheduling).
+    pub fn gossip_period(&self) -> Duration {
+        self.gossip.period()
+    }
+
+    /// Observed membership state of `node` (always `Alive` when gossip is
+    /// disabled: the control plane is omniscient).
+    pub fn member_state(&self, node: NodeId) -> MemberState {
+        self.gossip.state(node)
+    }
+
+    /// Whether a network partition is active.
+    pub fn partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Number of node recoveries deferred until the control plane regains
+    /// a quorum.
+    pub fn deferred_recoveries(&self) -> usize {
+        self.pending_recovery.len()
+    }
+
+    /// Routes a deferred or gossip-confirmed node event to the right
+    /// reconciliation: a node that is up and reachable again rejoins; one
+    /// that is down or across the partition is recovered/fenced.
+    fn reconcile_node(&mut self, node: NodeId, now: SimTime) {
+        if self.nodes[node].is_up() && self.reachable(self.coord_origin(), node) {
+            self.reconcile_rejoin(node, now);
+        } else {
+            self.recover_crashed(node, now);
+            self.reassign_anchors_off(node, now);
+        }
+    }
+
+    /// Acts on a quorum-side death confirmation. Guards against gossip
+    /// false positives: a node that is in fact up and reachable is left
+    /// alone (a later probe will refute the suspicion).
+    fn handle_confirmed_dead(&mut self, node: NodeId, now: SimTime) {
+        if self.nodes[node].is_up() && self.reachable(self.coord_origin(), node) {
+            return;
+        }
+        self.recover_crashed(node, now);
+        self.reassign_anchors_off(node, now);
+    }
+
+    /// Drops the stale master copies fenced on `node` for keys the quorum
+    /// side re-owned while it was unreachable.
+    fn expunge_fenced(&mut self, node: NodeId) {
+        let Some(keys) = self.fenced.remove(&node) else {
+            return;
+        };
+        for key in keys {
+            if self.tablet.get(&key) != Some(&node) {
+                self.nodes[node].remove_master(&key);
+            }
+        }
+    }
+
+    /// Re-anchors every shard whose anchor is `node` onto the next up,
+    /// reachable ring successor, committing each move through the log.
+    fn reassign_anchors_off(&mut self, node: NodeId, now: SimTime) {
+        if self.router.shards() <= 1 {
+            return;
+        }
+        let origin = self.coord_origin();
+        for shard in 0..self.router.shards() {
+            if self.shard_master(shard) != node {
+                continue;
+            }
+            let replacement = self
+                .ring_from(node)
+                .find(|&c| self.nodes[c].is_up() && self.reachable(origin, c));
+            if let Some(anchor) = replacement {
+                let _ = self.coord.propose(
+                    Command::ReassignShard { shard, anchor },
+                    origin,
+                    now,
+                    self.partition.as_deref(),
+                );
+                self.anchor_overrides.insert(shard, anchor);
+            }
+        }
+    }
+
+    /// Admission gate for control-plane mutations: with a replicated
+    /// coordinator the mutation needs a leader holding a quorum reachable
+    /// from `origin`; otherwise it fails transiently. Free and infallible
+    /// in single-replica mode.
+    fn coord_gate(&mut self, origin: NodeId, now: SimTime) -> Result<(), RcError> {
+        self.clock = self.clock.max(now);
+        if !self.coord.is_replicated() {
+            return Ok(());
+        }
+        self.coord.tick(now, self.partition.as_deref());
+        if self.coord.can_serve(origin, self.partition.as_deref()) {
+            Ok(())
+        } else {
+            Err(RcError::Transient)
+        }
+    }
+
+    /// Commits a tablet assignment through the replicated log, returning
+    /// the commit latency to charge (zero in single-replica mode). Callers
+    /// gate first, so a quorum loss between gate and commit is the only
+    /// (benign, zero-latency) failure path.
+    fn commit_assignment(&mut self, key: &Key, master: NodeId, backups: &[NodeId]) -> Duration {
+        if !self.coord.is_replicated() {
+            return Duration::ZERO;
+        }
+        let origin = self.coord_origin();
+        self.coord
+            .propose(
+                Command::AssignTablet {
+                    key: key.clone(),
+                    master,
+                    backups: backups.to_vec(),
+                },
+                origin,
+                self.clock,
+                self.partition.as_deref(),
+            )
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Commits a tablet retirement through the replicated log (no-op in
+    /// single-replica mode).
+    fn commit_retirement(&mut self, key: &Key) {
+        if !self.coord.is_replicated() {
+            return;
+        }
+        let origin = self.coord_origin();
+        let _ = self.coord.propose(
+            Command::RetireTablet { key: key.clone() },
+            origin,
+            self.clock,
+            self.partition.as_deref(),
+        );
+    }
+
+    /// Whether `observer`'s side of the network holds the coordinator
+    /// quorum (always true with the single-replica coordinator).
+    fn coord_observed_quorum(&self, observer: NodeId) -> bool {
+        self.coord.can_serve(observer, self.partition.as_deref())
+    }
+
+    /// The node a coordinator-internal operation originates from: the
+    /// leader's co-located node, or node 0 while headless.
+    fn coord_origin(&self) -> NodeId {
+        self.coord.leader().unwrap_or(0)
+    }
+
+    /// Whether nodes `a` and `b` can exchange messages under the current
+    /// partition (same reachability group, or no partition at all).
+    fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            Some(groups) => groups.get(a) == groups.get(b),
+            None => true,
+        }
+    }
+
     fn consume_transient(&mut self) -> bool {
         if self.transient_budget > 0 {
             self.transient_budget -= 1;
@@ -823,7 +1346,9 @@ impl Cluster {
     }
 
     fn place_master(&self, home: NodeId, size: u64) -> Option<NodeId> {
-        let fits = |n: &StorageNode| n.is_up() && n.available_bytes() >= size.max(1);
+        let fits = |n: &StorageNode| {
+            n.is_up() && n.available_bytes() >= size.max(1) && self.reachable(home, n.id())
+        };
         if home < self.nodes.len() && fits(&self.nodes[home]) {
             return Some(home);
         }
@@ -843,7 +1368,7 @@ impl Cluster {
         if self.router.shards() > 1 {
             let anchor = self.shard_master(shard);
             let n = &self.nodes[anchor];
-            if n.is_up() && n.available_bytes() >= size.max(1) {
+            if n.is_up() && n.available_bytes() >= size.max(1) && self.reachable(home, anchor) {
                 return Some(anchor);
             }
         }
@@ -861,7 +1386,7 @@ impl Cluster {
 
     fn pick_backups(&self, master: NodeId) -> Vec<NodeId> {
         self.ring_from(master)
-            .filter(|&n| n != master && self.nodes[n].is_up())
+            .filter(|&n| n != master && self.nodes[n].is_up() && self.reachable(master, n))
             .take(self.cfg.replication_factor)
             .collect()
     }
@@ -886,7 +1411,10 @@ impl Cluster {
             if backups.len() >= self.cfg.replication_factor {
                 break;
             }
-            if candidate != master && self.nodes[candidate].is_up() && !backups.contains(&candidate)
+            if candidate != master
+                && self.nodes[candidate].is_up()
+                && self.reachable(master, candidate)
+                && !backups.contains(&candidate)
             {
                 // ofc-lint: allow(hotloop) reason=re-replication hands each new backup an owned copy; key/value are Arc-backed refcount bumps
                 self.nodes[candidate].store_backup(key.clone(), value.clone());
@@ -907,9 +1435,14 @@ impl Cluster {
     }
 
     /// The anchor node of `shard`: where its masters land while the anchor
-    /// has room — and the node shard-targeted faults aim at.
+    /// has room — and the node shard-targeted faults aim at. A committed
+    /// re-anchoring (the anchor was confirmed dead) overrides the default
+    /// `shard % nodes` placement.
     pub fn shard_master(&self, shard: ShardId) -> NodeId {
-        shard % self.nodes.len()
+        self.anchor_overrides
+            .get(&shard)
+            .copied()
+            .unwrap_or(shard % self.nodes.len())
     }
 
     /// Whether replica batching is enabled (batch threshold above one).
@@ -1187,7 +1720,7 @@ mod tests {
             .result
             .unwrap();
         c.crash_node(0, SimTime::ZERO);
-        c.restart_node(0);
+        c.restart_node(0, SimTime::ZERO);
         assert!(c.node(0).is_up());
         assert_eq!(c.node(0).master_count(), 0);
         // New writes can land on it again.
@@ -1607,5 +2140,355 @@ mod shard_tests {
         let t = c.migrate_by_promotion(&key("hot"), SimTime::ZERO);
         assert!(t.result.is_ok());
         assert_eq!(c.live_replicas(&key("hot")), 2);
+    }
+}
+
+#[cfg(test)]
+mod failover_tests {
+    use super::*;
+    use crate::gossip::GossipConfig;
+    use crate::raft::RaftConfig;
+
+    fn key(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn base_config() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 4,
+            replication_factor: 2,
+            node_pool_bytes: 4 << 20,
+            max_object_bytes: 1 << 20,
+            segment_bytes: 1 << 20,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn replicated() -> Cluster {
+        Cluster::new(ClusterConfig {
+            raft: RaftConfig {
+                replicas: 3,
+                ..RaftConfig::default()
+            },
+            ..base_config()
+        })
+    }
+
+    fn gossiped() -> Cluster {
+        Cluster::new(ClusterConfig {
+            gossip: GossipConfig {
+                enabled: true,
+                ..GossipConfig::default()
+            },
+            ..base_config()
+        })
+    }
+
+    /// Enough pump rounds, spaced past the election timeout ceiling, to
+    /// elect a leader whenever one side can form a quorum.
+    fn settle(c: &mut Cluster, from: SimTime) -> SimTime {
+        let mut t = from;
+        for _ in 0..4 {
+            t += Duration::from_millis(400);
+            c.coordinator_pump(t);
+        }
+        t
+    }
+
+    #[test]
+    fn crash_restart_drain_sequence_keeps_every_acked_write() {
+        let mut c = Cluster::new(base_config());
+        for i in 0..8 {
+            c.write(
+                i % 4,
+                &key(&format!("k{i}")),
+                Value::synthetic(1000),
+                SimTime::ZERO,
+            )
+            .result
+            .unwrap();
+        }
+        c.crash_node(1, SimTime::from_secs(1));
+        c.restart_node(1, SimTime::from_secs(2));
+        let drained = c.drain_node(2, SimTime::from_secs(3));
+        assert_eq!(drained.result, 0, "planned drain preserves every object");
+        assert!(!c.node(2).is_up(), "drained node left service");
+        for i in 0..8 {
+            let r = c.read(0, &key(&format!("k{i}")), SimTime::from_secs(4));
+            assert!(r.result.is_ok(), "k{i} lost across crash/restart/drain");
+        }
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
+    }
+
+    #[test]
+    fn double_crash_before_restart_walks_top_up_twice() {
+        let mut c = Cluster::new(base_config());
+        c.write(1, &key("a"), Value::synthetic(1000), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.backups_of(&key("a")), &[2, 3]);
+        // First backup dies: the weakened walk recruits the only spare.
+        c.crash_node(2, SimTime::from_secs(1));
+        assert_eq!(c.live_replicas(&key("a")), 2);
+        assert_eq!(c.backups_of(&key("a")), &[3, 0]);
+        // Second backup dies before the first returns: only one candidate
+        // is left, so replication degrades to 1 — but never to 0.
+        c.crash_node(3, SimTime::from_secs(2));
+        assert_eq!(c.live_replicas(&key("a")), 1);
+        assert_eq!(c.backups_of(&key("a")), &[0]);
+        assert!(c.read(0, &key("a"), SimTime::from_secs(3)).result.is_ok());
+        // Both return: the restart walk tops replication back up to 2.
+        c.restart_node(2, SimTime::from_secs(4));
+        c.restart_node(3, SimTime::from_secs(5));
+        assert_eq!(c.live_replicas(&key("a")), 2);
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
+    }
+
+    #[test]
+    fn leader_crash_elects_and_service_resumes() {
+        let mut c = replicated();
+        c.write(0, &key("a"), Value::synthetic(100), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.coordinator().leader(), Some(0));
+        let term_before = c.coordinator().term();
+        c.crash_coordinator(0, SimTime::from_secs(1));
+        let t = settle(&mut c, SimTime::from_secs(1));
+        let leader = c.coordinator().leader().expect("new leader elected");
+        assert_ne!(leader, 0);
+        assert!(c.coordinator().term() > term_before);
+        // Service resumes: control-plane mutations commit again.
+        c.write(2, &key("b"), Value::synthetic(100), t)
+            .result
+            .unwrap();
+        assert!(c.read(1, &key("b"), t).result.is_ok());
+        // The crashed replica rejoins and catches up from the log.
+        c.restart_coordinator(0, t + Duration::from_secs(1));
+        let t2 = settle(&mut c, t + Duration::from_secs(1));
+        c.write(3, &key("c"), Value::synthetic(100), t2)
+            .result
+            .unwrap();
+        assert_eq!(
+            c.coordinator().leader(),
+            Some(leader),
+            "a healthy leader is not deposed by a rejoin"
+        );
+    }
+
+    #[test]
+    fn headless_coordinator_defers_recovery_until_quorum_returns() {
+        let mut c = replicated();
+        c.write(1, &key("a"), Value::synthetic(1000), SimTime::ZERO)
+            .result
+            .unwrap();
+        // Two of three replicas down: no quorum anywhere.
+        c.crash_coordinator(0, SimTime::from_secs(1));
+        c.crash_coordinator(1, SimTime::from_secs(1));
+        settle(&mut c, SimTime::from_secs(1));
+        assert_eq!(c.coordinator().leader(), None);
+        // A data-node crash while headless cannot be acted on: recovery is
+        // parked, and writes bounce with a typed transient error.
+        c.crash_node(1, SimTime::from_secs(2));
+        assert_eq!(c.deferred_recoveries(), 1);
+        let w = c.write(2, &key("b"), Value::synthetic(100), SimTime::from_secs(2));
+        assert!(matches!(w.result, Err(RcError::Transient)));
+        // Quorum returns: the pump drains the parked recovery.
+        c.restart_coordinator(0, SimTime::from_secs(3));
+        let t = settle(&mut c, SimTime::from_secs(3));
+        assert_eq!(c.deferred_recoveries(), 0);
+        assert!(c.read(0, &key("a"), t).result.is_ok(), "re-mastered");
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
+        c.write(2, &key("b"), Value::synthetic(100), t)
+            .result
+            .unwrap();
+    }
+
+    #[test]
+    fn minority_partition_rejects_writes_and_heals_clean() {
+        let mut c = replicated();
+        c.write(3, &key("a"), Value::synthetic(1000), SimTime::ZERO)
+            .result
+            .unwrap();
+        // Coordinators live on nodes 0..3; isolating node 0 leaves a
+        // 2-of-3 quorum with nodes 1-3.
+        c.partition_network(&[vec![0], vec![1, 2, 3]], SimTime::from_secs(1));
+        let t = settle(&mut c, SimTime::from_secs(1));
+        assert!(c.partitioned());
+        // Minority side: typed transient rejection, never silent loss.
+        let w = c.write(0, &key("m"), Value::synthetic(100), t);
+        assert!(matches!(w.result, Err(RcError::Transient)));
+        // Majority side keeps serving.
+        c.write(1, &key("q"), Value::synthetic(100), t)
+            .result
+            .unwrap();
+        assert!(c.read(2, &key("q"), t).result.is_ok());
+        c.heal_partition(t + Duration::from_secs(1));
+        let t2 = settle(&mut c, t + Duration::from_secs(1));
+        // Everyone serves again, nothing was lost.
+        c.write(0, &key("m"), Value::synthetic(100), t2)
+            .result
+            .unwrap();
+        assert!(c.read(0, &key("a"), t2).result.is_ok());
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
+    }
+
+    #[test]
+    fn isolated_leader_steps_down_and_majority_reelects() {
+        let mut c = replicated();
+        let old = c.isolate_leader(SimTime::from_secs(1)).unwrap();
+        assert_eq!(old, 0);
+        let t = settle(&mut c, SimTime::from_secs(1));
+        let new = c.coordinator().leader().expect("majority re-elected");
+        assert_ne!(new, old);
+        // The old leader's side cannot commit; the majority side can.
+        let w = c.write(old, &key("x"), Value::synthetic(100), t);
+        assert!(matches!(w.result, Err(RcError::Transient)));
+        c.write(new, &key("y"), Value::synthetic(100), t)
+            .result
+            .unwrap();
+        c.heal_partition(t + Duration::from_secs(1));
+        let t2 = settle(&mut c, t + Duration::from_secs(1));
+        c.write(old, &key("x"), Value::synthetic(100), t2)
+            .result
+            .unwrap();
+    }
+
+    #[test]
+    fn gossip_confirms_dead_node_then_recovers_it() {
+        let mut c = gossiped();
+        c.write(1, &key("a"), Value::synthetic(1000), SimTime::ZERO)
+            .result
+            .unwrap();
+        let master = c.master_of(&key("a")).unwrap();
+        assert_eq!(master, 1);
+        // A crash under gossip is *not* recovered omnisciently: the tablet
+        // map still points at the dead node until membership confirms it.
+        c.crash_node(1, SimTime::from_secs(1));
+        assert_eq!(c.master_of(&key("a")), Some(1));
+        // Drive probe rounds until suspicion matures into confirmation
+        // (period 1 s, confirm_after 3 s).
+        let mut t = SimTime::from_secs(1);
+        let mut confirmed = false;
+        for _ in 0..20 {
+            t += c.gossip_period();
+            let events = c.gossip_round(t);
+            if events
+                .iter()
+                .any(|e| matches!(e, GossipEvent::Confirmed { node: 1, .. }))
+            {
+                confirmed = true;
+                break;
+            }
+        }
+        assert!(confirmed, "gossip confirmed the dead node");
+        assert_eq!(c.member_state(1), MemberState::Dead);
+        // Confirmation triggered re-mastering off the dead node.
+        let m = c.master_of(&key("a")).unwrap();
+        assert_ne!(m, 1);
+        assert!(c.read(0, &key("a"), t).result.is_ok());
+        // The node comes back: probes refute the verdict and reconcile.
+        c.restart_node(1, t);
+        let mut rejoined = false;
+        for _ in 0..20 {
+            t += c.gossip_period();
+            let events = c.gossip_round(t);
+            if events
+                .iter()
+                .any(|e| matches!(e, GossipEvent::Rejoined { node: 1, .. }))
+            {
+                rejoined = true;
+                break;
+            }
+        }
+        assert!(rejoined, "gossip observed the rejoin");
+        assert_eq!(c.member_state(1), MemberState::Alive);
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
+    }
+
+    #[test]
+    fn partition_fences_stale_masters_on_heal() {
+        let mut c = gossiped();
+        c.write(3, &key("a"), Value::synthetic(1000), SimTime::ZERO)
+            .result
+            .unwrap();
+        assert_eq!(c.master_of(&key("a")), Some(3));
+        // Node 3 lands alone across the partition. Probes stop reaching
+        // it, suspicion matures, and the confirmed-dead verdict re-masters
+        // its keys from reachable backups — fencing the copy it still
+        // holds (the node is alive, just unreachable).
+        c.partition_network(&[vec![0, 1, 2], vec![3]], SimTime::from_secs(1));
+        let mut t = SimTime::from_secs(1);
+        let mut confirmed = false;
+        for _ in 0..20 {
+            t += c.gossip_period();
+            let events = c.gossip_round(t);
+            if events
+                .iter()
+                .any(|e| matches!(e, GossipEvent::Confirmed { node: 3, .. }))
+            {
+                confirmed = true;
+                break;
+            }
+        }
+        assert!(confirmed, "membership confirmed the unreachable node");
+        let m = c.master_of(&key("a")).unwrap();
+        assert_ne!(m, 3, "re-mastered off the unreachable node");
+        assert!(c.read(1, &key("a"), t).result.is_ok());
+        assert!(
+            c.node(3).has_master(&key("a")),
+            "stale copy still on the minority side, fenced"
+        );
+        // Heal: the fenced copy is expunged, not resurrected.
+        c.heal_partition(t + Duration::from_secs(1));
+        let t2 = t + Duration::from_secs(1);
+        assert_eq!(c.master_of(&key("a")), Some(m));
+        assert!(!c.node(3).has_master(&key("a")), "stale master expunged");
+        assert!(c.read(3, &key("a"), t2).result.is_ok());
+        assert_eq!(c.telemetry().metrics().counter("rcstore.objects_lost"), 0);
+    }
+
+    #[test]
+    fn replicated_failover_is_deterministic_per_seed() {
+        let run = || {
+            let mut c = replicated();
+            c.write(0, &key("a"), Value::synthetic(500), SimTime::ZERO)
+                .result
+                .unwrap();
+            c.crash_coordinator(0, SimTime::from_secs(1));
+            let t = settle(&mut c, SimTime::from_secs(1));
+            c.write(1, &key("b"), Value::synthetic(500), t)
+                .result
+                .unwrap();
+            c.isolate_leader(t + Duration::from_secs(1));
+            let t2 = settle(&mut c, t + Duration::from_secs(1));
+            c.heal_partition(t2);
+            let t3 = settle(&mut c, t2);
+            c.write(2, &key("c"), Value::synthetic(500), t3)
+                .result
+                .unwrap();
+            (
+                c.coordinator().leader(),
+                c.coordinator().term(),
+                c.coordinator().last_index(),
+                c.telemetry().metrics().counter("raft.commits"),
+            )
+        };
+        assert_eq!(run(), run(), "same seed, same trajectory");
+    }
+
+    #[test]
+    fn single_replica_coordinator_charges_no_commit_latency() {
+        let mut c = Cluster::new(base_config());
+        assert!(!c.coordinator().is_replicated());
+        let t = c.write(0, &key("a"), Value::synthetic(100), SimTime::ZERO);
+        t.result.unwrap();
+        // Raft metrics are absent entirely in the default layout: lazily
+        // registered only for replicated control planes.
+        assert_eq!(c.telemetry().metrics().counter("raft.commits"), 0);
+        let mut r = replicated();
+        let rt = r.write(0, &key("a"), Value::synthetic(100), SimTime::ZERO);
+        rt.result.unwrap();
+        assert!(rt.latency > t.latency, "replication charges commit latency");
+        assert_eq!(r.telemetry().metrics().counter("raft.commits"), 1);
     }
 }

@@ -44,9 +44,11 @@
 //! ```
 
 pub mod cluster;
+pub mod gossip;
 pub mod latency;
 pub mod log;
 pub mod node;
+pub mod raft;
 pub mod shard;
 pub mod txn;
 
@@ -215,6 +217,12 @@ pub struct ClusterConfig {
     /// Sharding and batched-replication knobs (defaults keep both off,
     /// preserving the unsharded data plane byte for byte).
     pub shard: shard::ShardConfig,
+    /// Replicated-coordinator knobs (the default single replica keeps the
+    /// legacy in-memory authority byte for byte).
+    pub raft: raft::RaftConfig,
+    /// Gossip-membership knobs (disabled by default: the coordinator
+    /// keeps its omniscient crash/restart view).
+    pub gossip: gossip::GossipConfig,
 }
 
 impl Default for ClusterConfig {
@@ -227,6 +235,8 @@ impl Default for ClusterConfig {
             segment_bytes: 16 << 20,
             latency: latency::RcLatency::default(),
             shard: shard::ShardConfig::default(),
+            raft: raft::RaftConfig::default(),
+            gossip: gossip::GossipConfig::default(),
         }
     }
 }

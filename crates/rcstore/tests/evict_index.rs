@@ -112,7 +112,7 @@ proptest! {
                         cluster.crash_node(node, now);
                     }
                 }
-                Op::Restart { node } => cluster.restart_node(node),
+                Op::Restart { node } => cluster.restart_node(node, now),
                 Op::Advance { secs } => now += Duration::from_secs(u64::from(secs)),
             }
             // The invariant holds at every intermediate state, not just at

@@ -30,6 +30,41 @@ pub const CHAOS_TRANSIENT_BURSTS: &str = "chaos.transient_bursts";
 pub const CHAOS_PERSISTOR_FAILURES: &str = "chaos.persistor_failures";
 /// Injected crashes of a shard's master (anchor) node.
 pub const CHAOS_SHARD_CRASHES: &str = "chaos.shard_crashes";
+/// Injected coordinator-replica crashes.
+pub const CHAOS_COORDINATOR_CRASHES: &str = "chaos.coordinator_crashes";
+/// Injected coordinator-replica restarts.
+pub const CHAOS_COORDINATOR_RESTARTS: &str = "chaos.coordinator_restarts";
+/// Injected leader-isolation partitions (leader node cut from the rest).
+pub const CHAOS_LEADER_ISOLATIONS: &str = "chaos.leader_isolations";
+/// Injected network partitions (grouped reachability splits).
+pub const CHAOS_PARTITIONS: &str = "chaos.partitions";
+
+// ---- replicated coordinator (raft) ------------------------------------
+
+/// Leader elections completed by the replicated coordinator.
+pub const RAFT_ELECTIONS: &str = "raft.elections";
+/// Current coordinator term (bumped on every election).
+pub const RAFT_TERM: &str = "raft.term";
+/// Committed length of the replicated coordinator log.
+pub const RAFT_LOG_LEN: &str = "raft.log_len";
+/// Snapshot installs used to catch a lagging replica up past compaction.
+pub const RAFT_SNAPSHOT_INSTALLS: &str = "raft.snapshot_installs";
+/// Commands committed on a majority of coordinator replicas.
+pub const RAFT_COMMITS: &str = "raft.commits";
+/// Proposals rejected because no leader with a replica quorum was
+/// reachable (surfaced to clients as `RcError::Transient`).
+pub const RAFT_NO_QUORUM_REJECTS: &str = "raft.no_quorum_rejects";
+
+// ---- gossip membership (SWIM-style) -----------------------------------
+
+/// Gossip probe rounds executed.
+pub const GOSSIP_ROUNDS: &str = "gossip.rounds";
+/// Members newly marked Suspect after a failed probe.
+pub const GOSSIP_SUSPECTS: &str = "gossip.suspects";
+/// Suspects confirmed dead after the suspicion timeout.
+pub const GOSSIP_CONFIRMS: &str = "gossip.confirms";
+/// Suspicions refuted by a later successful probe.
+pub const GOSSIP_REFUTES: &str = "gossip.refutes";
 
 // ---- faas platform -----------------------------------------------------
 
@@ -216,9 +251,13 @@ pub const ALL: &[&str] = &[
     AGENT_WRITEBACKS,
     BENCH_PAR_RUNS,
     BENCH_TICKS,
+    CHAOS_COORDINATOR_CRASHES,
+    CHAOS_COORDINATOR_RESTARTS,
     CHAOS_FAULTS_INJECTED,
+    CHAOS_LEADER_ISOLATIONS,
     CHAOS_NODE_CRASHES,
     CHAOS_NODE_RESTARTS,
+    CHAOS_PARTITIONS,
     CHAOS_PERSISTOR_FAILURES,
     CHAOS_SHARD_CRASHES,
     CHAOS_SLOWDOWNS,
@@ -231,6 +270,10 @@ pub const ALL: &[&str] = &[
     FAAS_SUBMITTED,
     FAAS_UNSCHEDULABLE,
     FAAS_WARM_STARTS,
+    GOSSIP_CONFIRMS,
+    GOSSIP_REFUTES,
+    GOSSIP_ROUNDS,
+    GOSSIP_SUSPECTS,
     ML_BAD_PREDICTIONS,
     ML_GOOD_PREDICTIONS,
     ML_RETRAINS,
@@ -258,6 +301,12 @@ pub const ALL: &[&str] = &[
     POLICY_PREFETCH_WANTED,
     POLICY_PREFETCHES,
     POLICY_RENTAL_COST,
+    RAFT_COMMITS,
+    RAFT_ELECTIONS,
+    RAFT_LOG_LEN,
+    RAFT_NO_QUORUM_REJECTS,
+    RAFT_SNAPSHOT_INSTALLS,
+    RAFT_TERM,
     RCSTORE_BATCH_FLUSHES,
     RCSTORE_BATCHED_APPENDS,
     RCSTORE_EVICTIONS,

@@ -122,7 +122,7 @@ fn run_cluster_ops(ops: Vec<Op>) -> Result<(), TestCaseError> {
                 }
                 model.retain(|k, _| cluster.contains(k));
             }
-            Op::Restart { node } => cluster.restart_node(usize::from(node)),
+            Op::Restart { node } => cluster.restart_node(usize::from(node), now),
         }
         // Global invariants after every step.
         let up_nodes = (0..4).filter(|&n| cluster.node(n).is_up()).count();
