@@ -164,7 +164,7 @@ fn locality_case(label: &str, disable: bool) -> Row {
     {
         let p = ofc_workloads::multimedia::profile(name).expect("known");
         let mut args = ofc_faas::Args::new();
-        args.insert("input".into(), ofc_faas::ArgValue::Obj(input.id.clone()));
+        args.insert("input".into(), ofc_faas::ArgValue::Obj(input.id));
         if let Some(spec) = p.arg {
             args.insert(
                 spec.name.into(),
@@ -172,7 +172,6 @@ fn locality_case(label: &str, disable: bool) -> Row {
             );
         }
         let platform = tb.platform.clone();
-        let tenant = tenant.clone();
         tb.sim
             .schedule_at(ofc_simtime::SimTime::from_secs(i as u64 * 10), move |sim| {
                 platform.submit(

@@ -7,7 +7,9 @@
 //! `OFC_CHAOS_SEED` picks the schedule seed (default 42); `OFC_MACRO_MINS`
 //! shortens the observation window. Output is deterministic per seed:
 //! running twice with the same environment produces byte-identical
-//! `results/chaos.json`.
+//! `results/chaos.json`. `OFC_MACRO_SMOKE=1` pins a 5-minute window and
+//! saves `chaos_smoke.json` / `failover_smoke.json` instead, for the
+//! golden byte-diff suite.
 //!
 //! `OFC_CHAOS_FAILOVER=1` switches to the control-plane drill (DESIGN.md
 //! §16): the cache store runs a 3-replica Raft-style coordinator with
@@ -229,7 +231,15 @@ fn total_s(m: &MacroResult) -> f64 {
 
 fn main() {
     let seed = env_u64("OFC_CHAOS_SEED", 42);
-    let minutes = env_u64("OFC_MACRO_MINS", 10);
+    // Smoke mode pins a 5-minute window — long enough for the crash/restart
+    // one-shots and at least one recurring fault to fire — and saves under a
+    // `_smoke` name, mirroring the macro24/fig9/bakeoff golden convention.
+    let smoke = env_u64("OFC_MACRO_SMOKE", 0) == 1;
+    let minutes = if smoke {
+        5
+    } else {
+        env_u64("OFC_MACRO_MINS", 10)
+    };
     let failover = env_u64("OFC_CHAOS_FAILOVER", 0) == 1;
     let dur = Duration::from_secs(60 * minutes);
 
@@ -418,7 +428,13 @@ fn main() {
             report.gossip_confirms
         );
     }
-    report::save_json(if failover { "failover" } else { "chaos" }, &report);
+    let out_name = match (failover, smoke) {
+        (true, true) => "failover_smoke",
+        (true, false) => "failover",
+        (false, true) => "chaos_smoke",
+        (false, false) => "chaos",
+    };
+    report::save_json(out_name, &report);
 
     let mut failures = Vec::new();
     if report.objects_lost != 0 {

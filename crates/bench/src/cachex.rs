@@ -106,7 +106,7 @@ pub fn stage_input(tb: &mut Testbed, scenario: Scenario, meta: MediaMeta, key: &
         .borrow_mut()
         .put(&id, Payload::Synthetic(meta.bytes), meta.tags(), false);
     let size = meta.bytes;
-    tb.catalog.insert(id.clone(), meta);
+    tb.catalog.insert(id, meta);
     match scenario {
         Scenario::Redis => {
             let imoc = tb.imoc.as_ref().expect("redis testbed");
@@ -353,7 +353,7 @@ pub fn cache_scaling(scenario: ScalingScenario, input_bytes: u64, seed: u64) -> 
         &mut tb.sim,
         InvocationRequest {
             function: FunctionId::from(p.name),
-            tenant: tenant.clone(),
+            tenant,
             args: warm_args,
             seed,
             pipeline: None,
@@ -846,7 +846,7 @@ fn pretrain_stage(
 ) {
     use ofc_dtree::data::Value;
     use rand::Rng;
-    let key = (tenant.clone(), FunctionId::from(sp.name));
+    let key = (*tenant, FunctionId::from(sp.name));
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57A63);
     let mut ml = ofc.ml.borrow_mut();
     for _ in 0..n {

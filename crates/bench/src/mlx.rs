@@ -323,7 +323,7 @@ pub fn maturation(cap: usize, seed: u64) -> MaturationResult {
     for (i, p) in PROFILES.iter().enumerate() {
         let mut ml = MlEngine::new(MlConfig::default());
         let key = (TenantId::from("t"), FunctionId::from(p.name));
-        ml.register(key.clone(), p.feature_schema());
+        ml.register(key, p.feature_schema());
         let stream = ofc_workloads::datasets::invocation_stream(p, cap, seed + i as u64);
         for s in stream {
             ml.observe(

@@ -147,7 +147,7 @@ pub fn feature_fn(catalog: Catalog) -> FeatureFn {
         let name: &str = function.as_ref();
         if let Some(p) = ofc_workloads::multimedia::profile(name) {
             let input = args.values().find_map(|v| match v {
-                ofc_faas::ArgValue::Obj(id) => Some(id.clone()),
+                ofc_faas::ArgValue::Obj(id) => Some(*id),
                 _ => None,
             })?;
             let meta = catalog.get(&input)?;
@@ -161,7 +161,7 @@ pub fn feature_fn(catalog: Catalog) -> FeatureFn {
 pub fn register_single(tb: &Testbed, tenant: &TenantId, profile: &'static Profile, booked: u64) {
     tb.platform.register(FunctionSpec {
         id: FunctionId::from(profile.name),
-        tenant: tenant.clone(),
+        tenant: *tenant,
         booked_mem: booked,
         model: Rc::new(MultimediaModel::new(profile, tb.catalog.clone())),
     });
@@ -175,7 +175,7 @@ pub fn register_stages(tb: &Testbed, tenant: &TenantId, booked: u64) {
     for sp in &STAGE_PROFILES {
         tb.platform.register(FunctionSpec {
             id: FunctionId::from(sp.name),
-            tenant: tenant.clone(),
+            tenant: *tenant,
             booked_mem: booked,
             model: Rc::new(StageModel::new(sp, tb.catalog.clone())),
         });
@@ -192,7 +192,7 @@ pub fn pretrain_single(tb: &Testbed, tenant: &TenantId, profile: &'static Profil
     let Some(ofc) = &tb.ofc else {
         return;
     };
-    let key = (tenant.clone(), FunctionId::from(profile.name));
+    let key = (*tenant, FunctionId::from(profile.name));
     let mut ml = ofc.ml.borrow_mut();
     for s in invocation_stream(profile, n, 0xC0FFEE) {
         ml.observe(
@@ -296,7 +296,7 @@ mod tests {
             meta.tags(),
             false,
         );
-        tb.catalog.insert(id.clone(), meta);
+        tb.catalog.insert(id, meta);
         let mut args = Args::new();
         args.insert("input".into(), ArgValue::Obj(id));
         if let Some(spec) = profile.arg {
@@ -306,7 +306,7 @@ mod tests {
             &mut tb.sim,
             InvocationRequest {
                 function: FunctionId::from(profile.name),
-                tenant: tenant.clone(),
+                tenant: *tenant,
                 args,
                 seed: 7,
                 pipeline: None,

@@ -690,7 +690,6 @@ mod tests {
         // before the first eviction pass at t = 300 s.
         for i in 1..=20u64 {
             let cluster = Rc::clone(&cluster);
-            let hot = hot.clone();
             sim.schedule_at(SimTime::from_secs(i * 30), move |sim| {
                 cluster
                     .borrow_mut()

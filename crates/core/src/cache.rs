@@ -10,6 +10,7 @@ use ofc_faas::{
     Admission, DataPlane, NodeId, ObjectRef, ObjectWrite, PipelineId, ReadOutcome, Served,
     WriteOutcome,
 };
+use ofc_intern::IdHashMap;
 use ofc_objstore::store::ObjectStore;
 use ofc_objstore::{ObjectId, Payload, StoreError};
 use ofc_rcstore::cluster::Cluster;
@@ -22,8 +23,12 @@ use std::rc::Rc;
 use std::time::Duration;
 
 /// Converts an object id into a cache key.
+///
+/// Memoised under the interned (bucket, key) id pair: the first access to
+/// an object composes `"{bucket}/{key}"`, every later access is a single
+/// id-keyed table probe with no allocation.
 pub fn rc_key(id: &ObjectId) -> Key {
-    Key::from(format!("{id}"))
+    id.path()
 }
 
 /// How cached writes reach the RSDS (§6.2; the non-default modes feed the
@@ -131,7 +136,7 @@ pub struct Persistence {
     cluster: Rc<RefCell<Cluster>>,
     /// Pending shadow fulfillments: key → (object id, version, size,
     /// drop-from-cache-after-persist).
-    pending: HashMap<Key, (ObjectId, u64, u64, bool)>,
+    pending: IdHashMap<Key, (ObjectId, u64, u64, bool)>,
     /// Write-backs whose persistor exhausted its retries; the pending
     /// entry is kept (nothing is lost) and the sweeper re-drives them.
     dead: BTreeSet<Key>,
@@ -197,7 +202,7 @@ impl Persistence {
     /// longer pending (persisted or invalidated elsewhere) are dropped.
     /// Returns the number successfully re-driven.
     pub fn sweep(&mut self) -> usize {
-        let dead: Vec<Key> = self.dead.iter().cloned().collect();
+        let dead: Vec<Key> = self.dead.iter().copied().collect();
         let mut redriven = 0;
         for key in dead {
             if !self.pending.contains_key(&key) {
@@ -261,7 +266,7 @@ fn schedule_persistor(
             }
             None => {
                 p.dead_letters.inc();
-                p.dead.insert(key.clone());
+                p.dead.insert(key);
             }
         }
     });
@@ -296,7 +301,7 @@ pub struct OfcPlane {
     persist_seq: u64,
     /// Chunk manifests of striped large objects: key → chunk count
     /// (extension; see [`PlaneConfig::chunk_large_objects`]).
-    chunks: HashMap<Key, u32>,
+    chunks: IdHashMap<Key, u32>,
     /// The installed cache policy: access notifications and the cold-tier
     /// lookup on RAM misses go here (DESIGN.md §15). `None` keeps the
     /// plane policy-free (standalone tests), which behaves exactly like
@@ -316,7 +321,7 @@ impl OfcPlane {
         let persistence = Rc::new(RefCell::new(Persistence {
             store: Rc::clone(&store),
             cluster: Rc::clone(&cluster),
-            pending: HashMap::new(),
+            pending: IdHashMap::default(),
             dead: BTreeSet::new(),
             retry: cfg.persist_retry.clone(),
             sweep_every: cfg.sweep_every,
@@ -358,7 +363,7 @@ impl OfcPlane {
             metrics,
             breaker,
             persist_seq: 0,
-            chunks: HashMap::new(),
+            chunks: IdHashMap::default(),
             policy: None,
         }
     }
@@ -386,7 +391,9 @@ impl OfcPlane {
     }
 
     fn chunk_key(key: &Key, i: u32) -> Key {
-        Key::from(format!("{key}#chunk{i}"))
+        // Memoised like `rc_key`: `"{key}#chunk{i}"` is composed once per
+        // (key, chunk index) pair and re-used allocation-free after that.
+        ofc_intern::compose_chunk(*key, i)
     }
 
     /// Stripes a large object into `<= max_cached_object` chunks spread over
@@ -426,7 +433,7 @@ impl OfcPlane {
             }
         }
         drop(cluster);
-        self.chunks.insert(key.clone(), n);
+        self.chunks.insert(*key, n);
         self.metrics.chunked_objects.inc();
         Some(latency)
     }
@@ -701,13 +708,13 @@ impl DataPlane for OfcPlane {
                     self.persistence
                         .borrow_mut()
                         .pending
-                        .insert(key.clone(), (obj.id.clone(), version, obj.size, false));
+                        .insert(key, (obj.id, version, obj.size, false));
                     let upload = self.store.borrow().latency().write(obj.size.max(1));
                     let delay = self.cfg.persistor_overhead + upload;
                     self.persist_seq += 1;
                     self.telemetry
                         .span_at(self.persist_seq, Phase::Persist, now, delay);
-                    schedule_persistor(sim, Rc::clone(&self.persistence), key.clone(), 1, delay);
+                    schedule_persistor(sim, Rc::clone(&self.persistence), key, 1, delay);
                     return WriteOutcome { latency };
                 }
             }
@@ -777,14 +784,14 @@ impl DataPlane for OfcPlane {
                 self.persistence
                     .borrow_mut()
                     .pending
-                    .insert(key.clone(), (obj.id.clone(), version, obj.size, true));
+                    .insert(key, (obj.id, version, obj.size, true));
                 // Inject the persistor: it uploads the payload asynchronously.
                 let upload = self.store.borrow().latency().write(obj.size.max(1));
                 let delay = self.cfg.persistor_overhead + upload;
                 self.persist_seq += 1;
                 self.telemetry
                     .span_at(self.persist_seq, Phase::Persist, now, delay);
-                schedule_persistor(sim, Rc::clone(&self.persistence), key.clone(), 1, delay);
+                schedule_persistor(sim, Rc::clone(&self.persistence), key, 1, delay);
             }
             WritePolicy::WriteThrough => {
                 // The full payload hits the RSDS on the critical path; the
@@ -806,7 +813,7 @@ impl DataPlane for OfcPlane {
                 self.persistence
                     .borrow_mut()
                     .pending
-                    .insert(key.clone(), (obj.id.clone(), 0, obj.size, false));
+                    .insert(key, (obj.id, 0, obj.size, false));
             }
         }
         WriteOutcome { latency }
@@ -1098,7 +1105,7 @@ mod tests {
             &mut sim,
             1,
             &ObjectRef {
-                id: w.id.clone(),
+                id: w.id,
                 size: w.size,
             },
             Admission::admit(),
@@ -1140,7 +1147,7 @@ mod tests {
             &mut sim,
             0,
             &ObjectRef {
-                id: w.id.clone(),
+                id: w.id,
                 size: w.size,
             },
             Admission::admit(),
@@ -1151,7 +1158,7 @@ mod tests {
             &mut sim,
             0,
             &ObjectRef {
-                id: w.id.clone(),
+                id: w.id,
                 size: w.size,
             },
             Admission::admit(),

@@ -21,8 +21,8 @@ use ofc_dtree::data::{AttrKind, Attribute, Dataset, Value};
 use ofc_dtree::tree::DecisionTree;
 use ofc_dtree::Classifier;
 use ofc_faas::{FunctionId, TenantId};
+use ofc_intern::IdHashMap;
 use ofc_telemetry::{Counter, Telemetry};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Key identifying a function's models.
@@ -159,7 +159,7 @@ struct FunctionMl {
 /// The ML engine: Predictor + ModelTrainer.
 pub struct MlEngine {
     cfg: MlConfig,
-    functions: HashMap<FnKey, FunctionMl>,
+    functions: IdHashMap<FnKey, FunctionMl>,
     telemetry: Telemetry,
     metrics: MlMetrics,
 }
@@ -174,7 +174,7 @@ impl MlEngine {
     pub fn with_telemetry(cfg: MlConfig, telemetry: &Telemetry) -> Self {
         MlEngine {
             cfg,
-            functions: HashMap::new(),
+            functions: IdHashMap::default(),
             telemetry: telemetry.clone(),
             metrics: MlMetrics::new(telemetry),
         }

@@ -107,7 +107,7 @@ impl ExecutionMonitor for OfcMonitor {
         if record.completion == Completion::Unschedulable {
             return;
         }
-        let key: FnKey = (record.tenant.clone(), record.function.clone());
+        let key: FnKey = (record.tenant, record.function);
         let Some(features) = (self.features)(&record.tenant, &record.function, &record.args) else {
             return;
         };

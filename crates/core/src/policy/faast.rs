@@ -116,14 +116,14 @@ impl CachePolicy for FaastPolicy {
             if let Some(coldest) = self
                 .freq
                 .iter()
-                .min_by_key(|(k, t)| (t.count, (*k).clone()))
-                .map(|(k, _)| k.clone())
+                .min_by_key(|(k, t)| (t.count, *(*k)))
+                .map(|(k, _)| *k)
             {
                 self.freq.remove(&coldest);
             }
         }
         self.freq.insert(
-            key.clone(),
+            *key,
             Tracked {
                 count: 1,
                 size,
@@ -149,7 +149,7 @@ impl CachePolicy for FaastPolicy {
             .into_iter()
             .take(PREFETCH_TOP)
             .map(|(key, t)| PrefetchRequest {
-                key: key.clone(),
+                key: *key,
                 size: t.size,
                 node: t.node,
             })

@@ -87,7 +87,7 @@ impl InfiniCachePolicy {
             .parked
             .iter()
             .filter(|(_, p)| now.saturating_since(p.last_touch) > KEEP_ALIVE)
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
             .collect();
         for key in dead {
             if let Some(p) = self.parked.remove(&key) {
@@ -142,7 +142,7 @@ impl CachePolicy for InfiniCachePolicy {
         for key in &victims {
             if let Some(size) = view.size_of(key) {
                 let prev = self.parked.insert(
-                    key.clone(),
+                    *key,
                     Parked {
                         size,
                         last_touch: view.now,

@@ -223,7 +223,7 @@ impl<'a> EvictView<'a> {
                 let cold = obj.stats.n_access < self.min_access && age >= self.grace;
                 let stale = idle >= self.idle;
                 if cold || stale {
-                    victims.push(key.clone());
+                    victims.push(*key);
                 }
             }
         }

@@ -116,7 +116,7 @@ impl OfcScheduler {
 
 impl Scheduler for OfcScheduler {
     fn route(&mut self, ctx: &RoutingContext) -> RoutingDecision {
-        let key: FnKey = (ctx.tenant.clone(), ctx.function.clone());
+        let key: FnKey = (ctx.tenant, ctx.function);
         let prediction = (self.features)(&ctx.tenant, &ctx.function, &ctx.args)
             .map(|f| self.ml.borrow().predict(&key, &f));
         // Sizing is the Predictor's (§5.3); admission is the policy's.
@@ -216,7 +216,7 @@ mod tests {
         let mut ml = MlEngine::new(MlConfig::default());
         let key = (TenantId::from("t"), FunctionId::from("f"));
         ml.register(
-            key.clone(),
+            key,
             vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,

@@ -140,7 +140,7 @@ proptest! {
                 let cold = obj.stats.n_access < MIN_ACCESS && age >= GRACE;
                 let stale = idle_for >= IDLE;
                 if cold || stale {
-                    want.push(key.clone());
+                    want.push(*key);
                 }
             }
         }

@@ -65,7 +65,24 @@ impl C45 {
     pub fn train(data: &Dataset, params: &C45Params) -> DecisionTree {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let idx: Vec<usize> = (0..data.len()).collect();
-        let mut root = grow(data, &idx, params, 0);
+        // Fast path: with no missing values anywhere, numeric attributes can
+        // be sorted once up front and the sorted order maintained through
+        // partitions, replacing the O(n log n) re-sort per node per
+        // attribute with an O(n) filter. The split search visits the exact
+        // same candidate sequence in the same order, so the resulting tree
+        // is bit-identical to the general path. Missing values reorder
+        // partitions (they append to the heavier branch), so any missing
+        // value falls back to the general re-sorting implementation.
+        let has_missing = data
+            .rows()
+            .iter()
+            .any(|r| r.values.iter().any(|v| v.is_missing()));
+        let mut root = if has_missing {
+            grow(data, &idx, params, 0)
+        } else {
+            let sorted = presort_numeric(data);
+            grow_presorted(data, &idx, &sorted, params, 0)
+        };
         if params.prune {
             prune(&mut root, zscore_upper(params.confidence));
         }
@@ -83,6 +100,46 @@ impl Learner for C45 {
     fn name(&self) -> &'static str {
         "J48"
     }
+}
+
+/// Largest integer weight total the memoized log tables will grow to
+/// (beyond this the threshold scan falls back to per-candidate
+/// [`entropy`] calls). 2^21 entries × two tables × 8 B caps the
+/// thread-local arena at 32 MiB, far above any training set here.
+const LOG_TABLE_CAP: usize = 1 << 21;
+
+/// Memoized `log2(k)` and `k·log2(k)` over integer weights.
+///
+/// When every sample weight is a small non-negative integer (the common
+/// case: the cache's ML plane weights samples 1.0 or 5.0), every class
+/// mass, branch mass, and node total in the threshold scan is an exact
+/// integer too, so `H(dist) = log2(T) − Σ w·log2(w) / T` can be evaluated
+/// with two table lookups instead of one `log2` call per non-zero class
+/// per candidate. The tables are universal (independent of the node
+/// total), so they persist thread-locally across trainings and only ever
+/// grow.
+struct LogTables {
+    /// `log2k[k] = log2(k)`, with `log2k[0] = 0.0` (unused: masses of
+    /// zero contribute nothing).
+    log2k: Vec<f64>,
+    /// `wlog[k] = k·log2(k)`, with the `0·log2(0) = 0` limit at 0.
+    wlog: Vec<f64>,
+}
+
+impl LogTables {
+    fn ensure(&mut self, max: usize) {
+        for k in self.log2k.len()..=max {
+            let l = if k == 0 { 0.0 } else { (k as f64).log2() };
+            self.log2k.push(l);
+            self.wlog.push(k as f64 * l);
+        }
+    }
+}
+
+thread_local! {
+    static LOG_TABLES: std::cell::RefCell<LogTables> = const {
+        std::cell::RefCell::new(LogTables { log2k: Vec::new(), wlog: Vec::new() })
+    };
 }
 
 /// Weighted Shannon entropy of a class distribution.
@@ -184,10 +241,65 @@ fn evaluate_numeric(
         return None;
     }
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+    scan_points(&points, n_classes, attr, base_entropy, min_leaf)
+}
 
+/// Scans the sorted `(value, label, weight)` triples for the best binary
+/// threshold, applying C4.5's MDL correction over the candidate count.
+///
+/// When every weight is a small non-negative integer (so every partial
+/// mass is an exact integer), the per-candidate entropies are computed as
+/// `log2(T) − Σ w·log2(w) / T` with the sums maintained incrementally and
+/// the logs served from [`LOG_TABLES`] — O(1) per candidate rather than
+/// one `log2` per non-zero class. Otherwise it falls back to the direct
+/// per-candidate [`entropy`] scan. The two variants agree mathematically
+/// but not bit-for-bit; the fast variant is the deterministic one the
+/// committed goldens are blessed against.
+fn scan_points(
+    points: &[(f64, u32, f64)],
+    n_classes: usize,
+    attr: usize,
+    base_entropy: f64,
+    min_leaf: f64,
+) -> Option<Split> {
     let total_w: f64 = points.iter().map(|p| p.2).sum();
+    let integral =
+        total_w < LOG_TABLE_CAP as f64 && points.iter().all(|p| p.2 >= 0.0 && p.2.fract() == 0.0);
+    let (best, candidates) = if integral {
+        LOG_TABLES.with(|t| {
+            let mut t = t.borrow_mut();
+            t.ensure(total_w as usize);
+            scan_integral(points, n_classes, total_w, base_entropy, min_leaf, &t)
+        })
+    } else {
+        scan_general(points, n_classes, total_w, base_entropy, min_leaf)
+    };
+
+    let (gain, threshold, split_info) = best?;
+    // C4.5's MDL correction for choosing among numeric thresholds.
+    let gain = gain - (candidates.max(1) as f64).log2() / total_w;
+    if gain <= 0.0 || split_info <= 0.0 {
+        return None;
+    }
+    Some(Split::Num {
+        attr,
+        threshold,
+        gain_ratio: gain / split_info,
+        gain,
+    })
+}
+
+/// Threshold scan with per-candidate [`entropy`] recomputation; handles
+/// arbitrary (fractional) sample weights.
+fn scan_general(
+    points: &[(f64, u32, f64)],
+    n_classes: usize,
+    total_w: f64,
+    base_entropy: f64,
+    min_leaf: f64,
+) -> (Option<(f64, f64, f64)>, u32) {
     let mut right = vec![0.0; n_classes];
-    for p in &points {
+    for p in points {
         right[p.1 as usize] += p.2;
     }
     let mut left = vec![0.0; n_classes];
@@ -222,19 +334,78 @@ fn evaluate_numeric(
             best = Some((gain, threshold, split_info));
         }
     }
+    (best, candidates)
+}
 
-    let (gain, threshold, split_info) = best?;
-    // C4.5's MDL correction for choosing among numeric thresholds.
-    let gain = gain - (candidates.max(1) as f64).log2() / total_w;
-    if gain <= 0.0 || split_info <= 0.0 {
-        return None;
+/// Threshold scan over exact-integer weights: entropies via the
+/// `log2(T) − Σ w·log2(w) / T` identity with incrementally-maintained
+/// sums and memoized logs.
+fn scan_integral(
+    points: &[(f64, u32, f64)],
+    n_classes: usize,
+    total_w: f64,
+    base_entropy: f64,
+    min_leaf: f64,
+    t: &LogTables,
+) -> (Option<(f64, f64, f64)>, u32) {
+    let mut right = vec![0.0; n_classes];
+    for p in points {
+        right[p.1 as usize] += p.2;
     }
-    Some(Split::Num {
-        attr,
-        threshold,
-        gain_ratio: gain / split_info,
-        gain,
-    })
+    // s_left / s_right track Σ_c wlog[mass_c] for their side; every mass is
+    // an exact integer, so the table index is exact.
+    let mut s_right: f64 = right.iter().map(|&w| t.wlog[w as usize]).sum();
+    let mut s_left = 0.0;
+    let mut left = vec![0.0; n_classes];
+    let mut left_w = 0.0;
+
+    let mut best: Option<(f64, f64, f64)> = None; // (gain, threshold, split_info)
+    let mut candidates = 0u32;
+    let mut i = 0;
+    while i < points.len() {
+        let v = points[i].0;
+        while i < points.len() && points[i].0 == v {
+            let (_, label, w) = points[i];
+            let c = label as usize;
+            s_left += t.wlog[(left[c] + w) as usize] - t.wlog[left[c] as usize];
+            s_right += t.wlog[(right[c] - w) as usize] - t.wlog[right[c] as usize];
+            left[c] += w;
+            right[c] -= w;
+            left_w += w;
+            i += 1;
+        }
+        if i == points.len() {
+            break;
+        }
+        let right_w = total_w - left_w;
+        if left_w < min_leaf || right_w < min_leaf {
+            continue;
+        }
+        candidates += 1;
+        let h_left = if left_w > 0.0 {
+            t.log2k[left_w as usize] - s_left / left_w
+        } else {
+            0.0
+        };
+        let h_right = if right_w > 0.0 {
+            t.log2k[right_w as usize] - s_right / right_w
+        } else {
+            0.0
+        };
+        let cond = (left_w / total_w) * h_left + (right_w / total_w) * h_right;
+        let gain = base_entropy - cond;
+        let threshold = (v + points[i].0) / 2.0;
+        let split_info = if left_w > 0.0 && right_w > 0.0 {
+            t.log2k[total_w as usize]
+                - (t.wlog[left_w as usize] + t.wlog[right_w as usize]) / total_w
+        } else {
+            0.0
+        };
+        if best.is_none_or(|(g, _, _)| gain > g) {
+            best = Some((gain, threshold, split_info));
+        }
+    }
+    (best, candidates)
 }
 
 fn evaluate_nominal(
@@ -399,6 +570,198 @@ fn grow(data: &Dataset, idx: &[usize], params: &C45Params, depth: usize) -> Node
                         Node::Leaf { dist: dist.clone() }
                     } else {
                         grow(data, p, params, depth + 1)
+                    }
+                })
+                .collect();
+            Node::SplitNom {
+                attr,
+                dist,
+                children,
+            }
+        }
+    }
+}
+
+/// Stable-sorts each numeric attribute's row indices by value, once for the
+/// whole training set (fast path; callers have verified no value is
+/// missing). Nominal attributes get an empty list — their evaluation is
+/// already a single O(n) pass.
+fn presort_numeric(data: &Dataset) -> Vec<Vec<usize>> {
+    (0..data.n_attrs())
+        .map(|attr| match &data.attrs()[attr].kind {
+            AttrKind::Numeric => {
+                let mut order: Vec<usize> = (0..data.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let va = data.rows()[a].values[attr].as_num().expect("no missing");
+                    let vb = data.rows()[b].values[attr].as_num().expect("no missing");
+                    va.partial_cmp(&vb).expect("finite values")
+                });
+                order
+            }
+            AttrKind::Nominal(_) => Vec::new(),
+        })
+        .collect()
+}
+
+/// [`evaluate_numeric`] over a pre-sorted index list: identical candidate
+/// sequence and arithmetic (the scan is shared), minus the per-node sort.
+/// Gathering into a flat triple buffer also keeps the scan's memory
+/// accesses contiguous instead of chasing row indirections.
+fn evaluate_numeric_presorted(
+    data: &Dataset,
+    sorted: &[usize],
+    attr: usize,
+    base_entropy: f64,
+    min_leaf: f64,
+) -> Option<Split> {
+    if sorted.len() < 2 {
+        return None;
+    }
+    let points: Vec<(f64, u32, f64)> = sorted
+        .iter()
+        .map(|&i| {
+            let r = &data.rows()[i];
+            let v = r.values[attr].as_num().expect("no missing");
+            (v, r.label, r.weight)
+        })
+        .collect();
+    scan_points(&points, data.n_classes(), attr, base_entropy, min_leaf)
+}
+
+/// [`select_split`] for the presorted fast path.
+fn select_split_presorted(
+    data: &Dataset,
+    idx: &[usize],
+    sorted: &[Vec<usize>],
+    base_entropy: f64,
+    min_leaf: f64,
+) -> Option<Split> {
+    let splits: Vec<Split> = (0..data.n_attrs())
+        .filter_map(|a| match &data.attrs()[a].kind {
+            AttrKind::Numeric => {
+                evaluate_numeric_presorted(data, &sorted[a], a, base_entropy, min_leaf)
+            }
+            AttrKind::Nominal(values) => {
+                evaluate_nominal(data, idx, a, values.len(), base_entropy, min_leaf)
+            }
+        })
+        .collect();
+    if splits.is_empty() {
+        return None;
+    }
+    let mean_gain: f64 = splits.iter().map(Split::gain).sum::<f64>() / splits.len() as f64;
+    splits
+        .into_iter()
+        .filter(|s| s.gain() >= mean_gain - 1e-12)
+        .max_by(|a, b| {
+            a.gain_ratio()
+                .partial_cmp(&b.gain_ratio())
+                .expect("finite gain ratios")
+        })
+}
+
+/// Routes each child's rows out of the parent's per-attribute sorted lists,
+/// preserving sorted order (an O(attrs × n) filter instead of a re-sort).
+/// With no missing values a row's branch is fully determined by the split
+/// attribute's value, so this reproduces [`partition`] exactly.
+fn partition_presorted(
+    data: &Dataset,
+    idx: &[usize],
+    sorted: &[Vec<usize>],
+    split: &Split,
+) -> (Vec<Vec<usize>>, Vec<Vec<Vec<usize>>>) {
+    // Branch selector shared by the idx partition and the sorted filters.
+    let branch_of = |row: usize| -> usize {
+        match *split {
+            Split::Num {
+                attr, threshold, ..
+            } => {
+                let v = data.rows()[row].values[attr].as_num().expect("no missing");
+                usize::from(v > threshold)
+            }
+            Split::Nom { attr, .. } => {
+                data.rows()[row].values[attr].as_nom().expect("no missing") as usize
+            }
+        }
+    };
+    let n_parts = match *split {
+        Split::Num { .. } => 2,
+        Split::Nom { attr, .. } => data.attrs()[attr]
+            .kind
+            .cardinality()
+            .expect("nominal split on nominal attribute"),
+    };
+    let mut parts = vec![Vec::new(); n_parts];
+    for &i in idx {
+        parts[branch_of(i)].push(i);
+    }
+    let mut parts_sorted = vec![vec![Vec::new(); sorted.len()]; n_parts];
+    for (a, list) in sorted.iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        for &i in list {
+            parts_sorted[branch_of(i)][a].push(i);
+        }
+    }
+    (parts, parts_sorted)
+}
+
+/// [`grow`] for the presorted fast path: same decisions, same recursion
+/// shape, sorted lists threaded through partitions.
+fn grow_presorted(
+    data: &Dataset,
+    idx: &[usize],
+    sorted: &[Vec<usize>],
+    params: &C45Params,
+    depth: usize,
+) -> Node {
+    let dist = distribution(data, idx);
+    let total_w: f64 = dist.iter().sum();
+    let pure = dist.iter().filter(|&&w| w > 0.0).count() <= 1;
+    let depth_capped = params.max_depth.is_some_and(|d| depth >= d);
+    if pure || total_w < 2.0 * params.min_leaf || depth_capped {
+        return Node::Leaf { dist };
+    }
+    let base = entropy(&dist);
+    let Some(split) = select_split_presorted(data, idx, sorted, base, params.min_leaf) else {
+        return Node::Leaf { dist };
+    };
+    let (parts, parts_sorted) = partition_presorted(data, idx, sorted, &split);
+    if parts.iter().filter(|p| !p.is_empty()).count() < 2 {
+        return Node::Leaf { dist };
+    }
+    match split {
+        Split::Num {
+            attr, threshold, ..
+        } => Node::SplitNum {
+            attr,
+            threshold,
+            dist,
+            le: Box::new(grow_presorted(
+                data,
+                &parts[0],
+                &parts_sorted[0],
+                params,
+                depth + 1,
+            )),
+            gt: Box::new(grow_presorted(
+                data,
+                &parts[1],
+                &parts_sorted[1],
+                params,
+                depth + 1,
+            )),
+        },
+        Split::Nom { attr, .. } => {
+            let children = parts
+                .iter()
+                .zip(&parts_sorted)
+                .map(|(p, ps)| {
+                    if p.is_empty() {
+                        Node::Leaf { dist: dist.clone() }
+                    } else {
+                        grow_presorted(data, p, ps, params, depth + 1)
                     }
                 })
                 .collect();
@@ -708,5 +1071,45 @@ mod tests {
         let a = C45::train(&ds, &C45Params::default());
         let b = C45::train(&ds, &C45Params::default());
         assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn presorted_fast_path_matches_general_path_exactly() {
+        // The presorted fast path must grow a bit-identical tree to the
+        // general re-sorting path — including duplicated feature values
+        // (tie runs), weighted rows, and nominal attributes.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC45);
+        for round in 0..24 {
+            let mut ds = Dataset::builder()
+                .numeric_attr("a")
+                .numeric_attr("b")
+                .nominal_attr("c", ["u", "v", "w"])
+                .classes(["f", "t"])
+                .build();
+            let n = 40 + round * 17;
+            for _ in 0..n {
+                // Quantized values force equal-value tie runs.
+                let a: f64 = (rng.gen::<f64>() * 8.0).floor() / 8.0;
+                let b: f64 = (rng.gen::<f64>() * 4.0).floor() / 4.0;
+                let c: u32 = rng.gen_range(0..3);
+                let label = u32::from(a > 0.5 && (b > 0.5 || c == 2));
+                let weight = if rng.gen_bool(0.3) { 2.0 } else { 1.0 };
+                ds.push_weighted(
+                    vec![Value::Num(a), Value::Num(b), Value::Nom(c)],
+                    label,
+                    weight,
+                );
+            }
+            let params = C45Params::default();
+            let idx: Vec<usize> = (0..ds.len()).collect();
+            let legacy = grow(&ds, &idx, &params, 0);
+            let sorted = presort_numeric(&ds);
+            let fast = grow_presorted(&ds, &idx, &sorted, &params, 0);
+            assert_eq!(
+                format!("{:?}", DecisionTree::new(legacy, ds.n_classes())),
+                format!("{:?}", DecisionTree::new(fast, ds.n_classes())),
+                "fast/general divergence at round {round}"
+            );
+        }
     }
 }

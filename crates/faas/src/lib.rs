@@ -33,13 +33,12 @@ use ofc_objstore::ObjectId;
 use ofc_simtime::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
 use std::time::Duration;
 
-/// Tenant identifier.
-pub type TenantId = Arc<str>;
-/// Function identifier (unique per tenant).
-pub type FunctionId = Arc<str>;
+/// Tenant identifier (interned: `Copy`, id-hashed, string-ordered).
+pub type TenantId = ofc_intern::Istr;
+/// Function identifier (unique per tenant; interned like [`TenantId`]).
+pub type FunctionId = ofc_intern::Istr;
 /// Worker-node identifier (an invoker and, under OFC, the co-located cache
 /// storage node).
 pub type NodeId = usize;

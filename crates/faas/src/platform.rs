@@ -192,10 +192,13 @@ impl Platform {
 
     fn home_node(&self, tenant: &TenantId, function: &FunctionId) -> NodeId {
         // OWK hashes function id and tenant to pick the home invoker (§2.1).
+        // Hash the resolved *strings*: interned ids are assigned in
+        // first-seen order, which varies across threads, so an id-based
+        // hash would make placement depend on sim scheduling.
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        tenant.hash(&mut h);
-        function.hash(&mut h);
+        str::hash(tenant, &mut h);
+        str::hash(function, &mut h);
         (h.finish() as usize) % self.invokers.len()
     }
 
@@ -223,8 +226,8 @@ impl Platform {
             })
         });
         RoutingContext {
-            function: req.function.clone(),
-            tenant: req.tenant.clone(),
+            function: req.function,
+            tenant: req.tenant,
             args: req.args.clone(),
             booked_mem: booked,
             home: self.home_node(&req.tenant, &req.function),
@@ -530,8 +533,8 @@ impl PlatformHandle {
                 p.metrics.cold_starts.inc();
                 setup += p.cfg.cold_start;
                 p.invokers[node].create_sandbox(
-                    req.function.clone(),
-                    req.tenant.clone(),
+                    req.function,
+                    req.tenant,
                     decision.mem_limit,
                     spec.booked_mem,
                     now,
@@ -808,7 +811,7 @@ impl PlatformHandle {
                 .writes
                 .iter()
                 .map(|w| crate::ObjectRef {
-                    id: w.id.clone(),
+                    id: w.id,
                     size: w.size,
                 })
                 .collect();
@@ -817,7 +820,7 @@ impl PlatformHandle {
                 .writes
                 .iter()
                 .filter(|w| !w.is_final)
-                .map(|w| w.id.clone())
+                .map(|w| w.id)
                 .collect();
             p.records.push(fl.record);
 
@@ -887,8 +890,8 @@ fn new_record(
 ) -> InvocationRecord {
     InvocationRecord {
         id,
-        function: req.function.clone(),
-        tenant: req.tenant.clone(),
+        function: req.function,
+        tenant: req.tenant,
         args: req.args.clone(),
         pipeline: req.pipeline,
         node,

@@ -6,7 +6,7 @@
 //! (§5.1). The registry supports that with an opaque attachment slot.
 
 use crate::{Args, Behavior, FunctionId, FunctionModel, TenantId};
-use std::collections::HashMap;
+use ofc_intern::IdHashMap;
 use std::rc::Rc;
 
 /// A registered function: tenant booking plus runtime model.
@@ -35,7 +35,7 @@ impl std::fmt::Debug for FunctionSpec {
 /// The function metadata store.
 #[derive(Debug, Default)]
 pub struct Registry {
-    specs: HashMap<(TenantId, FunctionId), FunctionSpec>,
+    specs: IdHashMap<(TenantId, FunctionId), FunctionSpec>,
 }
 
 impl Registry {
@@ -46,13 +46,12 @@ impl Registry {
 
     /// Registers (or replaces) a function.
     pub fn register(&mut self, spec: FunctionSpec) {
-        self.specs
-            .insert((spec.tenant.clone(), spec.id.clone()), spec);
+        self.specs.insert((spec.tenant, spec.id), spec);
     }
 
     /// Looks up a function.
     pub fn get(&self, tenant: &TenantId, function: &FunctionId) -> Option<&FunctionSpec> {
-        self.specs.get(&(tenant.clone(), function.clone()))
+        self.specs.get(&(*tenant, *function))
     }
 
     /// Number of registered functions.

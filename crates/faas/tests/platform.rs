@@ -26,7 +26,7 @@ impl FunctionModel for ScaledModel {
             .values()
             .filter_map(|v| match v {
                 ArgValue::Obj(id) => Some(ObjectRef {
-                    id: id.clone(),
+                    id: *id,
                     size: 1024,
                 }),
                 _ => None,

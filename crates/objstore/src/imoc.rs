@@ -8,7 +8,7 @@
 
 use crate::latency::LatencyModel;
 use crate::{ObjectId, Payload, StoreError};
-use std::collections::HashMap;
+use ofc_intern::IdHashMap;
 use std::time::Duration;
 
 /// A Redis-like cache entry.
@@ -26,7 +26,7 @@ pub struct Imoc {
     capacity: u64,
     used: u64,
     clock: u64,
-    entries: HashMap<ObjectId, Entry>,
+    entries: IdHashMap<ObjectId, Entry>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -40,7 +40,7 @@ impl Imoc {
             capacity,
             used: 0,
             clock: 0,
-            entries: HashMap::new(),
+            entries: IdHashMap::default(),
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -90,7 +90,7 @@ impl Imoc {
             }
             None => {
                 self.misses += 1;
-                (Err(StoreError::NotFound(id.clone())), self.latency.meta())
+                (Err(StoreError::NotFound(*id)), self.latency.meta())
             }
         }
     }
@@ -119,7 +119,7 @@ impl Imoc {
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+                .map(|(k, _)| *k)
                 .expect("used > 0 implies entries exist");
             let evicted = self.entries.remove(&victim).expect("victim exists");
             self.used -= evicted.payload.len();
@@ -129,7 +129,7 @@ impl Imoc {
         self.used += size;
         let latency = self.latency.write(size.max(1));
         self.entries.insert(
-            id.clone(),
+            *id,
             Entry {
                 payload,
                 last_used: self.clock,

@@ -22,29 +22,39 @@ pub mod latency;
 pub mod store;
 
 use bytes::Bytes;
+use ofc_intern::Istr;
 use std::fmt;
-use std::sync::Arc;
 
 /// Identifier of an object: `(bucket, key)`.
 ///
-/// Cheap to clone (interned strings) and usable as a map key across the
+/// `Copy` (interned string handles) and usable as a map key across the
 /// whole stack — the cache, the store, and the FaaS argument parser all pass
-/// these around.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// these around. Equality and hashing resolve through the intern ids;
+/// ordering follows the resolved strings, matching the previous
+/// `Arc<str>`-based representation byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId {
     /// Bucket (Swift container) name.
-    pub bucket: Arc<str>,
+    pub bucket: Istr,
     /// Object key within the bucket.
-    pub key: Arc<str>,
+    pub key: Istr,
 }
 
 impl ObjectId {
     /// Creates an id from bucket and key names.
     pub fn new(bucket: impl AsRef<str>, key: impl AsRef<str>) -> Self {
         ObjectId {
-            bucket: Arc::from(bucket.as_ref()),
-            key: Arc::from(key.as_ref()),
+            bucket: Istr::intern(bucket.as_ref()),
+            key: Istr::intern(key.as_ref()),
         }
+    }
+
+    /// The interned `bucket/key` path — the RAMCloud-layer cache key.
+    ///
+    /// Memoised under the (bucket, key) id pair, so steady-state
+    /// derivation allocates nothing.
+    pub fn path(&self) -> Istr {
+        ofc_intern::compose_slash(self.bucket, self.key)
     }
 }
 
@@ -182,7 +192,7 @@ mod tests {
     fn error_messages_are_informative() {
         let id = ObjectId::new("b", "k");
         let e = StoreError::VersionConflict {
-            id: id.clone(),
+            id,
             attempted: 3,
             current: 5,
         };

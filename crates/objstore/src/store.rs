@@ -22,6 +22,7 @@
 
 use crate::latency::LatencyModel;
 use crate::{ObjectId, Payload, StoreError};
+use ofc_intern::{IdHashMap, Istr};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
@@ -81,8 +82,8 @@ pub struct StoreCounters {
 /// The object store. See the module docs for semantics.
 pub struct ObjectStore {
     latency: LatencyModel,
-    objects: HashMap<ObjectId, StoredObject>,
-    keys_by_bucket: HashMap<std::sync::Arc<str>, BTreeSet<std::sync::Arc<str>>>,
+    objects: IdHashMap<ObjectId, StoredObject>,
+    keys_by_bucket: IdHashMap<Istr, BTreeSet<Istr>>,
     observers: Vec<WriteObserver>,
     counters: StoreCounters,
 }
@@ -101,8 +102,8 @@ impl ObjectStore {
     pub fn new(latency: LatencyModel) -> Self {
         ObjectStore {
             latency,
-            objects: HashMap::new(),
-            keys_by_bucket: HashMap::new(),
+            objects: IdHashMap::default(),
+            keys_by_bucket: IdHashMap::default(),
             observers: Vec::new(),
             counters: StoreCounters::default(),
         }
@@ -148,9 +149,9 @@ impl ObjectStore {
 
     fn index_insert(&mut self, id: &ObjectId) {
         self.keys_by_bucket
-            .entry(id.bucket.clone())
+            .entry(id.bucket)
             .or_default()
-            .insert(id.key.clone());
+            .insert(id.key);
     }
 
     /// Writes a full object (create or update), bumping both versions.
@@ -166,7 +167,7 @@ impl ObjectStore {
     ) -> (u64, Duration) {
         let size = payload.len();
         let latency = self.latency.write(size.max(1));
-        let version = match self.objects.entry(id.clone()) {
+        let version = match self.objects.entry(*id) {
             Entry::Occupied(mut e) => {
                 let obj = e.get_mut();
                 obj.meta.version += 1;
@@ -203,7 +204,7 @@ impl ObjectStore {
     /// fast path (~11 ms, §7.2.1), independent of `announced_size`.
     pub fn put_shadow(&mut self, id: &ObjectId, announced_size: u64) -> (u64, Duration) {
         let latency = self.latency.write(0);
-        let version = match self.objects.entry(id.clone()) {
+        let version = match self.objects.entry(*id) {
             Entry::Occupied(mut e) => {
                 let obj = e.get_mut();
                 obj.meta.version += 1;
@@ -243,13 +244,13 @@ impl ObjectStore {
         let size = payload.len();
         let latency = self.latency.write(size.max(1));
         let Some(obj) = self.objects.get_mut(id) else {
-            return (Err(StoreError::NotFound(id.clone())), self.latency.meta());
+            return (Err(StoreError::NotFound(*id)), self.latency.meta());
         };
         if version != obj.meta.persisted_version + 1 || version > obj.meta.version {
             let current = obj.meta.persisted_version;
             return (
                 Err(StoreError::VersionConflict {
-                    id: id.clone(),
+                    id: *id,
                     attempted: version,
                     current,
                 }),
@@ -271,9 +272,9 @@ impl ObjectStore {
     /// arranges.
     pub fn get(&mut self, id: &ObjectId) -> (Result<(ObjectMeta, Payload), StoreError>, Duration) {
         match self.objects.get(id) {
-            None => (Err(StoreError::NotFound(id.clone())), self.latency.meta()),
+            None => (Err(StoreError::NotFound(*id)), self.latency.meta()),
             Some(obj) if obj.meta.is_shadow() || obj.payload.is_none() => {
-                (Err(StoreError::ShadowOnly(id.clone())), self.latency.meta())
+                (Err(StoreError::ShadowOnly(*id)), self.latency.meta())
             }
             Some(obj) => {
                 let payload = obj.payload.clone().expect("checked above");
@@ -292,7 +293,7 @@ impl ObjectStore {
             .objects
             .get(id)
             .map(|o| o.meta.clone())
-            .ok_or_else(|| StoreError::NotFound(id.clone()));
+            .ok_or(StoreError::NotFound(*id));
         (res, self.latency.meta())
     }
 
@@ -307,7 +308,7 @@ impl ObjectStore {
                 obj.meta.tags.extend(tags);
                 Ok(())
             }
-            None => Err(StoreError::NotFound(id.clone())),
+            None => Err(StoreError::NotFound(*id)),
         };
         (res, self.latency.meta())
     }
@@ -321,24 +322,18 @@ impl ObjectStore {
             self.counters.deletes += 1;
             Ok(())
         } else {
-            Err(StoreError::NotFound(id.clone()))
+            Err(StoreError::NotFound(*id))
         };
         (res, self.latency.delete())
     }
 
     /// Lists the keys of a bucket in lexical order.
     pub fn list_bucket(&self, bucket: &str) -> (Vec<ObjectId>, Duration) {
+        let bucket = Istr::intern(bucket);
         let keys = self
             .keys_by_bucket
-            .get(bucket)
-            .map(|set| {
-                set.iter()
-                    .map(|k| ObjectId {
-                        bucket: std::sync::Arc::from(bucket),
-                        key: k.clone(),
-                    })
-                    .collect()
-            })
+            .get(&bucket)
+            .map(|set| set.iter().map(|&key| ObjectId { bucket, key }).collect())
             .unwrap_or_default();
         (keys, self.latency.meta())
     }

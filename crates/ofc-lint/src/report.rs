@@ -112,11 +112,19 @@ pub fn format_hotspots_json(hotspots: &[Hotspot]) -> String {
     out
 }
 
-/// Sorts hotspots into the canonical inventory order.
-pub fn sort_hotspots(hotspots: &mut [Hotspot]) {
+/// Sorts hotspots into the canonical inventory order and collapses
+/// duplicate rows.
+///
+/// Two allocations of the same kind on the same line (e.g.
+/// `f(key.clone(), value.clone())`) are one work-list row, not two: the
+/// inventory names *sites to fix*, and both expressions vanish with the
+/// same edit. Without the collapse the committed inventory carried
+/// duplicated rows for exactly that shape.
+pub fn sort_hotspots(hotspots: &mut Vec<Hotspot>) {
     hotspots.sort_by(|a, b| {
         (&a.path, a.line, a.kind, &a.function).cmp(&(&b.path, b.line, b.kind, &b.function))
     });
+    hotspots.dedup();
 }
 
 fn escape_json(s: &str) -> String {
@@ -236,6 +244,50 @@ mod tests {
         assert!(lines[1].contains("\"path\":\"a.rs\"") && lines[1].ends_with(','));
         assert!(lines[2].contains("\"suppressed\":true"));
         assert_eq!(*lines.last().unwrap(), "]}");
+    }
+
+    #[test]
+    fn same_line_same_kind_hotspots_collapse_to_one_row() {
+        // `f(key.clone(), value.clone())` records two identical hotspots;
+        // the canonical inventory carries that site once.
+        let site = Hotspot {
+            path: "crates/rcstore/src/cluster.rs".into(),
+            line: 300,
+            loop_depth: 1,
+            kind: "clone",
+            function: "write_with_dirty".into(),
+            suppressed: true,
+        };
+        let other = Hotspot {
+            line: 309,
+            ..site.clone()
+        };
+        let mut hs = vec![site.clone(), other.clone(), site.clone()];
+        sort_hotspots(&mut hs);
+        assert_eq!(hs, vec![site, other], "duplicate rows must collapse");
+    }
+
+    #[test]
+    fn distinct_depth_or_kind_rows_survive_dedup() {
+        let a = Hotspot {
+            path: "a.rs".into(),
+            line: 5,
+            loop_depth: 1,
+            kind: "clone",
+            function: "f".into(),
+            suppressed: false,
+        };
+        let deeper = Hotspot {
+            loop_depth: 2,
+            ..a.clone()
+        };
+        let formatted = Hotspot {
+            kind: "format",
+            ..a.clone()
+        };
+        let mut hs = vec![deeper.clone(), a.clone(), formatted.clone()];
+        sort_hotspots(&mut hs);
+        assert_eq!(hs.len(), 3, "only exact duplicates collapse");
     }
 
     #[test]

@@ -6,9 +6,10 @@ use crate::node::StorageNode;
 use crate::raft::{Command, ReplicaId, ReplicatedCoordinator};
 use crate::shard::{ReplicationBatcher, ShardId, ShardRouter};
 use crate::{AccessStats, ClusterConfig, Key, NodeId, RcError, ReadLocality, Timed, Value};
+use ofc_intern::IdHashMap;
 use ofc_simtime::SimTime;
 use ofc_telemetry::{Counter, Histogram, Phase, Telemetry};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// Pre-registered recording handles for the store's `rcstore.*` metrics
@@ -58,12 +59,12 @@ pub struct Cluster {
     cfg: ClusterConfig,
     nodes: Vec<StorageNode>,
     /// Key → master node.
-    tablet: HashMap<Key, NodeId>,
+    tablet: IdHashMap<Key, NodeId>,
     /// Key → backup nodes (in ring order).
-    replicas: HashMap<Key, Vec<NodeId>>,
+    replicas: IdHashMap<Key, Vec<NodeId>>,
     /// Coordinator-side version counters: bumped by every committed write,
     /// delete, or eviction of a key (transaction validation, [`crate::txn`]).
-    versions: HashMap<Key, u64>,
+    versions: IdHashMap<Key, u64>,
     telemetry: Telemetry,
     metrics: ClusterMetrics,
     /// Injected fault state (see [`Cluster::inject_transient_errors`] and
@@ -146,9 +147,9 @@ impl Cluster {
         Cluster {
             cfg,
             nodes,
-            tablet: HashMap::new(),
-            replicas: HashMap::new(),
-            versions: HashMap::new(),
+            tablet: IdHashMap::default(),
+            replicas: IdHashMap::default(),
+            versions: IdHashMap::default(),
             telemetry,
             metrics,
             transient_budget: 0,
@@ -339,7 +340,7 @@ impl Cluster {
                 Duration::ZERO,
             );
         };
-        if let Err(e) = self.nodes[master].insert_master(key.clone(), value.clone(), now, dirty) {
+        if let Err(e) = self.nodes[master].insert_master(*key, value.clone(), now, dirty) {
             return Timed::new(Err(e), Duration::ZERO);
         }
         let backups = self.pick_backups(master);
@@ -349,8 +350,8 @@ impl Cluster {
             // reaching the batch threshold flushes inline.
             for &b in &backups {
                 self.metrics.batched_appends.inc();
-                // ofc-lint: allow(hotloop) reason=replication fan-out hands each backup an owned copy; key/value are Arc-backed refcount bumps
-                if self.batcher.enqueue(shard, b, key.clone(), value.clone())
+                // ofc-lint: allow(hotloop) reason=replication fan-out hands each backup an owned value; Bytes-backed refcount bump
+                if self.batcher.enqueue(shard, b, *key, value.clone())
                     >= self.cfg.shard.batch_max_entries
                 {
                     self.flush_pair(shard, b);
@@ -358,17 +359,17 @@ impl Cluster {
             }
         } else {
             for &b in &backups {
-                // ofc-lint: allow(hotloop) reason=replication fan-out hands each backup an owned copy; key/value are Arc-backed refcount bumps
-                self.nodes[b].store_backup(key.clone(), value.clone());
+                // ofc-lint: allow(hotloop) reason=replication fan-out hands each backup an owned value; Bytes-backed refcount bump
+                self.nodes[b].store_backup(*key, value.clone());
             }
         }
         // Commit the assignment through the replicated log (free no-op in
         // single-replica mode); the gate above guarantees the quorum, so
         // this cannot fail between the gate and here.
         let commit = self.commit_assignment(key, master, &backups);
-        self.tablet.insert(key.clone(), master);
-        self.replicas.insert(key.clone(), backups);
-        *self.versions.entry(key.clone()).or_insert(0) += 1;
+        self.tablet.insert(*key, master);
+        self.replicas.insert(*key, backups);
+        *self.versions.entry(*key).or_insert(0) += 1;
         self.metrics.writes.inc();
         let base = if batching {
             self.cfg.latency.write_batched(size, master != home)
@@ -401,7 +402,7 @@ impl Cluster {
         }
         let Some(&master) = self.tablet.get(key) else {
             self.metrics.misses.inc();
-            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+            return Timed::new(Err(RcError::NotFound(*key)), Duration::ZERO);
         };
         // Reads use the client-cached tablet map (no quorum round trip, as
         // in RAMCloud) but still need a network path to the master.
@@ -432,9 +433,7 @@ impl Cluster {
 
     /// Marks an object clean (persisted to the RSDS).
     pub fn mark_clean(&mut self, key: &Key) -> Result<(), RcError> {
-        let master = self
-            .master_of(key)
-            .ok_or_else(|| RcError::NotFound(key.clone()))?;
+        let master = self.master_of(key).ok_or(RcError::NotFound(*key))?;
         self.nodes[master].set_dirty(key, false)
     }
 
@@ -444,10 +443,10 @@ impl Cluster {
     /// (§6.4's reclamation order guarantees this).
     pub fn evict(&mut self, key: &Key) -> Timed<Result<u64, RcError>> {
         let Some(&master) = self.tablet.get(key) else {
-            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+            return Timed::new(Err(RcError::NotFound(*key)), Duration::ZERO);
         };
         if self.nodes[master].peek_master(key).is_some_and(|o| o.dirty) {
-            return Timed::new(Err(RcError::Dirty(key.clone())), Duration::ZERO);
+            return Timed::new(Err(RcError::Dirty(*key)), Duration::ZERO);
         }
         if let Err(e) = self.coord_gate(self.coord_origin(), self.clock) {
             return Timed::new(Err(e), Duration::ZERO);
@@ -462,7 +461,7 @@ impl Cluster {
     /// without persistence once the pipeline ends, §6.3).
     pub fn delete(&mut self, key: &Key) -> Timed<Result<u64, RcError>> {
         if !self.tablet.contains_key(key) {
-            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+            return Timed::new(Err(RcError::NotFound(*key)), Duration::ZERO);
         }
         if let Err(e) = self.coord_gate(self.coord_origin(), self.clock) {
             return Timed::new(Err(e), Duration::ZERO);
@@ -488,7 +487,7 @@ impl Cluster {
             return Timed::new(Err(e), Duration::ZERO);
         }
         let Some(&old_master) = self.tablet.get(key) else {
-            return Timed::new(Err(RcError::NotFound(key.clone())), Duration::ZERO);
+            return Timed::new(Err(RcError::NotFound(*key)), Duration::ZERO);
         };
         let size = self.nodes[old_master]
             .peek_master(key)
@@ -506,7 +505,7 @@ impl Cluster {
             .filter(|&b| self.nodes[b].is_up() && self.nodes[b].available_bytes() >= size)
             .max_by_key(|&b| self.nodes[b].available_bytes());
         let Some(new_master) = new_master else {
-            return Timed::new(Err(RcError::NoEligibleBackup(key.clone())), Duration::ZERO);
+            return Timed::new(Err(RcError::NoEligibleBackup(*key)), Duration::ZERO);
         };
         if let Err(e) = self.nodes[new_master].promote_backup(key, now, dirty) {
             return Timed::new(Err(e), Duration::ZERO);
@@ -516,13 +515,13 @@ impl Cluster {
             // Master vanished under us; treat as recovery-grade promotion.
             self.nodes[old_master].remove_master(key);
         }
-        self.tablet.insert(key.clone(), new_master);
+        self.tablet.insert(*key, new_master);
         let new_backups: Vec<NodeId> = backups
             .into_iter()
             .map(|b| if b == new_master { old_master } else { b })
             .collect();
         let commit = self.commit_assignment(key, new_master, &new_backups);
-        self.replicas.insert(key.clone(), new_backups);
+        self.replicas.insert(*key, new_backups);
         self.metrics.promotions.inc();
         let latency = self.cfg.latency.promote(size) + commit;
         self.metrics.migrate_nanos.record_duration(latency);
@@ -629,7 +628,7 @@ impl Cluster {
             .filter(|&(k, &m)| {
                 m == node && (!node_alive || !node_reachable || !self.nodes[node].has_master(k))
             })
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
             .collect();
         // Recovery order must not depend on hash-map iteration.
         orphaned.sort();
@@ -689,11 +688,9 @@ impl Cluster {
             if node_alive && !node_reachable && self.nodes[node].has_master(&key) {
                 // Fence the unreachable-but-alive old master: its stale
                 // copy stays physical until the partition heals.
-                // ofc-lint: allow(hotloop) reason=fence ledger owns its key; Arc refcount bump on a partition-only path
-                self.fenced.entry(node).or_default().push(key.clone());
+                self.fenced.entry(node).or_default().push(key);
             }
-            // ofc-lint: allow(hotloop) reason=tablet owns its key; re-mastering is an Arc refcount bump
-            self.tablet.insert(key.clone(), new_master);
+            self.tablet.insert(key, new_master);
             // ofc-lint: allow(hotloop) reason=recovery builds an owned backup list from the survivor tail
             let backups: Vec<NodeId> = survivors[1..].to_vec();
             // Restore the replication factor from the new master's copy.
@@ -718,7 +715,7 @@ impl Cluster {
             .replicas
             .iter()
             .filter(|(_, bs)| bs.contains(&node))
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
             .collect();
         weakened.sort();
         for key in weakened {
@@ -799,7 +796,7 @@ impl Cluster {
                     .count();
                 live < self.cfg.replication_factor
             })
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
             .collect();
         weakened.sort();
         for key in weakened {
@@ -867,7 +864,7 @@ impl Cluster {
             .tablet
             .iter()
             .filter(|&(_, &m)| m == node)
-            .map(|(k, _)| k.clone())
+            .map(|(k, _)| *k)
             .collect();
         for key in masters {
             let t = self.migrate_by_promotion(&key, now);
@@ -895,13 +892,11 @@ impl Cluster {
                         Some(target) => {
                             let size = value.size();
                             if self.nodes[target]
-                                // ofc-lint: allow(hotloop) reason=target node owns its key; Arc refcount bump
-                                .insert_master(key.clone(), value, now, dirty)
+                                .insert_master(key, value, now, dirty)
                                 .is_ok()
                             {
                                 self.nodes[node].remove_master(&key);
-                                // ofc-lint: allow(hotloop) reason=tablet owns its key; Arc refcount bump
-                                self.tablet.insert(key.clone(), target);
+                                self.tablet.insert(key, target);
                                 // Full copy over the network, unlike promotion.
                                 latency += self.cfg.latency.write(size, true);
                             } else {
@@ -1261,7 +1256,7 @@ impl Cluster {
         self.coord
             .propose(
                 Command::AssignTablet {
-                    key: key.clone(),
+                    key: *key,
                     master,
                     backups: backups.to_vec(),
                 },
@@ -1280,7 +1275,7 @@ impl Cluster {
         }
         let origin = self.coord_origin();
         let _ = self.coord.propose(
-            Command::RetireTablet { key: key.clone() },
+            Command::RetireTablet { key: *key },
             origin,
             self.clock,
             self.partition.as_deref(),
@@ -1330,7 +1325,7 @@ impl Cluster {
     fn remove_entry(&mut self, key: &Key) -> u64 {
         // A later flush must not resurrect a retired placement.
         self.batcher.purge_key(key);
-        *self.versions.entry(key.clone()).or_insert(0) += 1;
+        *self.versions.entry(*key).or_insert(0) += 1;
         let mut size = 0;
         if let Some(master) = self.tablet.remove(key) {
             if let Some(obj) = self.nodes[master].remove_master(key) {
@@ -1416,8 +1411,8 @@ impl Cluster {
                 && self.reachable(master, candidate)
                 && !backups.contains(&candidate)
             {
-                // ofc-lint: allow(hotloop) reason=re-replication hands each new backup an owned copy; key/value are Arc-backed refcount bumps
-                self.nodes[candidate].store_backup(key.clone(), value.clone());
+                // ofc-lint: allow(hotloop) reason=re-replication hands each new backup an owned value; Bytes-backed refcount bump
+                self.nodes[candidate].store_backup(*key, value.clone());
                 backups.push(candidate);
             }
         }

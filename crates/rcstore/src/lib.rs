@@ -55,11 +55,14 @@ pub mod txn;
 use bytes::Bytes;
 use ofc_simtime::SimTime;
 use std::fmt;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// A cache key (OFC uses `bucket/key` object paths).
-pub type Key = Arc<str>;
+///
+/// Interned: `Key` is a 16-byte `Copy` handle whose equality and hash
+/// resolve through a `u32` slab id while comparison still follows the
+/// resolved string (see `ofc_intern::Istr` and DESIGN.md §17).
+pub type Key = ofc_intern::Istr;
 
 /// Identifier of a storage node (co-located with a FaaS invoker).
 pub type NodeId = usize;

@@ -9,7 +9,7 @@
 //! physical layout follow.
 
 use crate::{Key, RcError};
-use std::collections::HashMap;
+use ofc_intern::IdHashMap;
 
 /// One log segment.
 #[derive(Debug, Clone, Default)]
@@ -17,12 +17,32 @@ struct Segment {
     /// Bytes appended since the segment was opened (live + dead).
     used: u64,
     /// Live entries: key → size.
-    live: HashMap<Key, u64>,
+    live: IdHashMap<Key, u64>,
+    /// Cached sum of `live` values, maintained on insert/remove so the
+    /// per-append budget checks stay O(1) instead of O(entries).
+    live_bytes: u64,
 }
 
 impl Segment {
     fn live_bytes(&self) -> u64 {
-        self.live.values().sum()
+        debug_assert_eq!(self.live_bytes, self.live.values().sum::<u64>());
+        self.live_bytes
+    }
+
+    /// Appends a live entry, maintaining `used` and the live-byte counter.
+    fn insert(&mut self, key: Key, size: u64) {
+        self.used += size;
+        self.live_bytes += size;
+        if let Some(old) = self.live.insert(key, size) {
+            self.live_bytes -= old;
+        }
+    }
+
+    /// Retires a live entry, maintaining the live-byte counter.
+    fn remove(&mut self, key: &Key) -> Option<u64> {
+        let size = self.live.remove(key)?;
+        self.live_bytes -= size;
+        Some(size)
     }
 }
 
@@ -44,7 +64,10 @@ pub struct Log {
     /// Index of the head (append) segment in `segments`.
     head: Option<usize>,
     /// Key → segment index.
-    locations: HashMap<Key, usize>,
+    locations: IdHashMap<Key, usize>,
+    /// Cached sum of live bytes across all segments (see
+    /// [`Segment::live_bytes`]); keeps admission checks O(1).
+    live_total: u64,
     /// Byte budget for live data (the node's cache pool size).
     budget: u64,
     cleaner_passes: u64,
@@ -62,7 +85,8 @@ impl Log {
             segment_bytes,
             segments: Vec::new(),
             head: None,
-            locations: HashMap::new(),
+            locations: IdHashMap::default(),
+            live_total: 0,
             budget: budget_bytes,
             cleaner_passes: 0,
         }
@@ -88,13 +112,17 @@ impl Log {
         self.allocated_segments() as u64 * self.segment_bytes
     }
 
-    /// Bytes occupied by live entries.
+    /// Bytes occupied by live entries (cached; O(1)).
     pub fn live_bytes(&self) -> u64 {
-        self.segments
-            .iter()
-            .flatten()
-            .map(Segment::live_bytes)
-            .sum()
+        debug_assert_eq!(
+            self.live_total,
+            self.segments
+                .iter()
+                .flatten()
+                .map(Segment::live_bytes)
+                .sum::<u64>()
+        );
+        self.live_total
     }
 
     /// Number of live entries.
@@ -216,8 +244,8 @@ impl Log {
         };
         // ofc-lint: allow(panic) reason=fitting_head/open_head_unchecked only return allocated slots
         let seg = self.segments[head].as_mut().expect("head is allocated");
-        seg.used += size;
-        seg.live.insert(key.clone(), size);
+        seg.insert(key, size);
+        self.live_total += size;
         self.locations.insert(key, head);
         cleaned
     }
@@ -230,7 +258,8 @@ impl Log {
             // ofc-lint: allow(panic) reason=locations only ever points at allocated segments
             .expect("location points at an allocated segment");
         // ofc-lint: allow(panic) reason=segment live maps mirror locations; a miss is heap corruption
-        let size = seg.live.remove(key).expect("location is consistent");
+        let size = seg.remove(key).expect("location is consistent");
+        self.live_total -= size;
         // A fully dead, non-head segment is freed immediately.
         if seg.live.is_empty() && self.head != Some(seg_idx) {
             self.segments[seg_idx] = None;
@@ -301,9 +330,10 @@ impl Log {
                 };
                 // ofc-lint: allow(panic) reason=fitting_head/open_head_unchecked only return allocated slots
                 let h = self.segments[head].as_mut().expect("head allocated");
-                h.used += size;
-                // ofc-lint: allow(hotloop) reason=segment and location maps both own the key; Arc refcount bump
-                h.live.insert(key.clone(), size);
+                // Keys are Copy interned handles: relocation moves ids, no
+                // allocation. Log-level live_total is unchanged (the bytes
+                // stay live, only their segment changes).
+                h.insert(key, size);
                 self.locations.insert(key, head);
             }
         }
@@ -519,7 +549,7 @@ mod tests {
             if round % 3 == 0 {
                 log.remove(&k);
                 expect.remove(&k);
-            } else if log.append(k.clone(), size).is_ok() {
+            } else if log.append(k, size).is_ok() {
                 expect.insert(k, size);
             }
         }

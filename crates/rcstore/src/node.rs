@@ -3,8 +3,9 @@
 
 use crate::log::Log;
 use crate::{AccessStats, Key, NodeId, RcError, Value};
+use ofc_intern::IdHashMap;
 use ofc_simtime::SimTime;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// A master-copy record: payload, access statistics, dirtiness.
@@ -29,9 +30,9 @@ pub const DEFAULT_COLD_ACCESS_THRESHOLD: u64 = 5;
 pub struct StorageNode {
     id: NodeId,
     log: Log,
-    master: HashMap<Key, MasterObject>,
+    master: IdHashMap<Key, MasterObject>,
     /// Backup replicas held on disk for other nodes' masters.
-    backup: HashMap<Key, Value>,
+    backup: IdHashMap<Key, Value>,
     up: bool,
     /// Eviction-candidate index, idle rule: every master keyed by
     /// `t_access`, so the stale prefix (`idle >= evict_idle`) is a range
@@ -53,8 +54,8 @@ impl StorageNode {
         StorageNode {
             id,
             log: Log::new(segment_bytes, pool_bytes),
-            master: HashMap::new(),
-            backup: HashMap::new(),
+            master: IdHashMap::default(),
+            backup: IdHashMap::default(),
             up: true,
             idle_index: BTreeSet::new(),
             cold_index: BTreeSet::new(),
@@ -140,13 +141,13 @@ impl StorageNode {
         if !self.up {
             return Err(RcError::NodeUnavailable(self.id));
         }
-        self.log.append(key.clone(), value.size().max(1))?;
+        self.log.append(key, value.size().max(1))?;
         if let Some(old_stats) = self.master.get(&key).map(|o| o.stats) {
             self.unindex(&key, &old_stats);
         }
-        self.idle_index.insert((now, key.clone()));
+        self.idle_index.insert((now, key));
         if self.cold_threshold > 0 {
-            self.cold_index.insert((now, key.clone()));
+            self.cold_index.insert((now, key));
         }
         self.master.insert(
             key,
@@ -176,12 +177,12 @@ impl StorageNode {
             (prev, obj.stats.created, obj.stats.n_access)
         };
         if prev_access != now {
-            self.idle_index.remove(&(prev_access, key.clone()));
-            self.idle_index.insert((now, key.clone()));
+            self.idle_index.remove(&(prev_access, *key));
+            self.idle_index.insert((now, *key));
         }
         if n_after == self.cold_threshold {
             // Crossed the §6.3 access bound: permanently out of the cold set.
-            self.cold_index.remove(&(created, key.clone()));
+            self.cold_index.remove(&(created, *key));
         }
         self.master.get(key)
     }
@@ -201,9 +202,9 @@ impl StorageNode {
 
     /// Drops `key`'s entries from both eviction indexes.
     fn unindex(&mut self, key: &Key, stats: &AccessStats) {
-        self.idle_index.remove(&(stats.t_access, key.clone()));
+        self.idle_index.remove(&(stats.t_access, *key));
         if stats.n_access < self.cold_threshold {
-            self.cold_index.remove(&(stats.created, key.clone()));
+            self.cold_index.remove(&(stats.created, *key));
         }
     }
 
@@ -214,8 +215,7 @@ impl StorageNode {
         self.cold_index.clear();
         for (key, obj) in &self.master {
             if obj.stats.n_access < min_access {
-                // ofc-lint: allow(hotloop) reason=index rebuild must own its keys and Key is Arc<str> so the clone is a refcount bump
-                self.cold_index.insert((obj.stats.created, key.clone()));
+                self.cold_index.insert((obj.stats.created, *key));
             }
         }
     }
@@ -259,7 +259,7 @@ impl StorageNode {
             };
             victims.insert(key, obj.dirty);
         }
-        let victims = victims.into_iter().map(|(k, d)| (k.clone(), d)).collect();
+        let victims = victims.into_iter().map(|(k, d)| (*k, d)).collect();
         (victims, visited)
     }
 
@@ -270,7 +270,7 @@ impl StorageNode {
                 o.dirty = dirty;
                 Ok(())
             }
-            None => Err(RcError::NotFound(key.clone())),
+            None => Err(RcError::NotFound(*key)),
         }
     }
 
@@ -308,18 +308,16 @@ impl StorageNode {
             .backup
             .get(key)
             .cloned()
-            .ok_or_else(|| RcError::NoEligibleBackup(key.clone()))?;
-        self.insert_master(key.clone(), value, now, dirty)?;
+            .ok_or(RcError::NoEligibleBackup(*key))?;
+        self.insert_master(*key, value, now, dirty)?;
         self.backup.remove(key);
         Ok(())
     }
 
     /// Demotes the master copy to a backup replica (memory → disk).
     pub fn demote_to_backup(&mut self, key: &Key) -> Result<(), RcError> {
-        let obj = self
-            .remove_master(key)
-            .ok_or_else(|| RcError::NotFound(key.clone()))?;
-        self.backup.insert(key.clone(), obj.value);
+        let obj = self.remove_master(key).ok_or(RcError::NotFound(*key))?;
+        self.backup.insert(*key, obj.value);
         Ok(())
     }
 
@@ -332,7 +330,7 @@ impl StorageNode {
             .collect();
         // Compare by (time, key) without cloning the key per comparison.
         keys.sort_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
-        keys.into_iter().map(|(k, _)| k.clone()).collect()
+        keys.into_iter().map(|(k, _)| *k).collect()
     }
 
     /// Iterates over master entries.
@@ -513,7 +511,7 @@ mod tests {
         // Much later the hot object is stale (idle >= 30 min) and the
         // young one has aged past the grace period.
         let (victims, _) = n.evict_candidates(SimTime::from_secs(4000), grace, idle);
-        let keys: Vec<Key> = victims.iter().map(|(k, _)| k.clone()).collect();
+        let keys: Vec<Key> = victims.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![key("cold"), key("hot"), key("young")]);
     }
 
@@ -525,7 +523,7 @@ mod tests {
         // recently: out of the cold index, deep in the idle index.
         for i in 0..50 {
             let k = key(&format!("hot{i}"));
-            n.insert_master(k.clone(), Value::synthetic(10), SimTime::ZERO, false)
+            n.insert_master(k, Value::synthetic(10), SimTime::ZERO, false)
                 .unwrap();
             for s in 0..5 {
                 n.read_master(&k, SimTime::from_secs(3500 + s));
@@ -547,7 +545,7 @@ mod tests {
         for i in 0..40u64 {
             let k = key(&format!("k{i}"));
             n.insert_master(
-                k.clone(),
+                k,
                 Value::synthetic(10),
                 SimTime::from_secs(i * 37),
                 i % 3 == 0,
@@ -566,7 +564,7 @@ mod tests {
                 let stale = now.saturating_since(o.stats.t_access) >= idle;
                 cold || stale
             })
-            .map(|(k, o)| (k.clone(), o.dirty))
+            .map(|(k, o)| (*k, o.dirty))
             .collect();
         reference.sort();
         let (victims, _) = n.evict_candidates(now, grace, idle);

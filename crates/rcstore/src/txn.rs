@@ -93,10 +93,10 @@ impl Transaction {
         let t = cluster.read(from, key, now);
         match t.result {
             Ok((value, _)) => {
-                self.reads.insert(key.clone(), cluster.version_of(key));
+                self.reads.insert(*key, cluster.version_of(key));
                 Ok(value)
             }
-            Err(_) => Err(TxnError::ReadMiss(key.clone())),
+            Err(_) => Err(TxnError::ReadMiss(*key)),
         }
     }
 
@@ -124,7 +124,7 @@ impl Transaction {
         // Validation phase: every read version must still be current.
         for (key, version) in &self.reads {
             if cluster.version_of(key) != *version {
-                return Timed::new(Err(TxnError::Conflict(key.clone())), Duration::ZERO);
+                return Timed::new(Err(TxnError::Conflict(*key)), Duration::ZERO);
             }
         }
         // Apply phase with rollback. Previous values are captured so a
@@ -137,7 +137,7 @@ impl Transaction {
             match t.result {
                 Ok(_) => {
                     latency += t.latency;
-                    applied.push((key.clone(), previous));
+                    applied.push((*key, previous));
                 }
                 Err(e) => {
                     // Roll back in reverse order.
@@ -151,7 +151,7 @@ impl Transaction {
                             }
                         }
                     }
-                    return Timed::new(Err(TxnError::WriteFailed(key.clone(), e)), latency);
+                    return Timed::new(Err(TxnError::WriteFailed(*key, e)), latency);
                 }
             }
         }

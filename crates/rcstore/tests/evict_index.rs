@@ -62,7 +62,7 @@ fn full_scan_reference(
                 && now.saturating_since(obj.stats.created) >= min_age;
             let stale = now.saturating_since(obj.stats.t_access) >= min_idle;
             if cold || stale {
-                victims.insert(key.clone(), obj.dirty);
+                victims.insert(*key, obj.dirty);
             }
         }
     }

@@ -31,13 +31,13 @@
 //! assert!(fired.get());
 //! ```
 
+pub mod calendar;
 pub mod resource;
 pub mod stats;
 
+use calendar::CalendarQueue;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::time::Duration;
 
@@ -158,48 +158,19 @@ impl fmt::Display for SimTime {
 /// instant.
 type Event = Box<dyn FnOnce(&mut Sim)>;
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse the natural order so the `BinaryHeap` (a max-heap) pops the
-        // earliest event; ties break by insertion order for determinism.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// The discrete-event simulator: a virtual clock plus an ordered queue of
 /// pending events.
 ///
 /// Events are closures receiving `&mut Sim`, so handlers can schedule further
 /// events and draw from the simulation RNG. Two events scheduled for the same
 /// instant run in scheduling order, which makes runs deterministic for a
-/// given seed.
+/// given seed. The queue is a bucketed [`CalendarQueue`], which pops in
+/// exactly the `(at, seq)` order the previous global `BinaryHeap` used while
+/// making far-future inserts O(1).
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
+    queue: CalendarQueue<Event>,
     rng: ChaCha8Rng,
     executed: u64,
 }
@@ -210,7 +181,7 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             executed: 0,
         }
@@ -244,11 +215,7 @@ impl Sim {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            event: Box::new(event),
-        });
+        self.queue.push(at, seq, Box::new(event));
     }
 
     /// Schedules `event` to run `delay` after the current instant.
@@ -267,12 +234,12 @@ impl Sim {
     /// Returns the number of events executed by this call.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.executed;
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((head_at, _)) = self.queue.peek_key() {
+            if head_at > deadline {
                 break;
             }
-            // `peek` confirmed an event exists, so `pop` cannot fail.
-            let Scheduled { at, event, .. } = self.queue.pop().expect("peeked event vanished");
+            // `peek_key` confirmed an event exists, so `pop` cannot fail.
+            let (at, _, event) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(at >= self.now, "event scheduled in the past");
             self.now = at;
             self.executed += 1;
@@ -289,7 +256,7 @@ impl Sim {
         let before = self.executed;
         for _ in 0..n {
             match self.queue.pop() {
-                Some(Scheduled { at, event, .. }) => {
+                Some((at, _, event)) => {
                     self.now = self.now.max(at);
                     self.executed += 1;
                     event(self);

@@ -347,7 +347,7 @@ mod tests {
         let cat = Catalog::new();
         let id = ObjectId::new("in", "x");
         let mut r = rng(5);
-        cat.insert(id.clone(), gen_image(&mut r));
+        cat.insert(id, gen_image(&mut r));
         assert_eq!(cat.len(), 1);
         assert!(cat.get(&id).is_some());
         assert!(cat.get(&ObjectId::new("in", "y")).is_none());

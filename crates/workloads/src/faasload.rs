@@ -220,7 +220,7 @@ impl FaasLoad {
                 Workload::Single(p) => {
                     platform.register(FunctionSpec {
                         id: FunctionId::from(p.name),
-                        tenant: tenant.clone(),
+                        tenant,
                         booked_mem: booked,
                         model: Rc::new(MultimediaModel::new(p, catalog.clone())),
                     });
@@ -286,7 +286,7 @@ impl FaasLoad {
                 let args = p.sample_args(&input.id, rng);
                 let req = InvocationRequest {
                     function: FunctionId::from(p.name),
-                    tenant: tenant.clone(),
+                    tenant: *tenant,
                     args,
                     seed: inv_seed,
                     pipeline: None,
@@ -297,14 +297,14 @@ impl FaasLoad {
                 });
             }
             Workload::WordCount { fanout, .. } => {
-                let driver = ScatterGather::word_count(tenant.clone(), input, fanout);
+                let driver = ScatterGather::word_count(*tenant, input, fanout);
                 let platform = platform.clone();
                 sim.schedule_at(at, move |sim| {
                     platform.submit_pipeline(sim, Rc::new(driver), inv_seed);
                 });
             }
             Workload::ThisVideo { fanout, .. } => {
-                let driver = ScatterGather::this_video(tenant.clone(), input, fanout);
+                let driver = ScatterGather::this_video(*tenant, input, fanout);
                 let platform = platform.clone();
                 sim.schedule_at(at, move |sim| {
                     platform.submit_pipeline(sim, Rc::new(driver), inv_seed);
@@ -350,7 +350,7 @@ impl FaasLoad {
                     .borrow_mut()
                     .put(&id, Payload::Synthetic(meta.bytes), meta.tags(), false);
                 let size = meta.bytes;
-                catalog.insert(id.clone(), meta);
+                catalog.insert(id, meta);
                 ObjectRef { id, size }
             })
             .collect()

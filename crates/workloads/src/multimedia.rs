@@ -518,7 +518,7 @@ impl Profile {
     /// Samples request arguments for a given input object.
     pub fn sample_args(&self, input: &ObjectId, rng: &mut ChaCha8Rng) -> Args {
         let mut args = Args::new();
-        args.insert("input".into(), ArgValue::Obj(input.clone()));
+        args.insert("input".into(), ArgValue::Obj(*input));
         if let Some(spec) = self.arg {
             args.insert(spec.name.into(), ArgValue::Num(spec.sample(rng)));
         }
@@ -547,7 +547,7 @@ impl MultimediaModel {
 impl FunctionModel for MultimediaModel {
     fn behavior(&self, args: &Args, seed: u64) -> Behavior {
         let input = args.values().find_map(|v| match v {
-            ArgValue::Obj(id) => Some(id.clone()),
+            ArgValue::Obj(id) => Some(*id),
             _ => None,
         });
         let Some(input) = input else {
@@ -724,7 +724,7 @@ mod tests {
         img.channels = 3;
         img.bytes = ((img.raw_bytes() as f64) * img.ratio) as u64;
         let stored = img.bytes;
-        catalog.insert(id.clone(), img);
+        catalog.insert(id, img);
         let model = MultimediaModel::new(profile("wand_resize").unwrap(), catalog);
         let args = profile("wand_resize").unwrap().sample_args(&id, &mut r);
         let b = model.behavior(&args, 3);

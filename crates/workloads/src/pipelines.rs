@@ -261,10 +261,7 @@ impl FunctionModel for StageModel {
             .filter_map(|v| match v {
                 ArgValue::Obj(id) => {
                     let size = self.catalog.get(id).map(|m| m.bytes).unwrap_or(0);
-                    Some(ObjectRef {
-                        id: id.clone(),
-                        size,
-                    })
+                    Some(ObjectRef { id: *id, size })
                 }
                 _ => None,
             })
@@ -289,7 +286,7 @@ impl FunctionModel for StageModel {
                 );
                 // Register the output so downstream stages can resolve it.
                 self.catalog
-                    .insert(id.clone(), gen_text(Some(per_output), &mut rng));
+                    .insert(id, gen_text(Some(per_output), &mut rng));
                 ObjectWrite {
                     id,
                     size: per_output,
@@ -318,7 +315,7 @@ pub fn register_stage_functions(
     for p in &STAGE_PROFILES {
         platform.register(FunctionSpec {
             id: FunctionId::from(p.name),
-            tenant: tenant.clone(),
+            tenant: *tenant,
             booked_mem,
             model: Rc::new(StageModel::new(p, catalog.clone())),
         });
@@ -328,7 +325,7 @@ pub fn register_stage_functions(
 fn request(tenant: &TenantId, function: &str, args: Args, seed: u64) -> InvocationRequest {
     InvocationRequest {
         function: FunctionId::from(function),
-        tenant: tenant.clone(),
+        tenant: *tenant,
         args,
         seed,
         pipeline: None,
@@ -338,7 +335,7 @@ fn request(tenant: &TenantId, function: &str, args: Args, seed: u64) -> Invocati
 fn obj_args(inputs: &[ObjectRef]) -> Args {
     let mut args = Args::new();
     for (i, r) in inputs.iter().enumerate() {
-        args.insert(format!("input{i:03}"), ArgValue::Obj(r.id.clone()));
+        args.insert(format!("input{i:03}"), ArgValue::Obj(r.id));
     }
     args
 }
@@ -388,7 +385,7 @@ impl ScatterGather {
 
 impl PipelineDriver for ScatterGather {
     fn tenant(&self) -> TenantId {
-        self.tenant.clone()
+        self.tenant
     }
 
     fn stage(&self, stage: usize, prev: &[ObjectRef], seed: u64) -> Option<Vec<InvocationRequest>> {
@@ -452,7 +449,7 @@ impl Sequence {
 
 impl PipelineDriver for Sequence {
     fn tenant(&self) -> TenantId {
-        self.tenant.clone()
+        self.tenant
     }
 
     fn stage(&self, stage: usize, prev: &[ObjectRef], seed: u64) -> Option<Vec<InvocationRequest>> {
@@ -498,7 +495,7 @@ mod tests {
         let id = ObjectId::new("in", "big.txt");
         let meta = gen_text(Some(30 << 20), &mut rng);
         let size = meta.bytes;
-        catalog.insert(id.clone(), meta);
+        catalog.insert(id, meta);
         (platform, catalog, tenant, ObjectRef { id, size })
     }
 
@@ -534,7 +531,7 @@ mod tests {
         let id = ObjectId::new("in", "clip.mp4");
         let meta = crate::catalog::gen_video(&mut rng);
         let size = meta.bytes;
-        catalog.insert(id.clone(), meta);
+        catalog.insert(id, meta);
         let mut sim = Sim::new(0);
         platform.submit_pipeline(
             &mut sim,
@@ -550,11 +547,7 @@ mod tests {
     fn imad_and_image_processing_are_sequences() {
         let (platform, _catalog, tenant, input) = setup();
         let mut sim = Sim::new(0);
-        platform.submit_pipeline(
-            &mut sim,
-            Rc::new(Sequence::imad(tenant.clone(), input.clone())),
-            1,
-        );
+        platform.submit_pipeline(&mut sim, Rc::new(Sequence::imad(tenant, input.clone())), 1);
         platform.submit_pipeline(
             &mut sim,
             Rc::new(Sequence::image_processing(tenant, input)),
@@ -575,7 +568,7 @@ mod tests {
         let model = StageModel::new(stage_profile("wc_split").unwrap(), catalog.clone());
         let input = ObjectId::new("in", "t.txt");
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        catalog.insert(input.clone(), gen_text(Some(1 << 20), &mut rng));
+        catalog.insert(input, gen_text(Some(1 << 20), &mut rng));
         let mut args = Args::new();
         args.insert("input000".into(), ArgValue::Obj(input));
         args.insert("fanout".into(), ArgValue::Num(4.0));
@@ -597,7 +590,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let mut mk = |bytes: u64, key: &str| {
             let id = ObjectId::new("in", key);
-            catalog.insert(id.clone(), gen_text(Some(bytes), &mut rng));
+            catalog.insert(id, gen_text(Some(bytes), &mut rng));
             let mut args = Args::new();
             args.insert("input000".into(), ArgValue::Obj(id));
             model.behavior(&args, 0).mem_bytes

@@ -76,7 +76,7 @@ fn upload(s: &Setup, key: &str, meta: ofc::workloads::catalog::MediaMeta) -> Obj
         .borrow_mut()
         .put(&id, Payload::Synthetic(meta.bytes), meta.tags(), false);
     let size = meta.bytes;
-    s.catalog.insert(id.clone(), meta);
+    s.catalog.insert(id, meta);
     ObjectRef { id, size }
 }
 

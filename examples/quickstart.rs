@@ -36,7 +36,7 @@ fn main() {
         let p = profile("wand_edge").expect("known function");
         Rc::new(move |_t: &TenantId, _f: &FunctionId, args: &Args| {
             let input = args.values().find_map(|v| match v {
-                ArgValue::Obj(id) => Some(id.clone()),
+                ArgValue::Obj(id) => Some(*id),
                 _ => None,
             })?;
             Some(p.features(&catalog.get(&input)?, args))
@@ -54,7 +54,7 @@ fn main() {
     let edge = profile("wand_edge").expect("known function");
     platform.register(FunctionSpec {
         id: FunctionId::from(edge.name),
-        tenant: tenant.clone(),
+        tenant,
         booked_mem: 512 << 20,
         model: Rc::new(MultimediaModel::new(edge, catalog.clone())),
     });
@@ -69,19 +69,19 @@ fn main() {
     store
         .borrow_mut()
         .put(&input, Payload::Synthetic(img.bytes), img.tags(), false);
-    catalog.insert(input.clone(), img);
+    catalog.insert(input, img);
 
     // 5. Invoke twice: the first read misses (and fills the cache); the
     //    second hits locally.
     let submit = |sim: &mut Sim, seed: u64| {
         let mut args = Args::new();
-        args.insert("input".into(), ArgValue::Obj(input.clone()));
+        args.insert("input".into(), ArgValue::Obj(input));
         args.insert("radius".into(), ArgValue::Num(3.0));
         platform.submit(
             sim,
             InvocationRequest {
                 function: FunctionId::from(edge.name),
-                tenant: tenant.clone(),
+                tenant,
                 args,
                 seed,
                 pipeline: None,

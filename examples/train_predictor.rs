@@ -21,7 +21,7 @@ fn main() {
     //    exact-or-over and half of the underpredictions are within one
     //    16 MB interval.
     let mut ml = MlEngine::new(MlConfig::default());
-    ml.register(key.clone(), p.feature_schema());
+    ml.register(key, p.feature_schema());
     let mut matured_at = None;
     for (i, s) in invocation_stream(p, 2000, 5).into_iter().enumerate() {
         ml.observe(

@@ -302,7 +302,7 @@ proptest! {
             .map(|i| ObjectId::new("out", format!("o{i}")))
             .collect();
         for id in &ids {
-            let w = ObjectWrite { id: id.clone(), size: 128 * 1024, is_final: true };
+            let w = ObjectWrite { id: *id, size: 128 * 1024, is_final: true };
             plane.write(&mut sim, 0, &w, ofc::faas::Admission::admit(), None);
         }
         // The sweeper reschedules itself forever: bound the horizon. Two
@@ -459,11 +459,7 @@ fn failover_durability_case(
         prop_assert_eq!(c.deferred_recoveries(), 0, "recoveries drained");
     }
     let now = SimTime::from_secs(10_000);
-    let written: Vec<(Key, u64)> = accepted
-        .borrow()
-        .iter()
-        .map(|(k, &s)| (k.clone(), s))
-        .collect();
+    let written: Vec<(Key, u64)> = accepted.borrow().iter().map(|(k, &s)| (*k, s)).collect();
     for (key, size) in &written {
         let r = cluster.borrow_mut().read(0, key, now).result;
         match r {

@@ -39,7 +39,7 @@ fn write(plane: &mut OfcPlane, sim: &mut Sim, key: &str, size: u64) -> ObjectId 
         sim,
         0,
         &ObjectWrite {
-            id: id.clone(),
+            id,
             size,
             is_final: true,
         },
@@ -98,7 +98,7 @@ fn external_write_invalidates_and_next_function_read_refetches() {
         &mut sim,
         0,
         &ofc::faas::ObjectRef {
-            id: id.clone(),
+            id,
             size: 64 * 1024,
         },
         ofc::faas::Admission::admit(),
@@ -115,7 +115,7 @@ fn external_write_invalidates_and_next_function_read_refetches() {
         &mut sim,
         1,
         &ofc::faas::ObjectRef {
-            id: id.clone(),
+            id,
             size: 128 * 1024,
         },
         ofc::faas::Admission::admit(),

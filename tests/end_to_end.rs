@@ -32,7 +32,7 @@ fn features_for(catalog: &Catalog) -> ofc::core::scheduler::FeatureFn {
     Rc::new(move |_t, f, args| {
         let p = profile(f.as_ref())?;
         let input = args.values().find_map(|v| match v {
-            ArgValue::Obj(id) => Some(id.clone()),
+            ArgValue::Obj(id) => Some(*id),
             _ => None,
         })?;
         Some(p.features(&catalog.get(&input)?, args))
@@ -76,7 +76,7 @@ fn stack(with_ofc: bool, seed: u64) -> Stack {
 fn register(s: &Stack, p: &'static Profile, booked: u64) {
     s.platform.register(FunctionSpec {
         id: FunctionId::from(p.name),
-        tenant: s.tenant.clone(),
+        tenant: s.tenant,
         booked_mem: booked,
         model: Rc::new(MultimediaModel::new(p, s.catalog.clone())),
     });
@@ -92,13 +92,13 @@ fn upload(s: &Stack, key: &str, bytes: u64, seed: u64) -> ObjectId {
     s.store
         .borrow_mut()
         .put(&id, Payload::Synthetic(meta.bytes), meta.tags(), false);
-    s.catalog.insert(id.clone(), meta);
+    s.catalog.insert(id, meta);
     id
 }
 
 fn submit(s: &mut Stack, p: &'static Profile, input: &ObjectId, seed: u64) {
     let mut args = Args::new();
-    args.insert("input".into(), ArgValue::Obj(input.clone()));
+    args.insert("input".into(), ArgValue::Obj(*input));
     if let Some(spec) = p.arg {
         args.insert(spec.name.into(), ArgValue::Num((spec.lo + spec.hi) / 2.0));
     }
@@ -106,7 +106,7 @@ fn submit(s: &mut Stack, p: &'static Profile, input: &ObjectId, seed: u64) {
         &mut s.sim,
         InvocationRequest {
             function: FunctionId::from(p.name),
-            tenant: s.tenant.clone(),
+            tenant: s.tenant,
             args,
             seed,
             pipeline: None,
@@ -268,7 +268,7 @@ fn mature_models_right_size_sandboxes() {
     // Pre-train to maturity with the function's invocation history.
     {
         let ofc = s.ofc.as_ref().unwrap();
-        let key = (s.tenant.clone(), FunctionId::from(p.name));
+        let key = (s.tenant, FunctionId::from(p.name));
         let mut ml = ofc.ml.borrow_mut();
         for smp in ofc::workloads::datasets::invocation_stream(p, 1500, 77) {
             ml.observe(

@@ -42,8 +42,14 @@ fn regenerate_with(bin_name: &str, out_name: &str, envs: &[(&str, &str)]) -> Opt
         eprintln!("golden: skipping {bin_name} — build it with `cargo build --release`");
         return None;
     }
-    let scratch =
-        std::env::temp_dir().join(format!("ofc-golden-{}-{out_name}", std::process::id()));
+    // Unique per call: the serial and parallel variants of one figure run
+    // concurrently and would otherwise race on a shared scratch dir.
+    static SCRATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SCRATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let scratch = std::env::temp_dir().join(format!(
+        "ofc-golden-{}-{seq}-{out_name}",
+        std::process::id()
+    ));
     std::fs::create_dir_all(&scratch).expect("scratch dir");
     let mut cmd = Command::new(&bin);
     cmd.env("OFC_RESULTS_DIR", &scratch);
@@ -253,17 +259,60 @@ fn bakeoff_smoke_parallel_matches_serial_golden() {
     check_bytes("bakeoff_smoke", fresh, false);
 }
 
+/// Shortened control-plane failover drill (5-minute window, Raft
+/// coordinator + gossip membership under crash/partition faults), run
+/// serially. Any drift in consensus, membership, degraded-mode writes,
+/// or the durability ledger lands here.
+#[test]
+fn failover_smoke_serial_matches_golden() {
+    let Some(fresh) = regenerate_with(
+        "chaos",
+        "failover_smoke",
+        &[
+            ("OFC_MACRO_SMOKE", "1"),
+            ("OFC_CHAOS_FAILOVER", "1"),
+            ("OFC_BENCH_THREADS", "1"),
+        ],
+    ) else {
+        return;
+    };
+    check_bytes("failover_smoke", fresh, true);
+}
+
+/// The drill's baseline and chaos sims fan out over the parallel runner;
+/// thread count must never change the report bytes.
+#[test]
+fn failover_smoke_parallel_matches_serial_golden() {
+    let Some(fresh) = regenerate_with(
+        "chaos",
+        "failover_smoke",
+        &[
+            ("OFC_MACRO_SMOKE", "1"),
+            ("OFC_CHAOS_FAILOVER", "1"),
+            ("OFC_BENCH_THREADS", "4"),
+            // Defeat the small-bin serial fallback: this variant exists
+            // to drive the parallel runner.
+            ("OFC_BENCH_MIN_PAR_SIMS", "1"),
+        ],
+    ) else {
+        return;
+    };
+    check_bytes("failover_smoke", fresh, false);
+}
+
 #[test]
 fn golden_set_is_complete() {
     // Every golden this suite guards exists in results/ (after a bless).
     if blessing() {
         return;
     }
-    for name in
-        GOLDEN_FIGURES
-            .iter()
-            .chain(&["macro24_smoke", "fig9_smoke", "bakeoff_smoke", "bakeoff"])
-    {
+    for name in GOLDEN_FIGURES.iter().chain(&[
+        "macro24_smoke",
+        "fig9_smoke",
+        "bakeoff_smoke",
+        "bakeoff",
+        "failover_smoke",
+    ]) {
         assert!(
             committed_path(name).exists(),
             "results/{name}.json missing — run OFC_GOLDEN_BLESS=1 cargo test --test golden"

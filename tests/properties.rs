@@ -320,14 +320,14 @@ proptest! {
             let key = key_of(key);
             let shard = usize::from(key.as_bytes()[1] - b'0') % 4;
             let backup = usize::from(backup);
-            batcher.enqueue(shard, backup, key.clone(), RcValue::synthetic(size));
+            batcher.enqueue(shard, backup, key, RcValue::synthetic(size));
             latest.insert((shard, backup, key), size);
         }
         for ((shard, backup), entries) in batcher.drain() {
             let mut seen = std::collections::HashSet::new();
             for (key, value) in entries {
-                prop_assert!(seen.insert(key.clone()), "duplicate {key} in one buffer");
-                let want = latest.get(&(shard, backup, key.clone()));
+                prop_assert!(seen.insert(key), "duplicate {key} in one buffer");
+                let want = latest.get(&(shard, backup, key));
                 prop_assert_eq!(
                     want.copied(),
                     Some(value.size()),

@@ -80,7 +80,7 @@ proptest! {
         let mut ml = MlEngine::new(MlConfig::default());
         let key = (TenantId::from("t"), FunctionId::from("f"));
         ml.register(
-            key.clone(),
+            key,
             vec![ofc::dtree::data::Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
