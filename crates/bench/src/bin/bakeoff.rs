@@ -12,15 +12,23 @@
 //! * `OFC_BAKEOFF_CHECK=1` runs every policy twice and exits non-zero if
 //!   the passes disagree (determinism violation).
 //!
+//! The full (non-smoke) run additionally re-fights the bake-off on the
+//! mega mix (DESIGN.md §18): 200 heavy-tailed tenants per policy, scored
+//! on overall and tail-decile hit ratio. `results/bakeoff.json` then
+//! carries both sections (`macro_mix` + `mega_mix`); the smoke JSON
+//! keeps the original flat shape so the golden stays byte-stable.
+//!
 //! The run also exits non-zero if any policy strands write-backs (pending
 //! or dead-lettered) at the end of the window: rival policies may trade
 //! hit ratio for memory or rent, but never durability.
 
 use ofc_bench::cachex::{run_macro_bakeoff, MacroExtras, MacroResult};
+use ofc_bench::megarun::{run_mega, tail_hit_pct, MegaOpts, MegaReport};
 use ofc_bench::par;
 use ofc_bench::report;
 use ofc_core::policy::PolicyKind;
 use ofc_workloads::faasload::TenantProfile;
+use ofc_workloads::mega::MegaConfig;
 use serde::Serialize;
 use std::time::Duration;
 
@@ -45,6 +53,39 @@ struct Row {
     cold_hits: u64,
     prefetches: u64,
     failed_invocations: u64,
+}
+
+/// One mega-mix comparison row (full mode only). Wall times stay out for
+/// the same reason as [`Row`].
+#[derive(Debug, Clone, Serialize, PartialEq)]
+struct MegaRow {
+    policy: String,
+    hit_ratio_pct: f64,
+    /// Tail-decile (5..9) hit ratio — where rival policies actually
+    /// diverge under a heavy-tailed tenant mix.
+    tail_hit_pct: f64,
+    usage_fairness_bps: u64,
+    failed: u64,
+    events: u64,
+}
+
+/// The full-mode `results/bakeoff.json` payload: the Fig 9 macro rows
+/// plus the mega-mix rows.
+#[derive(Serialize)]
+struct FullReport {
+    macro_mix: Vec<Row>,
+    mega_mix: Vec<MegaRow>,
+}
+
+fn mega_row(name: &str, r: &MegaReport) -> MegaRow {
+    MegaRow {
+        policy: name.into(),
+        hit_ratio_pct: r.hit_ratio_pct,
+        tail_hit_pct: tail_hit_pct(r),
+        usage_fairness_bps: r.usage_fairness_bps,
+        failed: r.failed,
+        events: r.events,
+    }
 }
 
 fn row(name: &str, result: &MacroResult, extras: &MacroExtras) -> Row {
@@ -164,7 +205,72 @@ fn main() {
          Faa$T admits everything (higher footprint), InfiniCache pays rent for its\n\
          cold tier instead of RAM."
     );
-    report::save_json(if smoke { "bakeoff_smoke" } else { "bakeoff" }, rows);
+
+    if smoke {
+        report::save_json("bakeoff_smoke", rows);
+    } else {
+        // The mega-mix re-fight: one heavy-tailed 200-tenant window per
+        // policy, fanned out like the macro rows.
+        type MegaJob = Box<dyn FnOnce() -> (MegaReport, f64) + Send>;
+        let mega_jobs: Vec<MegaJob> = POLICIES
+            .iter()
+            .map(|&(kind, name)| {
+                Box::new(move || {
+                    let mut opts = MegaOpts::new(format!("mix-{name}"), MegaConfig::mix());
+                    opts.ofc.policy = kind;
+                    let t0 = std::time::Instant::now();
+                    (run_mega(opts), t0.elapsed().as_secs_f64())
+                }) as MegaJob
+            })
+            .collect();
+        let mega_results = par::run_jobs(mega_jobs);
+        let mut mega_rows = Vec::new();
+        for ((_, name), (r, wall_s)) in POLICIES.iter().zip(&mega_results) {
+            eprintln!("[bakeoff wall] mega {name} {wall_s:.3}s");
+            if r.persist_pending != 0 || r.persist_dead_letters != 0 {
+                failures.push(format!(
+                    "{name} (mega): durability violation — {} pending, {} dead-lettered write-backs",
+                    r.persist_pending, r.persist_dead_letters
+                ));
+            }
+            mega_rows.push(mega_row(name, r));
+        }
+        println!("\nPolicy bake-off — mega mix, 200 heavy-tailed tenants (30 min window)\n");
+        let mega_cells: Vec<Vec<String>> = mega_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.1}%", r.hit_ratio_pct),
+                    format!("{:.1}%", r.tail_hit_pct),
+                    r.usage_fairness_bps.to_string(),
+                    r.failed.to_string(),
+                    r.events.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            report::table(
+                &[
+                    "policy",
+                    "hit ratio",
+                    "tail hit",
+                    "fair-bps",
+                    "failed",
+                    "events"
+                ],
+                &mega_cells,
+            )
+        );
+        report::save_json(
+            "bakeoff",
+            &FullReport {
+                macro_mix: rows.clone(),
+                mega_mix: mega_rows,
+            },
+        );
+    }
 
     if !failures.is_empty() {
         for f in &failures {

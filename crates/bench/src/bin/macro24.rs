@@ -50,8 +50,12 @@ fn main() {
     ];
 
     // 4 runs per profile plus the 2-run contended variant: 14 independent
-    // sims, fanned out together.
-    let mut jobs: Vec<Box<dyn FnOnce() -> MacroResult + Send>> = Vec::new();
+    // sims, fanned out together. Cost estimates (tenant count: a 3-tenant
+    // sim executes ~3x the invocations) order the claims so the wide sims
+    // start first: with the heavy contended sims submitted — and so
+    // claimed — last, a multi-core run leaves the bin's wall clock
+    // hostage to a 3.5x-cost job landing on an already-busy worker.
+    let mut jobs: Vec<(f64, Box<dyn FnOnce() -> MacroResult + Send>)> = Vec::new();
     for profile in profiles {
         for (kind, tenants) in [
             (PlaneKind::Swift, 1),
@@ -59,38 +63,47 @@ fn main() {
             (PlaneKind::Swift, 3),
             (PlaneKind::Ofc, 3),
         ] {
-            jobs.push(Box::new(move || run_macro(kind, profile, tenants, dur, 23)));
+            jobs.push((
+                tenants as f64,
+                Box::new(move || run_macro(kind, profile, tenants, dur, 23)),
+            ));
         }
     }
     // Contended variant: the paper's 24-tenant working set (300 GB of
     // ephemeral data) dwarfed its cache; we reproduce the same pressure by
     // capping the cache pool at 6 MB per worker.
-    jobs.push(Box::new(move || {
-        run_macro_full(
-            PlaneKind::Swift,
-            TenantProfile::Normal,
-            3,
-            dur,
-            29,
-            OfcConfig::default(),
-            64 << 30,
-        )
-    }));
-    jobs.push(Box::new(move || {
-        run_macro_full(
-            PlaneKind::Ofc,
-            TenantProfile::Normal,
-            3,
-            dur,
-            29,
-            OfcConfig {
-                cache_pool_override: Some(6 << 20),
-                ..OfcConfig::default()
-            },
-            64 << 30,
-        )
-    }));
-    let mut results = par::run_jobs(jobs);
+    jobs.push((
+        3.0,
+        Box::new(move || {
+            run_macro_full(
+                PlaneKind::Swift,
+                TenantProfile::Normal,
+                3,
+                dur,
+                29,
+                OfcConfig::default(),
+                64 << 30,
+            )
+        }),
+    ));
+    jobs.push((
+        3.5,
+        Box::new(move || {
+            run_macro_full(
+                PlaneKind::Ofc,
+                TenantProfile::Normal,
+                3,
+                dur,
+                29,
+                OfcConfig {
+                    cache_pool_override: Some(6 << 20),
+                    ..OfcConfig::default()
+                },
+                64 << 30,
+            )
+        }),
+    ));
+    let mut results = par::run_jobs_costed(jobs);
     let ofc_c = results.pop().expect("contended OFC run");
     let swift_c = results.pop().expect("contended Swift run");
 

@@ -7,6 +7,7 @@
 //! JSON under `results/` so `EXPERIMENTS.md` can be regenerated.
 
 pub mod cachex;
+pub mod megarun;
 pub mod mlx;
 pub mod par;
 pub mod report;

@@ -62,6 +62,13 @@ pub struct AgentConfig {
     /// the same victims at O(all-objects) cost; kept for A/B measurement
     /// (`perfrec`).
     pub evict_full_scan: bool,
+    /// Hard cap on the per-node cache pool. The agent normally regrows
+    /// the pool into every released byte of node memory; contention
+    /// studies (`macro_mega`'s noisy-neighbor and occupancy-attack
+    /// variants) cap it so a fixed budget stays contended. `None` (the
+    /// default) keeps the opportunistic regrowth byte-identical to
+    /// earlier revisions.
+    pub pool_cap: Option<u64>,
 }
 
 impl Default for AgentConfig {
@@ -81,6 +88,7 @@ impl Default for AgentConfig {
             hot_access_threshold: 5,
             telemetry_every: Duration::from_secs(30),
             evict_full_scan: false,
+            pool_cap: None,
         }
     }
 }
@@ -240,7 +248,7 @@ impl CacheAgent {
             return Some(Duration::ZERO);
         }
         // Deficit comes out of the cache pool.
-        let target_pool = total.saturating_sub(committed_after + self.slack[node]);
+        let target_pool = self.cap_pool(total.saturating_sub(committed_after + self.slack[node]));
         let mut delay = Duration::ZERO;
         let used = self.cluster.borrow().node(node).used_bytes();
         let mut migrated = false;
@@ -318,10 +326,15 @@ impl CacheAgent {
         Some(delay)
     }
 
+    /// Applies the configured [`AgentConfig::pool_cap`] to a pool target.
+    fn cap_pool(&self, target: u64) -> u64 {
+        self.cfg.pool_cap.map_or(target, |cap| target.min(cap))
+    }
+
     /// Returns memory to the cache after sandboxes released it.
     fn release_impl(&mut self, sim: &mut Sim, node: NodeId, committed_after: u64, total: u64) {
         self.note_committed(node, committed_after, total);
-        let target_pool = total.saturating_sub(committed_after + self.slack[node]);
+        let target_pool = self.cap_pool(total.saturating_sub(committed_after + self.slack[node]));
         let pool = self.cluster.borrow().node(node).pool_bytes();
         if target_pool > pool {
             let t = self.cluster.borrow_mut().resize_pool(node, target_pool);

@@ -22,6 +22,11 @@ use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
+/// Victim batch per contended over-quota admission: the quota gate frees
+/// at most this many of the tenant's own LRU objects before giving up and
+/// bypassing to the RSDS. Bounds the gate's worst-case work per op.
+const QUOTA_VICTIM_BATCH: usize = 8;
+
 /// Converts an object id into a cache key.
 ///
 /// Memoised under the interned (bucket, key) id pair: the first access to
@@ -64,6 +69,17 @@ pub struct PlaneConfig {
     pub persist_retry: RetryPolicy,
     /// Dead-letter sweeper period (see [`start_sweeper`]).
     pub sweep_every: Duration,
+    /// Per-tenant cache quota in bytes (DESIGN.md §18). `None` (the
+    /// default) disables partitioning entirely — admission behaves byte
+    /// for byte as before. With a quota set, a tenant over its budget may
+    /// still win **slack** memory while the cluster keeps
+    /// [`PlaneConfig::quota_headroom_bytes`] free; under contention the
+    /// tenant first reclaims its own clean LRU objects, and only bypasses
+    /// to the RSDS when that cannot make room.
+    pub tenant_quota_bytes: Option<u64>,
+    /// Free-pool headroom below which over-quota admissions stop winning
+    /// slack and quota enforcement kicks in.
+    pub quota_headroom_bytes: u64,
 }
 
 impl Default for PlaneConfig {
@@ -76,6 +92,8 @@ impl Default for PlaneConfig {
             breaker: BreakerConfig::default(),
             persist_retry: RetryPolicy::default(),
             sweep_every: Duration::from_secs(60),
+            tenant_quota_bytes: None,
+            quota_headroom_bytes: 64 << 20,
         }
     }
 }
@@ -96,6 +114,9 @@ struct PlaneMetrics {
     chunked_objects: Counter,
     chunked_hits: Counter,
     degraded_bypasses: Counter,
+    quota_overshoots: Counter,
+    quota_evictions: Counter,
+    quota_bypasses: Counter,
 }
 
 impl PlaneMetrics {
@@ -113,6 +134,9 @@ impl PlaneMetrics {
             chunked_objects: t.counter("plane.chunked_objects"),
             chunked_hits: t.counter("plane.chunked_hits"),
             degraded_bypasses: t.counter("plane.degraded_bypasses"),
+            quota_overshoots: t.counter("plane.quota_overshoots"),
+            quota_evictions: t.counter("plane.quota_evictions"),
+            quota_bypasses: t.counter("plane.quota_bypasses"),
         }
     }
 }
@@ -390,6 +414,61 @@ impl OfcPlane {
         Rc::clone(&self.breaker)
     }
 
+    /// Per-tenant quota gate (DESIGN.md §18), consulted before any
+    /// whole-object cache admission (miss fill and cached write). Returns
+    /// whether the object may enter the cache.
+    ///
+    /// The tenant ledger is the cluster's O(log n) per-owner accounting
+    /// (`owner_used` / `owner_victims`), so the gate costs a couple of
+    /// B-tree probes — no scans. Decision ladder:
+    ///
+    /// 1. under quota → admit;
+    /// 2. over quota but the pool keeps `quota_headroom_bytes` free →
+    ///    admit as a slack win (`plane.quota_overshoots`);
+    /// 3. contended → evict the tenant's own clean LRU objects
+    ///    (`plane.quota_evictions`) until the object fits its quota;
+    /// 4. still over → deny; the caller falls back to the RSDS
+    ///    (`plane.quota_bypasses`), exactly as without OFC.
+    fn quota_admit(&mut self, key: &Key) -> bool {
+        let Some(quota) = self.cfg.tenant_quota_bytes else {
+            return true;
+        };
+        let owner = ofc_rcstore::owner_of(key);
+        let mut cluster = self.cluster.borrow_mut();
+        if cluster.contains(key) {
+            // Overwrite of a key the tenant already holds swaps charges.
+            return true;
+        }
+        let used = cluster.owner_used(&owner);
+        if used < quota {
+            return true;
+        }
+        if cluster.free_bytes() >= self.cfg.quota_headroom_bytes {
+            self.metrics.quota_overshoots.inc();
+            return true;
+        }
+        // Contended: make room from the tenant's own coldest clean
+        // objects (bounded batch, LRU order from the per-owner sub-index).
+        let mut reclaimed = 0u64;
+        for (victim, dirty, vsize) in cluster.owner_victims(&owner, QUOTA_VICTIM_BATCH) {
+            if used.saturating_sub(reclaimed) < quota {
+                break;
+            }
+            if dirty || victim == *key {
+                continue;
+            }
+            if cluster.evict(&victim).result.is_ok() {
+                reclaimed += vsize;
+                self.metrics.quota_evictions.inc();
+            }
+        }
+        if used.saturating_sub(reclaimed) < quota {
+            return true;
+        }
+        self.metrics.quota_bypasses.inc();
+        false
+    }
+
     fn chunk_key(key: &Key, i: u32) -> Key {
         // Memoised like `rc_key`: `"{key}#chunk{i}"` is composed once per
         // (key, chunk index) pair and re-used allocation-free after that.
@@ -658,7 +737,7 @@ impl DataPlane for OfcPlane {
             if let Some(p) = &self.policy {
                 p.borrow_mut().on_access(&key, obj.size, node, false);
             }
-            if res.is_ok() {
+            if res.is_ok() && self.quota_admit(&key) {
                 let t = self.cluster.borrow_mut().write_with_dirty(
                     node,
                     &key,
@@ -732,6 +811,18 @@ impl DataPlane for OfcPlane {
         let shard = self.cluster.borrow().shard_of(&key);
         if !self.breaker.borrow_mut().allow(shard, now) {
             self.metrics.degraded_bypasses.inc();
+            let (_, latency) = self.store.borrow_mut().put(
+                &obj.id,
+                Payload::Synthetic(obj.size),
+                HashMap::new(),
+                false,
+            );
+            return WriteOutcome { latency };
+        }
+
+        // Per-tenant quota gate (DESIGN.md §18): a denied tenant writes
+        // straight to the RSDS, exactly as without OFC.
+        if !self.quota_admit(&key) {
             let (_, latency) = self.store.borrow_mut().put(
                 &obj.id,
                 Payload::Synthetic(obj.size),

@@ -1,0 +1,125 @@
+//! Fairness accounting for the per-tenant quota plane (DESIGN.md §18).
+//!
+//! When tenant quotas are on, tenants under quota always get in; the
+//! interesting question is who wins the *slack* — pool memory beyond the
+//! sum of quotas, which over-quota tenants may occupy while the cluster
+//! keeps headroom free. This module scores how evenly that slack is split
+//! using Jain's fairness index over each tenant's **overshoot** (bytes
+//! held beyond quota):
+//!
+//! ```text
+//! J(x₁..xₙ) = (Σxᵢ)² / (n · Σxᵢ²)      ∈ [1/n, 1]
+//! ```
+//!
+//! `J = 1` when every contender holds the same overshoot; `J → 1/n` when
+//! one noisy neighbor holds all of it. The plane samples the index in
+//! basis points (`plane.quota_fairness_bps`, 10 000 = perfectly fair) on
+//! the telemetry tick, keeping per-tenant detail out of the metric
+//! registry (names stay low-cardinality; the per-tenant ledger lives in
+//! the cache cluster).
+
+use ofc_rcstore::Key;
+use std::collections::BTreeMap;
+
+/// Jain's fairness index over `shares`, in basis points (0..=10 000).
+///
+/// Vacuously fair (10 000) when there are no shares or every share is
+/// zero — nobody holds slack, so nobody is favored.
+pub fn jain_index_bps(shares: &[u64]) -> u64 {
+    let n = shares.len() as f64;
+    let sum: f64 = shares.iter().map(|&s| s as f64).sum();
+    if shares.is_empty() || sum == 0.0 {
+        return 10_000;
+    }
+    let sum_sq: f64 = shares.iter().map(|&s| (s as f64) * (s as f64)).sum();
+    let j = (sum * sum) / (n * sum_sq);
+    (j * 10_000.0).round() as u64
+}
+
+/// Per-tenant slack overshoot: `max(used − quota, 0)` for every tenant
+/// with live bytes in the cache. Tenants at or under quota contribute a
+/// zero share — they are contenders who won nothing, which is exactly
+/// what drags the index down when a neighbor hoards the slack.
+pub fn overshoot_shares(usage: &BTreeMap<Key, u64>, quota: u64) -> Vec<u64> {
+    usage.values().map(|&u| u.saturating_sub(quota)).collect()
+}
+
+/// The plane's fairness sample: Jain index (bps) of the current slack
+/// split, or 10 000 when no tenant is over quota.
+pub fn quota_fairness_bps(usage: &BTreeMap<Key, u64>, quota: u64) -> u64 {
+    jain_index_bps(&overshoot_shares(usage, quota))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(pairs: &[(&str, u64)]) -> BTreeMap<Key, u64> {
+        pairs.iter().map(|&(t, u)| (Key::from(t), u)).collect()
+    }
+
+    #[test]
+    fn empty_and_all_zero_are_vacuously_fair() {
+        assert_eq!(jain_index_bps(&[]), 10_000);
+        assert_eq!(jain_index_bps(&[0, 0, 0]), 10_000);
+        assert_eq!(
+            quota_fairness_bps(&usage(&[("a", 10), ("b", 5)]), 100),
+            10_000
+        );
+    }
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert_eq!(jain_index_bps(&[7, 7, 7, 7]), 10_000);
+        // Everyone 50 B over a 100 B quota: even slack split.
+        let u = usage(&[("a", 150), ("b", 150), ("c", 150)]);
+        assert_eq!(quota_fairness_bps(&u, 100), 10_000);
+    }
+
+    #[test]
+    fn single_hog_scores_one_over_n() {
+        // One tenant holds all the slack among 4 contenders: J = 1/4.
+        assert_eq!(jain_index_bps(&[100, 0, 0, 0]), 2_500);
+        let u = usage(&[("hog", 600), ("a", 100), ("b", 90), ("c", 40)]);
+        assert_eq!(quota_fairness_bps(&u, 100), 2_500);
+    }
+
+    #[test]
+    fn noisy_neighbor_contention_scenario() {
+        // Hand-built contention: 5 tenants over quota, one 10× the rest.
+        // J = (14)²/(5·(100+4)) = 196/520 ≈ 0.3769.
+        let shares = [10, 1, 1, 1, 1];
+        assert_eq!(jain_index_bps(&shares), 3_769);
+        // Skew strictly worse than a milder 2× neighbor.
+        assert!(jain_index_bps(&shares) < jain_index_bps(&[2, 1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn occupancy_attack_scenario() {
+        // An attacker grabbing ever more slack monotonically degrades the
+        // index while the victims' overshoot stays fixed.
+        let mut last = 10_001;
+        for attacker in [2u64, 4, 8, 16, 32] {
+            let u = usage(&[("attacker", 100 + attacker), ("v1", 101), ("v2", 101)]);
+            let j = quota_fairness_bps(&u, 100);
+            assert!(j < last, "index must fall as the attacker grows");
+            last = j;
+        }
+    }
+
+    #[test]
+    fn under_quota_tenants_count_as_losing_contenders() {
+        // Same hog, more bystanders under quota → lower index.
+        let few = usage(&[("hog", 200), ("a", 50)]);
+        let many = usage(&[("hog", 200), ("a", 50), ("b", 50), ("c", 50)]);
+        assert!(quota_fairness_bps(&many, 100) < quota_fairness_bps(&few, 100));
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        assert_eq!(
+            jain_index_bps(&[1, 2, 3]),
+            jain_index_bps(&[1000, 2000, 3000])
+        );
+    }
+}

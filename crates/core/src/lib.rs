@@ -52,6 +52,7 @@
 
 pub mod agent;
 pub mod cache;
+pub mod fairness;
 pub mod health;
 pub mod ml;
 pub mod monitor;

@@ -212,6 +212,15 @@ impl OfcBuilder {
         self
     }
 
+    /// Enables per-tenant cache quotas (DESIGN.md §18): each tenant may
+    /// hold up to `bytes` of cache, plus slack while the pool keeps
+    /// headroom free. Also starts the periodic fairness sample
+    /// (`plane.quota_fairness_bps`).
+    pub fn tenant_quota(mut self, bytes: u64) -> Self {
+        self.cfg.plane.tenant_quota_bytes = Some(bytes);
+        self
+    }
+
     /// Wires everything onto the platform.
     ///
     /// The cache cluster gets one storage node per invoker; each node's
@@ -340,6 +349,7 @@ impl OfcBuilder {
             telemetry,
             policy,
             breakers,
+            tenant_quota: cfg.plane.tenant_quota_bytes,
         }
     }
 }
@@ -407,6 +417,27 @@ fn start_gossip_tick(
     });
 }
 
+/// Period of the quota-fairness sample (DESIGN.md §18). O(tenants) work
+/// every 30 sim-seconds — off the per-operation hot path by design.
+const FAIRNESS_TICK: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Recurring fairness sample: scores how evenly over-quota tenants split
+/// the slack memory (Jain index in basis points; see [`crate::fairness`])
+/// and records it on the `plane.quota_fairness_bps` gauge.
+fn start_fairness_tick(
+    sim: &mut Sim,
+    quota: u64,
+    cluster: Rc<RefCell<Cluster>>,
+    gauge: ofc_telemetry::Gauge,
+) {
+    sim.schedule_in(FAIRNESS_TICK, move |sim| {
+        let usage = cluster.borrow().owner_usage();
+        let bps = crate::fairness::quota_fairness_bps(&usage, quota);
+        gauge.set(sim.now(), bps as f64);
+        start_fairness_tick(sim, quota, cluster, gauge);
+    });
+}
+
 /// Recurring policy tick: runs [`crate::policy::CachePolicy::tick`] at the
 /// policy's own cadence and applies any returned prefetch requests —
 /// objects not currently cached are re-filled as clean copies (their
@@ -456,6 +487,8 @@ pub struct Ofc {
     telemetry: Telemetry,
     policy: PolicyHandle,
     breakers: Rc<RefCell<crate::health::ShardBreakers>>,
+    /// Per-tenant quota, when the quota plane is on (DESIGN.md §18).
+    tenant_quota: Option<u64>,
 }
 
 impl Ofc {
@@ -504,6 +537,12 @@ impl Ofc {
         // Policy tick (DESIGN.md §15): periodic policy work — prefetch
         // selection, cold-tier expiry, cost accrual. Returned prefetch
         // requests re-fill evicted objects from the RSDS (clean copies).
+        // Quota plane (DESIGN.md §18): periodic fairness sample, only
+        // when quotas are on — default runs schedule nothing extra.
+        if let Some(quota) = self.tenant_quota {
+            let gauge = self.telemetry.gauge("plane.quota_fairness_bps");
+            start_fairness_tick(sim, quota, Rc::clone(&self.cluster), gauge);
+        }
         let tick_every = self.policy.borrow().tick_every();
         if let Some(period) = tick_every {
             let prefetches = self.telemetry.counter("policy.prefetches");

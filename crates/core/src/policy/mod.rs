@@ -248,6 +248,19 @@ impl<'a> EvictView<'a> {
             .sum()
     }
 
+    /// Bytes one tenant holds across the cluster, from the per-owner
+    /// ledger (O(nodes · log tenants); DESIGN.md §18). Lets a
+    /// tenant-aware policy weigh victims by who is over budget.
+    pub fn owner_used(&self, owner: &Key) -> u64 {
+        self.cluster.owner_used(owner)
+    }
+
+    /// One tenant's coldest cached objects in LRU order, capped at `max`:
+    /// `(key, dirty, charged size)` from the per-owner sub-index.
+    pub fn owner_victims(&self, owner: &Key, max: usize) -> Vec<(Key, bool, u64)> {
+        self.cluster.owner_victims(owner, max)
+    }
+
     /// Index entries inspected so far through this view.
     pub fn visited(&self) -> u64 {
         self.visited.get()

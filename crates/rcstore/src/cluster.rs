@@ -236,6 +236,50 @@ impl Cluster {
             .sum()
     }
 
+    /// Pool bytes not occupied by master copies (the slack an over-quota
+    /// tenant may opportunistically win).
+    pub fn free_bytes(&self) -> u64 {
+        self.pool_bytes().saturating_sub(self.used_bytes())
+    }
+
+    /// Live master bytes charged to `owner` across the cluster
+    /// (O(nodes · log tenants) — node count is a small constant, so this
+    /// is the per-operation quota probe).
+    pub fn owner_used(&self, owner: &Key) -> u64 {
+        self.nodes.iter().map(|n| n.owner_used(owner)).sum()
+    }
+
+    /// Per-tenant live-byte accounting aggregated over every node,
+    /// ascending by owner. O(tenants) — for the periodic fairness gauge
+    /// and tests, never the per-operation hot path.
+    pub fn owner_usage(&self) -> BTreeMap<Key, u64> {
+        let mut out = BTreeMap::new();
+        for node in &self.nodes {
+            for (owner, used) in node.owner_usages() {
+                *out.entry(*owner).or_insert(0) += used;
+            }
+        }
+        out
+    }
+
+    /// Up to `max` of `owner`'s masters across the cluster in LRU order
+    /// (`(key, dirty, charged bytes)`), merged from the per-node per-tenant
+    /// sub-indexes — the quota-reclamation victim feed. Visits at most
+    /// `nodes · max` index entries, never another tenant's objects.
+    pub fn owner_victims(&self, owner: &Key, max: usize) -> Vec<(Key, bool, u64)> {
+        let mut merged: Vec<(Key, bool, u64, SimTime)> = Vec::new();
+        for node in &self.nodes {
+            merged.extend(node.owner_victims(owner, max));
+        }
+        // LRU across nodes; tie-break on key for placement-independence.
+        merged.sort_by_key(|&(key, _, _, t_access)| (t_access, key));
+        merged.truncate(max);
+        merged
+            .into_iter()
+            .map(|(key, dirty, size, _)| (key, dirty, size))
+            .collect()
+    }
+
     /// Access statistics of a cached object.
     pub fn stats_of(&self, key: &Key) -> Option<AccessStats> {
         let master = self.master_of(key)?;

@@ -67,6 +67,22 @@ pub type Key = ofc_intern::Istr;
 /// Identifier of a storage node (co-located with a FaaS invoker).
 pub type NodeId = usize;
 
+/// Resolves the owning tenant of a cache key: the bucket component of the
+/// `bucket/key` object path (the whole key when there is no `/`).
+///
+/// Tenant attribution is by bucket: workloads wanting per-tenant quota
+/// accounting place each tenant's objects in tenant-named buckets (the
+/// mega scenario does; the paper-mix buckets like `outputs` simply act as
+/// one shared pseudo-tenant). The substring is interned, so repeat
+/// resolutions of the same bucket are a hash probe, not an allocation.
+pub fn owner_of(key: &Key) -> Key {
+    let s = key.as_str();
+    match s.find('/') {
+        Some(i) => Key::from(&s[..i]),
+        None => *key,
+    }
+}
+
 /// A stored value: its size always, its bytes optionally (simulated
 /// workloads keep payloads synthetic so long runs stay small).
 #[derive(Debug, Clone, PartialEq)]

@@ -18,6 +18,10 @@ pub struct MasterObject {
     /// Dirty objects have not been persisted to the RSDS yet and must not
     /// be evicted before write-back (§6.4).
     pub dirty: bool,
+    /// Owning tenant ([`crate::owner_of`] of the key), resolved once at
+    /// insertion so the per-owner bookkeeping on the read path stays free
+    /// of string work.
+    pub owner: Key,
 }
 
 /// Access count at or above which an object can never become a periodic
@@ -46,6 +50,15 @@ pub struct StorageNode {
     cold_index: BTreeSet<(SimTime, Key)>,
     /// `n_access` bound of `cold_index` membership.
     cold_threshold: u64,
+    /// Per-tenant LRU sub-index: every master keyed `(owner, t_access,
+    /// key)`, so one tenant's coldest objects are a prefix range scan of
+    /// its own slice — the PR 5 eviction-index approach extended per
+    /// tenant (quota reclamation never sweeps other tenants' objects).
+    owner_idle: BTreeSet<(Key, SimTime, Key)>,
+    /// Per-tenant live-byte accounting, charged exactly like the log
+    /// (`size.max(1)`), so `Σ owner_usage == log.live_bytes()` is an
+    /// invariant. O(log tenants) per mutation.
+    owner_usage: BTreeMap<Key, u64>,
 }
 
 impl StorageNode {
@@ -60,6 +73,8 @@ impl StorageNode {
             idle_index: BTreeSet::new(),
             cold_index: BTreeSet::new(),
             cold_threshold: DEFAULT_COLD_ACCESS_THRESHOLD,
+            owner_idle: BTreeSet::new(),
+            owner_usage: BTreeMap::new(),
         }
     }
 
@@ -84,6 +99,8 @@ impl StorageNode {
             self.backup.clear();
             self.idle_index.clear();
             self.cold_index.clear();
+            self.owner_idle.clear();
+            self.owner_usage.clear();
         }
     }
 
@@ -142,13 +159,21 @@ impl StorageNode {
             return Err(RcError::NodeUnavailable(self.id));
         }
         self.log.append(key, value.size().max(1))?;
-        if let Some(old_stats) = self.master.get(&key).map(|o| o.stats) {
+        if let Some((old_stats, old_owner, old_charge)) = self
+            .master
+            .get(&key)
+            .map(|o| (o.stats, o.owner, o.value.size().max(1)))
+        {
             self.unindex(&key, &old_stats);
+            self.uncharge(old_owner, old_stats.t_access, &key, old_charge);
         }
+        let owner = crate::owner_of(&key);
         self.idle_index.insert((now, key));
         if self.cold_threshold > 0 {
             self.cold_index.insert((now, key));
         }
+        self.owner_idle.insert((owner, now, key));
+        *self.owner_usage.entry(owner).or_insert(0) += value.size().max(1);
         self.master.insert(
             key,
             MasterObject {
@@ -159,6 +184,7 @@ impl StorageNode {
                     created: now,
                 },
                 dirty,
+                owner,
             },
         );
         Ok(())
@@ -169,16 +195,18 @@ impl StorageNode {
         if !self.up {
             return None;
         }
-        let (prev_access, created, n_after) = {
+        let (prev_access, created, n_after, owner) = {
             let obj = self.master.get_mut(key)?;
             let prev = obj.stats.t_access;
             obj.stats.n_access += 1;
             obj.stats.t_access = now;
-            (prev, obj.stats.created, obj.stats.n_access)
+            (prev, obj.stats.created, obj.stats.n_access, obj.owner)
         };
         if prev_access != now {
             self.idle_index.remove(&(prev_access, *key));
             self.idle_index.insert((now, *key));
+            self.owner_idle.remove(&(owner, prev_access, *key));
+            self.owner_idle.insert((owner, now, *key));
         }
         if n_after == self.cold_threshold {
             // Crossed the §6.3 access bound: permanently out of the cold set.
@@ -197,6 +225,7 @@ impl StorageNode {
         self.log.remove(key);
         let obj = self.master.remove(key)?;
         self.unindex(key, &obj.stats);
+        self.uncharge(obj.owner, obj.stats.t_access, key, obj.value.size().max(1));
         Some(obj)
     }
 
@@ -206,6 +235,46 @@ impl StorageNode {
         if stats.n_access < self.cold_threshold {
             self.cold_index.remove(&(stats.created, *key));
         }
+    }
+
+    /// Reverses one key's contribution to the per-owner structures.
+    fn uncharge(&mut self, owner: Key, t_access: SimTime, key: &Key, charge: u64) {
+        self.owner_idle.remove(&(owner, t_access, *key));
+        if let Some(used) = self.owner_usage.get_mut(&owner) {
+            *used = used.saturating_sub(charge);
+            if *used == 0 {
+                self.owner_usage.remove(&owner);
+            }
+        }
+    }
+
+    /// Live master bytes charged to `owner` on this node.
+    pub fn owner_used(&self, owner: &Key) -> u64 {
+        self.owner_usage.get(owner).copied().unwrap_or(0)
+    }
+
+    /// Per-owner live-byte accounting, ascending by owner.
+    pub fn owner_usages(&self) -> impl Iterator<Item = (&Key, u64)> {
+        self.owner_usage.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Up to `max` of `owner`'s masters in LRU order, with dirtiness and
+    /// charged size — the quota-reclamation victim feed. Walks only the
+    /// owner's slice of the per-tenant sub-index (O(log n + max)).
+    pub fn owner_victims(&self, owner: &Key, max: usize) -> Vec<(Key, bool, u64, SimTime)> {
+        let mut out = Vec::new();
+        let from = (*owner, SimTime::ZERO, Key::from(""));
+        for &(o, t_access, key) in self.owner_idle.range(from..) {
+            if o != *owner || out.len() >= max {
+                break;
+            }
+            let Some(obj) = self.master.get(&key) else {
+                debug_assert!(false, "owner index references a missing master");
+                continue;
+            };
+            out.push((key, obj.dirty, obj.value.size().max(1), t_access));
+        }
+        out
     }
 
     /// Re-bounds the cold eviction index at a new `n_access` threshold

@@ -152,6 +152,19 @@ pub const PLANE_CHUNKED_OBJECTS: &str = "plane.chunked_objects";
 pub const PLANE_CHUNKED_HITS: &str = "plane.chunked_hits";
 /// Dirty cached objects persisted to durable storage.
 pub const PLANE_PERSISTS: &str = "plane.persists";
+/// Over-quota admissions denied after own-tenant reclaim failed; the
+/// write/fill fell back to the RSDS (quota plane, DESIGN.md §18).
+pub const PLANE_QUOTA_BYPASSES: &str = "plane.quota_bypasses";
+/// Own-tenant clean LRU objects evicted to make room under quota
+/// contention.
+pub const PLANE_QUOTA_EVICTIONS: &str = "plane.quota_evictions";
+/// Jain fairness index of the slack-memory split across over-quota
+/// tenants, in basis points (10 000 = perfectly fair); sampled on the
+/// telemetry tick. Per-tenant ledgers live in the cluster, keeping this
+/// registry low-cardinality.
+pub const PLANE_QUOTA_FAIRNESS_BPS: &str = "plane.quota_fairness_bps";
+/// Over-quota admissions that won slack memory (pool headroom was free).
+pub const PLANE_QUOTA_OVERSHOOTS: &str = "plane.quota_overshoots";
 
 // ---- cache-policy plane (DESIGN.md §15) -------------------------------
 
@@ -293,6 +306,10 @@ pub const ALL: &[&str] = &[
     PLANE_LOCAL_HITS,
     PLANE_MISSES,
     PLANE_PERSISTS,
+    PLANE_QUOTA_BYPASSES,
+    PLANE_QUOTA_EVICTIONS,
+    PLANE_QUOTA_FAIRNESS_BPS,
+    PLANE_QUOTA_OVERSHOOTS,
     PLANE_REMOTE_HITS,
     PLANE_SHADOWS,
     POLICY_COLD_EXPIRIES,

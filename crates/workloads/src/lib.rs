@@ -19,6 +19,7 @@
 pub mod catalog;
 pub mod datasets;
 pub mod faasload;
+pub mod mega;
 pub mod multimedia;
 pub mod pipelines;
 

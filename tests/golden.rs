@@ -259,6 +259,43 @@ fn bakeoff_smoke_parallel_matches_serial_golden() {
     check_bytes("bakeoff_smoke", fresh, false);
 }
 
+/// Bounded mega-scale window (DESIGN.md §18): all six million-user
+/// variants — headline, noisy neighbor and occupancy attack with and
+/// without quotas, and the replicated-coordinator crash drill — at CI
+/// size, run serially. Any drift in the mega generator, the quota
+/// plane, or the per-decile accounting lands here.
+#[test]
+fn mega_smoke_serial_matches_golden() {
+    let Some(fresh) = regenerate_with(
+        "macro_mega",
+        "macro_mega_smoke",
+        &[("OFC_MEGA_SMOKE", "1"), ("OFC_BENCH_THREADS", "1")],
+    ) else {
+        return;
+    };
+    check_bytes("macro_mega_smoke", fresh, true);
+}
+
+/// The same six sims fanned out over four workers with cost-ordered
+/// claiming must be byte-identical to the serial golden.
+#[test]
+fn mega_smoke_parallel_matches_serial_golden() {
+    let Some(fresh) = regenerate_with(
+        "macro_mega",
+        "macro_mega_smoke",
+        &[
+            ("OFC_MEGA_SMOKE", "1"),
+            ("OFC_BENCH_THREADS", "4"),
+            // Defeat the small-bin serial fallback: this variant exists
+            // to drive the parallel runner.
+            ("OFC_BENCH_MIN_PAR_SIMS", "1"),
+        ],
+    ) else {
+        return;
+    };
+    check_bytes("macro_mega_smoke", fresh, false);
+}
+
 /// Shortened control-plane failover drill (5-minute window, Raft
 /// coordinator + gossip membership under crash/partition faults), run
 /// serially. Any drift in consensus, membership, degraded-mode writes,
@@ -312,6 +349,8 @@ fn golden_set_is_complete() {
         "bakeoff_smoke",
         "bakeoff",
         "failover_smoke",
+        "macro_mega_smoke",
+        "macro_mega",
     ]) {
         assert!(
             committed_path(name).exists(),
